@@ -1,0 +1,101 @@
+//! Distance-based DB(pct, dmin) outliers (Knorr & Ng — VLDB 1998),
+//! the paper's reference \[5\].
+//!
+//! A point `O` is a DB(pct, dmin)-outlier if at least `pct` of the
+//! other points lie farther than `dmin` from it — equivalently, fewer
+//! than `(1 - pct) · (N - 1)` points lie within `dmin`. The earliest
+//! formal distance-based outlier definition; a context baseline for
+//! experiment E10.
+
+use hos_data::{PointId, Subspace};
+use hos_index::KnnEngine;
+
+/// Whether one point is a DB(pct, dmin)-outlier in subspace `s`.
+pub fn is_db_outlier(
+    engine: &dyn KnnEngine,
+    id: PointId,
+    pct: f64,
+    dmin: f64,
+    s: Subspace,
+) -> bool {
+    assert!((0.0..=1.0).contains(&pct), "pct must be in [0,1]");
+    assert!(dmin >= 0.0, "dmin must be non-negative");
+    let ds = engine.dataset();
+    let others = (ds.len() - 1) as f64;
+    if others <= 0.0 {
+        return false;
+    }
+    let within = engine.range(ds.row(id), dmin, s, Some(id)).len() as f64;
+    // "at least pct of objects lie farther than dmin"
+    (others - within) / others >= pct
+}
+
+/// All DB(pct, dmin)-outliers of the dataset in subspace `s`.
+pub fn db_outliers(engine: &dyn KnnEngine, pct: f64, dmin: f64, s: Subspace) -> Vec<PointId> {
+    (0..engine.dataset().len())
+        .filter(|&id| is_db_outlier(engine, id, pct, dmin, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::{Dataset, Metric};
+    use hos_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn engine() -> LinearScan {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        rows.push(vec![50.0, 50.0]); // id 120
+        LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn planted_point_is_the_only_outlier() {
+        let e = engine();
+        let out = db_outliers(&e, 0.99, 2.0, Subspace::full(2));
+        assert_eq!(out, vec![120]);
+    }
+
+    #[test]
+    fn dmin_widening_removes_outliers() {
+        let e = engine();
+        assert!(is_db_outlier(&e, 120, 0.99, 2.0, Subspace::full(2)));
+        assert!(!is_db_outlier(&e, 120, 0.99, 1000.0, Subspace::full(2)));
+    }
+
+    #[test]
+    fn pct_zero_marks_everything() {
+        let e = engine();
+        let out = db_outliers(&e, 0.0, 0.5, Subspace::full(2));
+        assert_eq!(out.len(), e.dataset().len());
+    }
+
+    #[test]
+    fn subspace_restriction() {
+        // Outlying along dim 0 only.
+        let mut rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![(i % 10) as f64 * 0.02, (i % 7) as f64 * 0.1]).collect();
+        rows.push(vec![30.0, 0.3]);
+        let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
+        assert!(is_db_outlier(&e, 50, 0.95, 1.0, Subspace::from_dims(&[0])));
+        assert!(!is_db_outlier(&e, 50, 0.95, 1.0, Subspace::from_dims(&[1])));
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let e = LinearScan::new(Dataset::from_rows(&[vec![1.0]]).unwrap(), Metric::L2);
+        assert!(!is_db_outlier(&e, 0, 0.9, 1.0, Subspace::full(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_pct_rejected() {
+        let e = engine();
+        let _ = is_db_outlier(&e, 0, 1.5, 1.0, Subspace::full(2));
+    }
+}

@@ -1,0 +1,454 @@
+//! Aggarwal & Yu's evolutionary sparse-subspace outlier search
+//! (SIGMOD 2000) — the comparison target named by the HOS-Miner demo.
+//!
+//! The method discretises every attribute into `phi` equi-depth
+//! ranges. A candidate solution is a *cube*: `cube_dim` attributes
+//! each pinned to one range (the remaining attributes are "don't
+//! care", written `*`). The quality of a cube `C` with `n(C)` points
+//! is its **sparsity coefficient**
+//!
+//! ```text
+//! S(C) = (n(C) - N·f^k) / sqrt(N·f^k·(1 - f^k)),   f = 1/phi
+//! ```
+//!
+//! — the number of standard deviations by which the cube's occupancy
+//! falls below the expectation under attribute independence. Strongly
+//! negative sparsity marks a subspace region whose few inhabitants
+//! are outliers. A genetic algorithm (selection / crossover /
+//! mutation over the cube strings) searches for the most negative
+//! cubes, since exhaustive enumeration is infeasible.
+//!
+//! This is a faithful re-implementation from the published
+//! description; the original code is not available. It is a
+//! "space → outliers" method: it finds sparse regions first and calls
+//! their occupants outliers — exactly the contrast HOS-Miner's
+//! "outlier → spaces" formulation draws.
+
+use hos_data::{stats, Dataset, Subspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Don't-care marker in a solution string.
+const STAR: u8 = 0;
+
+/// Genetic-search parameters.
+#[derive(Clone, Debug)]
+pub struct EvoConfig {
+    /// Equi-depth ranges per attribute (`phi`).
+    pub phi: usize,
+    /// Cube dimensionality (`k` in the sparsity coefficient).
+    pub cube_dim: usize,
+    /// Population size.
+    pub population: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// Per-position mutation probability.
+    pub mutation_p: f64,
+    /// Crossover probability.
+    pub crossover_p: f64,
+    /// How many best cubes to report.
+    pub best_m: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvoConfig {
+    fn default() -> Self {
+        EvoConfig {
+            phi: 10,
+            cube_dim: 3,
+            population: 100,
+            generations: 60,
+            mutation_p: 0.15,
+            crossover_p: 0.9,
+            best_m: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// One discovered sparse cube.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseCube {
+    /// Pinned attributes: `(dimension, range index)`.
+    pub dims: Vec<(usize, usize)>,
+    /// Sparsity coefficient (more negative = sparser).
+    pub sparsity: f64,
+    /// Number of points inside the cube.
+    pub count: usize,
+}
+
+impl SparseCube {
+    /// The subspace this cube pins.
+    pub fn subspace(&self) -> Subspace {
+        Subspace::from_dims(&self.dims.iter().map(|&(d, _)| d).collect::<Vec<_>>())
+    }
+}
+
+/// The fitted discretisation plus GA state.
+pub struct EvolutionarySearch {
+    /// Equi-depth boundaries per dimension.
+    boundaries: Vec<Vec<f64>>,
+    /// Pre-computed bucket index of every value, row-major.
+    buckets: Vec<u8>,
+    n: usize,
+    d: usize,
+    cfg: EvoConfig,
+}
+
+impl EvolutionarySearch {
+    /// Discretises the dataset (the φ-grid) and prepares the GA.
+    ///
+    /// # Panics
+    /// Panics on empty data, `phi < 2`, `phi > 250`, or
+    /// `cube_dim > d`.
+    pub fn fit(ds: &Dataset, cfg: EvoConfig) -> Self {
+        assert!(!ds.is_empty(), "dataset must be non-empty");
+        assert!((2..=250).contains(&cfg.phi), "phi must be in 2..=250");
+        assert!(cfg.cube_dim >= 1 && cfg.cube_dim <= ds.dim(), "cube_dim out of range");
+        assert!(cfg.population >= 4, "population too small");
+        let d = ds.dim();
+        let n = ds.len();
+        let mut boundaries = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = ds.column_vec(c);
+            boundaries.push(stats::equi_depth_boundaries(&col, cfg.phi).expect("non-empty"));
+        }
+        let mut buckets = vec![0u8; n * d];
+        for (i, row) in ds.iter() {
+            for (c, &v) in row.iter().enumerate() {
+                let b = stats::bucket_of(v, &boundaries[c]).min(cfg.phi - 1);
+                buckets[i * d + c] = b as u8;
+            }
+        }
+        EvolutionarySearch { boundaries, buckets, n, d, cfg }
+    }
+
+    /// Bucket index of an arbitrary value in a dimension.
+    pub fn bucket_of(&self, dim: usize, value: f64) -> usize {
+        stats::bucket_of(value, &self.boundaries[dim]).min(self.cfg.phi - 1)
+    }
+
+    fn count_cube(&self, sol: &[u8]) -> usize {
+        let pinned: Vec<(usize, u8)> = sol
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != STAR)
+            .map(|(c, &v)| (c, v - 1))
+            .collect();
+        let mut count = 0;
+        'outer: for i in 0..self.n {
+            for &(c, b) in &pinned {
+                if self.buckets[i * self.d + c] != b {
+                    continue 'outer;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Sparsity coefficient of a cube occupancy count.
+    pub fn sparsity(&self, count: usize) -> f64 {
+        let f = 1.0 / self.cfg.phi as f64;
+        let fk = f.powi(self.cfg.cube_dim as i32);
+        let n = self.n as f64;
+        let expected = n * fk;
+        let denom = (n * fk * (1.0 - fk)).sqrt();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (count as f64 - expected) / denom
+        }
+    }
+
+    fn random_solution(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut sol = vec![STAR; self.d];
+        let mut dims: Vec<usize> = (0..self.d).collect();
+        for i in 0..self.cfg.cube_dim {
+            let j = rng.gen_range(i..dims.len());
+            dims.swap(i, j);
+            sol[dims[i]] = rng.gen_range(1..=self.cfg.phi) as u8;
+        }
+        sol
+    }
+
+    /// Repairs a solution to have exactly `cube_dim` pinned positions.
+    fn repair(&self, sol: &mut [u8], rng: &mut StdRng) {
+        let mut pinned: Vec<usize> =
+            (0..self.d).filter(|&c| sol[c] != STAR).collect();
+        while pinned.len() > self.cfg.cube_dim {
+            let i = rng.gen_range(0..pinned.len());
+            sol[pinned.swap_remove(i)] = STAR;
+        }
+        while pinned.len() < self.cfg.cube_dim {
+            let c = rng.gen_range(0..self.d);
+            if sol[c] == STAR {
+                sol[c] = rng.gen_range(1..=self.cfg.phi) as u8;
+                pinned.push(c);
+            }
+        }
+    }
+
+    fn crossover(&self, a: &[u8], b: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        // Uniform crossover followed by cardinality repair — the
+        // original's two-stage recombination has the same effect:
+        // offspring inherit pinned positions from both parents.
+        let mut child: Vec<u8> =
+            a.iter().zip(b).map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y }).collect();
+        self.repair(&mut child, rng);
+        child
+    }
+
+    fn mutate(&self, sol: &mut [u8], rng: &mut StdRng) {
+        for c in 0..self.d {
+            if sol[c] != STAR && rng.gen_bool(self.cfg.mutation_p) {
+                if rng.gen_bool(0.5) {
+                    // Re-pin to a different range.
+                    sol[c] = rng.gen_range(1..=self.cfg.phi) as u8;
+                } else {
+                    // Move the pin to another attribute.
+                    let mut free: Vec<usize> =
+                        (0..self.d).filter(|&x| sol[x] == STAR).collect();
+                    if !free.is_empty() {
+                        let t = free.swap_remove(rng.gen_range(0..free.len()));
+                        sol[t] = sol[c];
+                        sol[c] = STAR;
+                    }
+                }
+            }
+        }
+        self.repair(sol, rng);
+    }
+
+    /// Runs the genetic search and returns the `best_m` sparsest
+    /// distinct **inhabited** cubes (most negative sparsity first).
+    ///
+    /// Empty cubes are sparser still, but the method's output is
+    /// *outlier points* — the occupants of sparse cells — so a cube
+    /// with no occupants carries no detection information and is
+    /// dropped from the report (it still participates in the GA's
+    /// evolution as a stepping stone).
+    pub fn run(&self) -> Vec<SparseCube> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut cache: HashMap<Vec<u8>, usize> = HashMap::new();
+        let fitness = |sol: &[u8], this: &Self, cache: &mut HashMap<Vec<u8>, usize>| -> f64 {
+            let count = *cache
+                .entry(sol.to_vec())
+                .or_insert_with(|| this.count_cube(sol));
+            this.sparsity(count)
+        };
+
+        let mut pop: Vec<Vec<u8>> =
+            (0..self.cfg.population).map(|_| self.random_solution(&mut rng)).collect();
+        let mut best: Vec<(Vec<u8>, f64)> = Vec::new();
+
+        for _gen in 0..self.cfg.generations {
+            let scores: Vec<f64> =
+                pop.iter().map(|s| fitness(s, self, &mut cache)).collect();
+            // Track the global best set (inhabited cubes only — see
+            // the method docs).
+            for (sol, &sc) in pop.iter().zip(&scores) {
+                let count = *cache.get(sol).expect("scored");
+                if count > 0 && !best.iter().any(|(b, _)| b == sol) {
+                    best.push((sol.clone(), sc));
+                }
+            }
+            best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            best.truncate(self.cfg.best_m * 4);
+
+            // Tournament selection (lower sparsity wins) + variation.
+            let mut next = Vec::with_capacity(pop.len());
+            // Elitism: carry the best individual forward unchanged.
+            if let Some((elite, _)) = best.first() {
+                next.push(elite.clone());
+            }
+            while next.len() < pop.len() {
+                let pick = |rng: &mut StdRng| {
+                    let i = rng.gen_range(0..pop.len());
+                    let j = rng.gen_range(0..pop.len());
+                    if scores[i] <= scores[j] { i } else { j }
+                };
+                let pa = pick(&mut rng);
+                let pb = pick(&mut rng);
+                let mut child = if rng.gen_bool(self.cfg.crossover_p) {
+                    self.crossover(&pop[pa], &pop[pb], &mut rng)
+                } else {
+                    pop[pa].clone()
+                };
+                self.mutate(&mut child, &mut rng);
+                next.push(child);
+            }
+            pop = next;
+        }
+
+        // Final resolve of the best list.
+        best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        best.truncate(self.cfg.best_m);
+        best.into_iter()
+            .map(|(sol, sparsity)| {
+                let count = *cache.get(&sol).expect("scored");
+                let dims: Vec<(usize, usize)> = sol
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != STAR)
+                    .map(|(c, &v)| (c, (v - 1) as usize))
+                    .collect();
+                SparseCube { dims, sparsity, count }
+            })
+            .collect()
+    }
+
+    /// Whether a point (by coordinates) lies inside a cube.
+    pub fn cube_contains(&self, cube: &SparseCube, row: &[f64]) -> bool {
+        cube.dims.iter().all(|&(dim, bucket)| self.bucket_of(dim, row[dim]) == bucket)
+    }
+
+    /// The "outlier → spaces" adapter used for the comparison: the
+    /// subspaces of the discovered sparse cubes that contain the given
+    /// point. This is how the evolutionary method's output answers
+    /// the outlying-subspace question HOS-Miner poses.
+    pub fn outlying_subspaces_of(&self, cubes: &[SparseCube], row: &[f64]) -> Vec<Subspace> {
+        let mut out: Vec<Subspace> = cubes
+            .iter()
+            .filter(|c| self.cube_contains(c, row))
+            .map(|c| c.subspace())
+            .collect();
+        out.sort_by_key(|s| s.mask());
+        out.dedup();
+        out
+    }
+}
+
+/// Convenience one-shot: fit + run.
+pub fn evolutionary_search(ds: &Dataset, cfg: EvoConfig) -> Vec<SparseCube> {
+    EvolutionarySearch::fit(ds, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Uniform background with one planted empty region: dims (0,1)
+    /// correlated so that the anti-diagonal corner cell is empty
+    /// except for a single planted outlier.
+    fn workload() -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut rows = Vec::new();
+        for _ in 0..600 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            // y tracks x: the (high x, low y) corner stays empty.
+            let y = (x + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0);
+            let z: f64 = rng.gen_range(0.0..1.0);
+            let w: f64 = rng.gen_range(0.0..1.0);
+            rows.push(vec![x, y, z, w]);
+        }
+        let outlier = vec![0.97, 0.03, 0.5, 0.5];
+        rows.push(outlier.clone());
+        (Dataset::from_rows(&rows).unwrap(), outlier)
+    }
+
+    fn small_cfg() -> EvoConfig {
+        EvoConfig {
+            phi: 4,
+            cube_dim: 2,
+            population: 60,
+            generations: 40,
+            best_m: 8,
+            seed: 3,
+            ..EvoConfig::default()
+        }
+    }
+
+    #[test]
+    fn sparsity_coefficient_matches_formula() {
+        let (ds, _) = workload();
+        let es = EvolutionarySearch::fit(&ds, small_cfg());
+        let n = ds.len() as f64;
+        let fk = 0.25f64.powi(2);
+        let expected = (10.0 - n * fk) / (n * fk * (1.0 - fk)).sqrt();
+        assert!((es.sparsity(10) - expected).abs() < 1e-12);
+        // Empty cube is the sparsest possible.
+        assert!(es.sparsity(0) < es.sparsity(10));
+    }
+
+    #[test]
+    fn finds_the_planted_sparse_corner() {
+        let (ds, outlier) = workload();
+        let es = EvolutionarySearch::fit(&ds, small_cfg());
+        let cubes = es.run();
+        assert!(!cubes.is_empty());
+        // The best cubes must be genuinely sparse.
+        assert!(cubes[0].sparsity < 0.0, "best sparsity {}", cubes[0].sparsity);
+        // Results are sorted ascending by sparsity.
+        for w in cubes.windows(2) {
+            assert!(w[0].sparsity <= w[1].sparsity);
+        }
+        // The planted outlier's corner cube involves dims {0,1}; the GA
+        // should discover at least one sparse cube on those dims, and
+        // the subspace adapter should attribute it to the outlier.
+        let subspaces = es.outlying_subspaces_of(&cubes, &outlier);
+        let target = Subspace::from_dims(&[0, 1]);
+        assert!(
+            subspaces.contains(&target),
+            "GA missed the planted corner; found {subspaces:?}"
+        );
+    }
+
+    #[test]
+    fn cube_membership() {
+        let (ds, outlier) = workload();
+        let es = EvolutionarySearch::fit(&ds, small_cfg());
+        let cube = SparseCube {
+            dims: vec![(0, es.bucket_of(0, outlier[0])), (1, es.bucket_of(1, outlier[1]))],
+            sparsity: -1.0,
+            count: 1,
+        };
+        assert!(es.cube_contains(&cube, &outlier));
+        assert!(!es.cube_contains(&cube, &[0.0, 0.97, 0.5, 0.5]));
+        assert_eq!(cube.subspace(), Subspace::from_dims(&[0, 1]));
+    }
+
+    #[test]
+    fn solutions_always_have_exact_cardinality() {
+        let (ds, _) = workload();
+        let es = EvolutionarySearch::fit(&ds, small_cfg());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = es.random_solution(&mut rng);
+            let b = es.random_solution(&mut rng);
+            assert_eq!(a.iter().filter(|&&v| v != STAR).count(), 2);
+            let child = es.crossover(&a, &b, &mut rng);
+            assert_eq!(child.iter().filter(|&&v| v != STAR).count(), 2);
+            let mut m = child.clone();
+            es.mutate(&mut m, &mut rng);
+            assert_eq!(m.iter().filter(|&&v| v != STAR).count(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (ds, _) = workload();
+        let a = evolutionary_search(&ds, small_cfg());
+        let b = evolutionary_search(&ds, small_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_cube_dim() {
+        let (ds, _) = workload();
+        let cfg = EvoConfig { cube_dim: 10, ..small_cfg() };
+        let _ = EvolutionarySearch::fit(&ds, cfg);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_phi() {
+        let (ds, _) = workload();
+        let cfg = EvoConfig { phi: 1, ..small_cfg() };
+        let _ = EvolutionarySearch::fit(&ds, cfg);
+    }
+}

@@ -1,0 +1,274 @@
+//! Exhaustive and statically-pruned lattice search.
+//!
+//! Four modes bracket the dynamic search for the ablation experiments:
+//!
+//! * [`ExhaustiveMode::Full`] — evaluate every non-empty subspace.
+//!   The exact oracle: effectiveness experiments use it for ground
+//!   truth, and it supports the non-monotone normalised OD.
+//! * [`ExhaustiveMode::UpwardOnly`] — fixed bottom-up sweep applying
+//!   only Property 2 pruning.
+//! * [`ExhaustiveMode::DownwardOnly`] — fixed top-down sweep applying
+//!   only Property 1 pruning.
+//! * [`ExhaustiveMode::BothStatic`] — fixed bottom-up sweep applying
+//!   both prunings; isolates the value of HOS-Miner's TSF-driven
+//!   *dynamic* level ordering (the only remaining difference).
+
+use hos_core::od::OdMode;
+use hos_core::search::{ScoredSubspace, SearchOutcome, SearchStats};
+use hos_data::{PointId, Subspace};
+use hos_index::KnnEngine;
+use hos_lattice::{Lattice, SubspaceState};
+use std::time::Instant;
+
+/// Search strategy of the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustiveMode {
+    /// Evaluate everything; no pruning.
+    Full,
+    /// Bottom-up with upward (Property 2) pruning only.
+    UpwardOnly,
+    /// Top-down with downward (Property 1) pruning only.
+    DownwardOnly,
+    /// Bottom-up with both prunings but no dynamic level ordering.
+    BothStatic,
+}
+
+/// Runs the baseline search. Same contract as
+/// [`hos_core::search::dynamic_search`], plus an [`OdMode`] which must
+/// be [`OdMode::Raw`] for the pruned modes (the normalised OD is not
+/// monotone, so pruning with it would be unsound).
+///
+/// # Panics
+/// Panics if a pruned mode is combined with [`OdMode::DimNormalized`],
+/// or on the same contract violations as the dynamic search.
+pub fn exhaustive_search(
+    engine: &dyn KnnEngine,
+    query: &[f64],
+    exclude: Option<PointId>,
+    k: usize,
+    threshold: f64,
+    mode: ExhaustiveMode,
+    od_mode: OdMode,
+) -> SearchOutcome {
+    assert!(k > 0, "k must be positive");
+    let d = engine.dataset().dim();
+    assert_eq!(query.len(), d, "query arity mismatch");
+    assert!(
+        mode == ExhaustiveMode::Full || od_mode == OdMode::Raw,
+        "pruned modes require the monotone raw OD"
+    );
+    let start = Instant::now();
+    let metric = engine.metric();
+
+    let mut lattice = Lattice::new(d);
+    let mut outlying: Vec<ScoredSubspace> = Vec::new();
+    let mut level_eval_stats = vec![(0u64, 0u64); d + 1];
+    let mut rounds = 0u32;
+
+    let levels: Vec<usize> = match mode {
+        ExhaustiveMode::DownwardOnly => (1..=d).rev().collect(),
+        _ => (1..=d).collect(),
+    };
+
+    for m in levels {
+        let open = lattice.open_at_level(m);
+        if open.is_empty() {
+            continue;
+        }
+        rounds += 1;
+        for s in open {
+            if lattice.state(s) != SubspaceState::Unevaluated {
+                continue;
+            }
+            let raw = engine.od(query, k, s, exclude);
+            let od = od_mode.normalize(raw, metric, s.dim());
+            lattice.mark_evaluated(s);
+            level_eval_stats[m].0 += 1;
+            if od >= threshold {
+                level_eval_stats[m].1 += 1;
+                outlying.push(ScoredSubspace { subspace: s, od: Some(od) });
+                match mode {
+                    ExhaustiveMode::UpwardOnly | ExhaustiveMode::BothStatic => {
+                        lattice.prune_up(s);
+                    }
+                    _ => {}
+                }
+            } else {
+                match mode {
+                    ExhaustiveMode::DownwardOnly | ExhaustiveMode::BothStatic => {
+                        lattice.prune_down(s);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for s in lattice.in_state(SubspaceState::PrunedOutlier) {
+        outlying.push(ScoredSubspace { subspace: s, od: None });
+    }
+    outlying.sort_by_key(|s| s.subspace.mask());
+
+    let mut outlier_count = vec![0u64; d + 1];
+    for s in &outlying {
+        outlier_count[s.subspace.dim()] += 1;
+    }
+    let level_outlier_fraction: Vec<f64> = (0..=d)
+        .map(|m| {
+            if m == 0 {
+                0.0
+            } else {
+                outlier_count[m] as f64 / hos_lattice::binomial(d, m)
+            }
+        })
+        .collect();
+
+    let counters = lattice.counters();
+    SearchOutcome {
+        outlying,
+        level_eval_stats,
+        stats: SearchStats {
+            od_evals: counters.evaluated,
+            pruned_outlier: counters.pruned_outlier,
+            pruned_non_outlier: counters.pruned_non_outlier,
+            rounds,
+            lattice_size: Subspace::lattice_size(d),
+            seconds: start.elapsed().as_secs_f64(),
+        },
+        level_outlier_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_core::priors::Priors;
+    use hos_core::search::dynamic_search;
+    use hos_data::{Dataset, Metric};
+    use hos_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_engine(seed: u64, n: usize, d: usize) -> LinearScan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        // A couple of heavy outliers to make answers non-trivial.
+        rows.push((0..d).map(|i| if i % 2 == 0 { 8.0 } else { 0.5 }).collect());
+        rows.push((0..d).map(|i| if i == d - 1 { 11.0 } else { 0.4 }).collect());
+        LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn all_modes_agree_on_the_answer_set() {
+        let e = random_engine(3, 80, 5);
+        let n = e.dataset().len();
+        for qid in [n - 2, n - 1, 0] {
+            let q: Vec<f64> = e.dataset().row(qid).to_vec();
+            let t = 3.0;
+            let full = exhaustive_search(&e, &q, Some(qid), 4, t, ExhaustiveMode::Full, OdMode::Raw);
+            for mode in [
+                ExhaustiveMode::UpwardOnly,
+                ExhaustiveMode::DownwardOnly,
+                ExhaustiveMode::BothStatic,
+            ] {
+                let got = exhaustive_search(&e, &q, Some(qid), 4, t, mode, OdMode::Raw);
+                assert_eq!(got.subspaces(), full.subspaces(), "{mode:?} on point {qid}");
+            }
+            // And the dynamic search agrees too.
+            let dynamic = dynamic_search(&e, &q, Some(qid), 4, t, &Priors::uniform(5), 1);
+            assert_eq!(dynamic.subspaces(), full.subspaces(), "dynamic on point {qid}");
+        }
+    }
+
+    #[test]
+    fn full_mode_evaluates_everything() {
+        let e = random_engine(5, 40, 4);
+        let q: Vec<f64> = e.dataset().row(0).to_vec();
+        let out = exhaustive_search(&e, &q, Some(0), 3, 2.0, ExhaustiveMode::Full, OdMode::Raw);
+        assert_eq!(out.stats.od_evals, 15);
+        assert_eq!(out.stats.pruned_outlier + out.stats.pruned_non_outlier, 0);
+    }
+
+    #[test]
+    fn pruned_modes_save_evaluations_on_outliers() {
+        let e = random_engine(7, 80, 6);
+        let n = e.dataset().len();
+        let q: Vec<f64> = e.dataset().row(n - 2).to_vec();
+        let t = 3.0;
+        let full = exhaustive_search(&e, &q, Some(n - 2), 4, t, ExhaustiveMode::Full, OdMode::Raw);
+        let both =
+            exhaustive_search(&e, &q, Some(n - 2), 4, t, ExhaustiveMode::BothStatic, OdMode::Raw);
+        assert!(
+            both.stats.od_evals < full.stats.od_evals,
+            "static pruning saved nothing: {} vs {}",
+            both.stats.od_evals,
+            full.stats.od_evals
+        );
+    }
+
+    #[test]
+    fn normalized_od_changes_high_dim_bias() {
+        let e = random_engine(11, 60, 5);
+        let q: Vec<f64> = e.dataset().row(0).to_vec();
+        // With raw OD and a mid threshold, high-dimensional subspaces
+        // dominate the answer; the normalised OD removes that bias, so
+        // its answer set is no larger at every level above 1.
+        let t = 1.2;
+        let raw = exhaustive_search(&e, &q, Some(0), 4, t, ExhaustiveMode::Full, OdMode::Raw);
+        let norm = exhaustive_search(
+            &e,
+            &q,
+            Some(0),
+            4,
+            t,
+            ExhaustiveMode::Full,
+            OdMode::DimNormalized,
+        );
+        let count_at = |out: &SearchOutcome, m: usize| {
+            out.outlying.iter().filter(|s| s.subspace.dim() == m).count()
+        };
+        for m in 2..=5 {
+            assert!(
+                count_at(&norm, m) <= count_at(&raw, m),
+                "normalisation increased level-{m} answers"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pruning_with_normalized_od_rejected() {
+        let e = random_engine(1, 20, 3);
+        let q = vec![0.5; 3];
+        let _ = exhaustive_search(
+            &e,
+            &q,
+            None,
+            3,
+            1.0,
+            ExhaustiveMode::BothStatic,
+            OdMode::DimNormalized,
+        );
+    }
+
+    #[test]
+    fn accounting_adds_up_in_every_mode() {
+        let e = random_engine(13, 50, 5);
+        let q: Vec<f64> = e.dataset().row(10).to_vec();
+        for mode in [
+            ExhaustiveMode::Full,
+            ExhaustiveMode::UpwardOnly,
+            ExhaustiveMode::DownwardOnly,
+            ExhaustiveMode::BothStatic,
+        ] {
+            let out = exhaustive_search(&e, &q, Some(10), 3, 2.0, mode, OdMode::Raw);
+            let s = &out.stats;
+            assert_eq!(
+                s.od_evals + s.pruned_outlier + s.pruned_non_outlier,
+                s.lattice_size,
+                "{mode:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Intensional knowledge of distance-based outliers (Knorr & Ng —
+//! VLDB 1999), the HOS-Miner paper's reference \[6\] and its named
+//! example of a "space → outliers" technique: "\[6\] discovers the
+//! so-called Strongest/Weak Outliers by first finding the Strongest
+//! Outlying Spaces".
+//!
+//! Given the DB(pct, dmin) outlier predicate, the method explains
+//! *where* outliers exist by structuring the subspace lattice:
+//!
+//! * a subspace is an **outlying space** if it contains at least one
+//!   DB-outlier;
+//! * the **strongest outlying spaces** are the minimal outlying spaces
+//!   (no proper sub-subspace contains any outlier);
+//! * a **strongest outlier** is a point that is an outlier in some
+//!   strongest outlying space;
+//! * a **weak outlier** is an outlier that only appears in
+//!   non-minimal outlying spaces.
+//!
+//! The contrast with HOS-Miner: this inventory is computed for the
+//! *space* lattice as a whole ("which spaces contain outliers, and
+//! which points are they"), whereas HOS-Miner answers a per-*point*
+//! question ("in which subspaces is this specific point outlying").
+//! Both are exposed so the comparison is concrete.
+
+use crate::db_outlier;
+use hos_data::{PointId, Subspace};
+use hos_index::KnnEngine;
+use std::collections::BTreeMap;
+
+/// The computed intensional-knowledge inventory.
+#[derive(Clone, Debug)]
+pub struct IntensionalKnowledge {
+    /// Every subspace that contains at least one outlier, with its
+    /// outliers (keyed by mask for determinism).
+    pub outlying_spaces: BTreeMap<u64, Vec<PointId>>,
+    /// The minimal outlying spaces.
+    pub strongest_spaces: Vec<Subspace>,
+    /// Outliers of at least one strongest space, ascending.
+    pub strongest_outliers: Vec<PointId>,
+    /// Outliers appearing only in non-minimal spaces, ascending.
+    pub weak_outliers: Vec<PointId>,
+}
+
+impl IntensionalKnowledge {
+    /// The outliers recorded for one subspace, if it is outlying.
+    pub fn outliers_in(&self, s: Subspace) -> Option<&[PointId]> {
+        self.outlying_spaces.get(&s.mask()).map(Vec::as_slice)
+    }
+}
+
+/// Computes the full inventory over every non-empty subspace of the
+/// engine's dataset, using the DB(pct, dmin) predicate.
+///
+/// Exhaustive over `2^d - 1` subspaces — intended for the moderate
+/// dimensionalities the original paper targeted (its evaluation used
+/// d <= 5). HOS-Miner's pruning does not apply here because the
+/// DB predicate is not monotone under subspace inclusion in general
+/// (dmin is fixed while distances shrink with projection).
+///
+/// # Panics
+/// Panics if `pct` is outside `[0,1]`, `dmin < 0`, or `d > 20`
+/// (lattice-size guard).
+pub fn intensional_knowledge(
+    engine: &dyn KnnEngine,
+    pct: f64,
+    dmin: f64,
+) -> IntensionalKnowledge {
+    assert!((0.0..=1.0).contains(&pct), "pct must be in [0,1]");
+    assert!(dmin >= 0.0, "dmin must be non-negative");
+    let d = engine.dataset().dim();
+    assert!(d <= 20, "exhaustive lattice sweep limited to d <= 20 (got {d})");
+
+    let mut outlying_spaces: BTreeMap<u64, Vec<PointId>> = BTreeMap::new();
+    for s in Subspace::all_nonempty(d) {
+        let outs = db_outlier::db_outliers(engine, pct, dmin, s);
+        if !outs.is_empty() {
+            outlying_spaces.insert(s.mask(), outs);
+        }
+    }
+
+    // Minimal outlying spaces: no proper subset is outlying.
+    let mut strongest_spaces: Vec<Subspace> = Vec::new();
+    'outer: for &mask in outlying_spaces.keys() {
+        let s = Subspace::from_mask(mask);
+        for sub in s.strict_subsets() {
+            if outlying_spaces.contains_key(&sub.mask()) {
+                continue 'outer;
+            }
+        }
+        strongest_spaces.push(s);
+    }
+    strongest_spaces.sort_by_key(|s| (s.dim(), s.mask()));
+
+    let mut strongest: Vec<PointId> = strongest_spaces
+        .iter()
+        .flat_map(|s| outlying_spaces[&s.mask()].iter().copied())
+        .collect();
+    strongest.sort_unstable();
+    strongest.dedup();
+
+    let mut all: Vec<PointId> =
+        outlying_spaces.values().flat_map(|v| v.iter().copied()).collect();
+    all.sort_unstable();
+    all.dedup();
+    let weak: Vec<PointId> =
+        all.into_iter().filter(|p| strongest.binary_search(p).is_err()).collect();
+
+    IntensionalKnowledge {
+        outlying_spaces,
+        strongest_spaces,
+        strongest_outliers: strongest,
+        weak_outliers: weak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::{Dataset, Metric};
+    use hos_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A cluster plus one point far away along dim 0 only and one far
+    /// away along both dims 1 and 2 jointly.
+    fn engine() -> LinearScan {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows: Vec<Vec<f64>> = (0..150)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        rows.push(vec![30.0, 0.5, 0.5]); // id 150: outlier in {0}
+        rows.push(vec![0.5, 4.0, 4.0]); // id 151: outlier in {1,2}, marginally mild
+        LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn inventory_identifies_strongest_spaces() {
+        let e = engine();
+        let ik = intensional_knowledge(&e, 0.97, 2.5);
+        // Dim {0} must be a strongest space (point 150 is an outlier
+        // there and no smaller space exists).
+        let s0 = Subspace::from_dims(&[0]);
+        assert!(ik.strongest_spaces.contains(&s0), "{:?}", ik.strongest_spaces);
+        assert!(ik.outliers_in(s0).unwrap().contains(&150));
+        // Strongest spaces are an antichain.
+        for a in &ik.strongest_spaces {
+            for b in &ik.strongest_spaces {
+                if a != b {
+                    assert!(!a.is_strict_subset_of(*b));
+                }
+            }
+        }
+        assert!(ik.strongest_outliers.contains(&150));
+    }
+
+    #[test]
+    fn weak_outliers_disjoint_from_strongest() {
+        let e = engine();
+        let ik = intensional_knowledge(&e, 0.97, 2.5);
+        for w in &ik.weak_outliers {
+            assert!(!ik.strongest_outliers.contains(w));
+        }
+    }
+
+    #[test]
+    fn strongest_spaces_have_no_outlying_subsets() {
+        let e = engine();
+        let ik = intensional_knowledge(&e, 0.97, 2.5);
+        for s in &ik.strongest_spaces {
+            for sub in s.strict_subsets() {
+                assert!(
+                    ik.outliers_in(sub).is_none(),
+                    "strongest space {s} has outlying subset {sub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_dmin_marks_nothing() {
+        let e = engine();
+        let ik = intensional_knowledge(&e, 1.0, 1e6);
+        assert!(ik.outlying_spaces.is_empty());
+        assert!(ik.strongest_spaces.is_empty());
+        assert!(ik.strongest_outliers.is_empty());
+        assert!(ik.weak_outliers.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_guard() {
+        let ds = Dataset::from_flat(vec![0.0; 42], 21).unwrap();
+        let e = LinearScan::new(ds, Metric::L2);
+        let _ = intensional_knowledge(&e, 0.9, 1.0);
+    }
+}

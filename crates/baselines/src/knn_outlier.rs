@@ -1,0 +1,102 @@
+//! Top-n kth-NN-distance outliers (Ramaswamy, Rastogi, Shim — SIGMOD
+//! 2000), the paper's reference \[8\].
+//!
+//! Score of a point = distance to its kth nearest neighbour; the n
+//! highest-scoring points are declared outliers. Like LOF this is a
+//! fixed-space detector, used as context in experiment E10. Its score
+//! is also the closest classical relative of HOS-Miner's OD (which
+//! sums the first k distances instead of taking the kth).
+
+use hos_data::{PointId, Subspace};
+use hos_index::KnnEngine;
+
+/// kth-NN distance of every dataset point in subspace `s`.
+pub fn knn_scores(engine: &dyn KnnEngine, k: usize, s: Subspace) -> Vec<f64> {
+    assert!(k > 0, "k must be positive");
+    let ds = engine.dataset();
+    (0..ds.len())
+        .map(|i| {
+            engine
+                .knn(ds.row(i), k, s, Some(i))
+                .last()
+                .map(|n| n.dist)
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// The `n` points with the largest kth-NN distance, descending.
+pub fn top_knn_outliers(
+    engine: &dyn KnnEngine,
+    k: usize,
+    s: Subspace,
+    n: usize,
+) -> Vec<(PointId, f64)> {
+    let scores = knn_scores(engine, k, s);
+    let mut ranked: Vec<(PointId, f64)> = scores.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::{Dataset, Metric};
+    use hos_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn engine() -> LinearScan {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut rows: Vec<Vec<f64>> = (0..80)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        rows.push(vec![9.0, 9.0]); // id 80
+        rows.push(vec![-7.0, 4.0]); // id 81
+        LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn planted_outliers_rank_top_two() {
+        let e = engine();
+        let top = top_knn_outliers(&e, 5, Subspace::full(2), 2);
+        let ids: Vec<PointId> = top.iter().map(|t| t.0).collect();
+        assert!(ids.contains(&80) && ids.contains(&81), "got {ids:?}");
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn scores_relate_to_od() {
+        // OD sums the first k distances, so OD >= kth-NN distance and
+        // OD <= k * kth-NN distance.
+        let e = engine();
+        let s = Subspace::full(2);
+        let k = 5;
+        let scores = knn_scores(&e, k, s);
+        for (i, &kth) in scores.iter().enumerate().take(10) {
+            let od = e.od(e.dataset().row(i), k, s, Some(i));
+            assert!(od >= kth - 1e-12);
+            assert!(od <= k as f64 * kth + 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_and_ordering() {
+        let e = engine();
+        let top = top_knn_outliers(&e, 3, Subspace::full(2), 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let all = top_knn_outliers(&e, 3, Subspace::full(2), 10_000);
+        assert_eq!(all.len(), e.dataset().len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let e = engine();
+        let _ = knn_scores(&e, 0, Subspace::full(2));
+    }
+}

@@ -1,0 +1,143 @@
+//! Local Outlier Factor (Breunig, Kriegel, Ng, Sander — SIGMOD 2000),
+//! the paper's reference \[3\].
+//!
+//! LOF is a *full-space* (or fixed-subspace) density-based detector:
+//! it scores each point by how much sparser its neighbourhood is than
+//! its neighbours' neighbourhoods. Included as context baseline for
+//! experiment E10 — it answers "which points are outliers", not "in
+//! which subspaces", which is exactly the contrast the HOS-Miner paper
+//! draws.
+
+use hos_data::{PointId, Subspace};
+use hos_index::KnnEngine;
+
+/// LOF scores for every dataset point in a given subspace.
+///
+/// `min_pts` is the classic `MinPts` parameter (neighbourhood size).
+/// Scores near 1 mean inlier; substantially above 1 mean outlier.
+///
+/// # Panics
+/// Panics if `min_pts == 0` or the dataset has fewer than
+/// `min_pts + 1` points.
+pub fn lof_scores(engine: &dyn KnnEngine, min_pts: usize, s: Subspace) -> Vec<f64> {
+    assert!(min_pts > 0, "min_pts must be positive");
+    let ds = engine.dataset();
+    let n = ds.len();
+    assert!(n > min_pts, "need more than min_pts points");
+
+    // k-distance and neighbourhood of every point.
+    let mut kdist = Vec::with_capacity(n);
+    let mut neighbors: Vec<Vec<(PointId, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let nn = engine.knn(ds.row(i), min_pts, s, Some(i));
+        kdist.push(nn.last().map(|x| x.dist).unwrap_or(0.0));
+        neighbors.push(nn.into_iter().map(|x| (x.id, x.dist)).collect());
+    }
+
+    // Local reachability density.
+    let mut lrd = vec![0.0f64; n];
+    for i in 0..n {
+        let sum: f64 = neighbors[i]
+            .iter()
+            .map(|&(j, dist)| dist.max(kdist[j])) // reach-dist_k(i, j)
+            .sum();
+        let avg = sum / neighbors[i].len() as f64;
+        // Duplicate-heavy data can give zero reachability; treat the
+        // density as infinite and let the ratio below handle it.
+        lrd[i] = if avg > 0.0 { 1.0 / avg } else { f64::INFINITY };
+    }
+
+    // LOF = average ratio of neighbour densities to own density.
+    (0..n)
+        .map(|i| {
+            if lrd[i].is_infinite() {
+                // A point in a perfect duplicate cluster: by
+                // convention LOF = 1 (pure inlier).
+                return 1.0;
+            }
+            let sum: f64 = neighbors[i]
+                .iter()
+                .map(|&(j, _)| if lrd[j].is_infinite() { f64::INFINITY } else { lrd[j] / lrd[i] })
+                .sum();
+            if sum.is_infinite() {
+                f64::INFINITY
+            } else {
+                sum / neighbors[i].len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Ids of the `top_n` highest-LOF points, descending by score.
+pub fn top_lof(engine: &dyn KnnEngine, min_pts: usize, s: Subspace, top_n: usize) -> Vec<(PointId, f64)> {
+    let scores = lof_scores(engine, min_pts, s);
+    let mut ranked: Vec<(PointId, f64)> = scores.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite or inf").then(a.0.cmp(&b.0)));
+    ranked.truncate(top_n);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::{Dataset, Metric};
+    use hos_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn engine_with_outlier() -> LinearScan {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rows: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        rows.push(vec![8.0, 8.0]); // clear outlier, id 100
+        LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn outlier_scores_highest() {
+        let e = engine_with_outlier();
+        let top = top_lof(&e, 10, Subspace::full(2), 1);
+        assert_eq!(top[0].0, 100);
+        assert!(top[0].1 > 2.0, "outlier LOF {}", top[0].1);
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let e = engine_with_outlier();
+        let scores = lof_scores(&e, 10, Subspace::full(2));
+        let inlier_avg: f64 = scores[..100].iter().sum::<f64>() / 100.0;
+        assert!((inlier_avg - 1.0).abs() < 0.25, "avg inlier LOF {inlier_avg}");
+    }
+
+    #[test]
+    fn subspace_restriction_changes_scores() {
+        // Outlying only along dim 0: restricting to dim 1 hides it.
+        // Dim-1 values use exactly representable steps (0.125) so the
+        // query coincides with duplicates instead of landing 1 ulp off.
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 10) as f64 * 0.01, (i % 6) as f64 * 0.125])
+            .collect();
+        rows.push(vec![5.0, 0.375]);
+        let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
+        let with = lof_scores(&e, 8, Subspace::from_dims(&[0]));
+        let without = lof_scores(&e, 8, Subspace::from_dims(&[1]));
+        assert!(with[60] > 3.0, "dim-0 LOF {}", with[60]);
+        assert!(without[60] < 2.0, "dim-1 LOF {}", without[60]);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_panic() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
+        let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
+        let scores = lof_scores(&e, 3, Subspace::full(2));
+        assert!(scores.iter().all(|&v| v == 1.0), "duplicate cluster LOF {scores:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_min_pts_rejected() {
+        let e = engine_with_outlier();
+        let _ = lof_scores(&e, 0, Subspace::full(2));
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the baselines (feeds E6/E10): one
+//! evolutionary generation step, LOF scoring, and kNN-outlier ranking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hos_baselines::evolutionary::EvolutionarySearch;
+use hos_baselines::{knn_outlier, lof, EvoConfig};
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::LinearScan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(4);
+    let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(0.0..1.0)).collect();
+    Dataset::from_flat(flat, d).unwrap()
+}
+
+fn bench_evolutionary(c: &mut Criterion) {
+    let ds = dataset(1000, 8);
+    c.bench_function("evo_fit_discretize_1k_8d", |b| {
+        b.iter(|| {
+            black_box(EvolutionarySearch::fit(
+                &ds,
+                EvoConfig { phi: 8, cube_dim: 2, ..EvoConfig::default() },
+            ))
+        });
+    });
+    let cfg = EvoConfig {
+        phi: 8,
+        cube_dim: 2,
+        population: 50,
+        generations: 10,
+        best_m: 5,
+        seed: 1,
+        ..EvoConfig::default()
+    };
+    c.bench_function("evo_run_10gen_pop50", |b| {
+        b.iter(|| {
+            let es = EvolutionarySearch::fit(&ds, cfg.clone());
+            black_box(es.run())
+        });
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let ds = dataset(1000, 6);
+    let engine = LinearScan::new(ds, Metric::L2);
+    let s = Subspace::full(6);
+    c.bench_function("lof_scores_1k_6d", |b| {
+        b.iter(|| black_box(lof::lof_scores(&engine, 10, s)));
+    });
+    c.bench_function("knn_outlier_top10_1k_6d", |b| {
+        b.iter(|| black_box(knn_outlier::top_knn_outliers(&engine, 5, s, 10)));
+    });
+}
+
+criterion_group!(benches, bench_evolutionary, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the k-NN engines (feeds E7):
+//! X-tree vs linear scan across projected dimensionalities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::{KnnEngine, LinearScan, XTree, XTreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(42);
+    // Clustered data, the regime the X-tree is built for.
+    let centers: Vec<Vec<f64>> = (0..4)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let mut flat = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = &centers[i % centers.len()];
+        for &mu in c {
+            flat.push(mu + rng.gen_range(-2.0..2.0));
+        }
+    }
+    Dataset::from_flat(flat, d).unwrap()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let n = 8000;
+    let d = 12;
+    let ds = dataset(n, d);
+    let xtree = XTree::build(ds.clone(), Metric::L2, XTreeConfig::default());
+    let linear = LinearScan::new(ds.clone(), Metric::L2);
+    let query: Vec<f64> = ds.row(17).to_vec();
+
+    let mut group = c.benchmark_group("knn_subspace");
+    for sub_dim in [2usize, 6, 12] {
+        let s = Subspace::from_dims(&(0..sub_dim).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::new("xtree", sub_dim), &s, |b, &s| {
+            b.iter(|| black_box(xtree.knn(&query, 5, s, Some(17))));
+        });
+        group.bench_with_input(BenchmarkId::new("linear", sub_dim), &s, |b, &s| {
+            b.iter(|| black_box(linear.knn(&query, 5, s, Some(17))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ds = dataset(4000, 8);
+    let mut group = c.benchmark_group("xtree_build_4k_8d");
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            black_box(XTree::build(
+                ds.clone(),
+                Metric::L2,
+                XTreeConfig::default(),
+            ))
+        });
+    });
+    group.bench_function("bulk_load", |b| {
+        b.iter(|| {
+            black_box(XTree::bulk_load(
+                ds.clone(),
+                Metric::L2,
+                XTreeConfig::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let ds = dataset(8000, 8);
+    let xtree = XTree::build(ds.clone(), Metric::L2, XTreeConfig::default());
+    let linear = LinearScan::new(ds.clone(), Metric::L2);
+    let query: Vec<f64> = ds.row(3).to_vec();
+    let s = Subspace::full(8);
+    let mut group = c.benchmark_group("range_query");
+    group.bench_function("xtree", |b| {
+        b.iter(|| black_box(xtree.range(&query, 5.0, s, Some(3))));
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| black_box(linear.range(&query, 5.0, s, Some(3))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_build, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the lattice machinery (feeds E3): pruning
+//! closures and per-round TSF computation, the bookkeeping overhead
+//! the dynamic search pays on top of OD evaluations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hos_core::priors::Priors;
+use hos_data::Subspace;
+use hos_lattice::{Lattice, TsfComputer};
+
+fn bench_prune_closures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_closure");
+    for d in [12usize, 16, 20] {
+        // Prune down from a mid-level subspace: 2^(d/2) subsets.
+        let mid = Subspace::from_dims(&(0..d / 2).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::new("down_mid", d), &d, |b, _| {
+            b.iter_batched(
+                || Lattice::new(d),
+                |mut l| black_box(l.prune_down(mid)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        let single = Subspace::from_dims(&[0]);
+        group.bench_with_input(BenchmarkId::new("up_single", d), &d, |b, _| {
+            b.iter_batched(
+                || Lattice::new(d),
+                |mut l| black_box(l.prune_up(single)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsf_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsf_all_levels");
+    for d in [12usize, 16, 20] {
+        let tsf = TsfComputer::new(d);
+        let lattice = Lattice::new(d);
+        let priors = Priors::uniform(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut best = 0.0f64;
+                for m in 1..=d {
+                    best = best.max(tsf.tsf(m, priors.up(m), priors.down(m), &lattice));
+                }
+                black_box(best)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_at_level(c: &mut Criterion) {
+    let d = 16;
+    let lattice = Lattice::new(d);
+    c.bench_function("open_at_level_8_of_16", |b| {
+        b.iter(|| black_box(lattice.open_at_level(8).len()));
+    });
+}
+
+criterion_group!(benches, bench_prune_closures, bench_tsf_round, bench_open_at_level);
+criterion_main!(benches);

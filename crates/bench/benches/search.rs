@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the subspace searches (feeds E1/E2):
+//! dynamic TSF-ordered search vs static pruned sweeps vs exhaustive.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hos_baselines::{exhaustive_search, ExhaustiveMode};
+use hos_core::od::OdMode;
+use hos_core::priors::Priors;
+use hos_core::search::dynamic_search;
+use hos_data::synth::planted::{generate, PlantedSpec};
+use hos_data::{Metric, Subspace};
+use hos_index::LinearScan;
+
+fn setup(d: usize) -> (LinearScan, Vec<f64>, usize, f64) {
+    let w = generate(&PlantedSpec {
+        n_background: 1000,
+        d,
+        n_clusters: 3,
+        cluster_sigma: 1.0,
+        extent: 80.0,
+        targets: vec![Subspace::from_dims(&[0, 1])],
+        shift_sigmas: 12.0,
+        seed: 9,
+    })
+    .unwrap();
+    let id = w.outliers[0].id;
+    let query: Vec<f64> = w.dataset.row(id).to_vec();
+    let engine = LinearScan::new(w.dataset, Metric::L2);
+    // A threshold in the interesting range: between typical and
+    // planted full-space ODs.
+    use hos_index::KnnEngine;
+    let typical = engine.od(engine.dataset().row(0), 5, Subspace::full(d), Some(0));
+    (engine, query, id, typical * 2.0)
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let d = 10;
+    let (engine, query, id, t) = setup(d);
+    let priors = Priors::uniform(d);
+    let mut group = c.benchmark_group("outlier_query_d10");
+    group.bench_function("dynamic", |b| {
+        b.iter(|| black_box(dynamic_search(&engine, &query, Some(id), 5, t, &priors, 1)));
+    });
+    group.bench_function("static_both", |b| {
+        b.iter(|| {
+            black_box(exhaustive_search(
+                &engine,
+                &query,
+                Some(id),
+                5,
+                t,
+                ExhaustiveMode::BothStatic,
+                OdMode::Raw,
+            ))
+        });
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            black_box(exhaustive_search(
+                &engine,
+                &query,
+                Some(id),
+                5,
+                t,
+                ExhaustiveMode::Full,
+                OdMode::Raw,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dimensional_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_by_d");
+    for d in [8usize, 12, 16] {
+        let (engine, query, id, t) = setup(d);
+        let priors = Priors::uniform(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(dynamic_search(&engine, &query, Some(id), 5, t, &priors, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_strategies, bench_dimensional_scaling);
+criterion_main!(benches);

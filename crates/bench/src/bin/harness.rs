@@ -1,0 +1,26 @@
+//! The experiment harness binary. See `hos-bench` crate docs.
+//!
+//! ```sh
+//! cargo run -p hos-bench --release --bin harness -- all
+//! cargo run -p hos-bench --release --bin harness -- e2 e5
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let ids: Vec<String> = std::env::args().skip(1).collect();
+    if ids.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        println!(
+            "usage: harness [all | {}]",
+            hos_bench::experiments::ALL.join(" | ")
+        );
+        return ExitCode::SUCCESS;
+    }
+    match hos_bench::experiments::run(&ids) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

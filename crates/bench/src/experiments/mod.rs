@@ -1,0 +1,82 @@
+//! Experiment implementations. Each function regenerates one (or two
+//! closely coupled) tables/figures from DESIGN.md §4.
+
+pub mod efficiency;
+pub mod sensitivity;
+pub mod versus;
+
+use crate::results_dir;
+use std::collections::BTreeSet;
+
+/// All experiment ids in execution order.
+pub const ALL: &[&str] =
+    &["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8b", "e9", "e10", "e11", "e12"];
+
+/// Runs a set of experiment ids (deduplicated, in canonical order).
+/// Returns an error message listing any unknown ids.
+pub fn run(ids: &[String]) -> Result<(), String> {
+    let dir = results_dir();
+    let requested: BTreeSet<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids.iter().map(|s| s.to_ascii_lowercase()).collect()
+    };
+    let unknown: Vec<String> = requested
+        .iter()
+        .filter(|id| !ALL.contains(&id.as_str()))
+        .cloned()
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown experiment id(s) {unknown:?}; valid ids: {}",
+            ALL.join(" ")
+        ));
+    }
+    // e2 and e3 share one run; execute it once if either is requested.
+    let mut did_e2e3 = false;
+    for id in ALL {
+        if !requested.contains(*id) {
+            continue;
+        }
+        match *id {
+            "f1" => efficiency::f1_figure1(&dir),
+            "e1" => efficiency::e1_scale_n(&dir),
+            "e2" | "e3" => {
+                if !did_e2e3 {
+                    efficiency::e2_e3_scale_d(&dir);
+                    did_e2e3 = true;
+                }
+            }
+            "e4" => efficiency::e4_sampling(&dir),
+            "e5" => versus::e5_effectiveness(&dir),
+            "e6" => versus::e6_vs_evo_time(&dir),
+            "e7" => versus::e7_index(&dir),
+            "e8" => sensitivity::e8_k_and_t(&dir),
+            "e8b" => sensitivity::e8b_normalized_od(&dir),
+            "e9" => sensitivity::e9_filter(&dir),
+            "e10" => sensitivity::e10_detectors(&dir),
+            "e11" => sensitivity::e11_intensional(&dir),
+            "e12" => sensitivity::e12_frontier(&dir),
+            _ => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let err = run(&["e99".to_string()]).unwrap_err();
+        assert!(err.contains("e99"));
+    }
+
+    #[test]
+    fn all_ids_are_lowercase_and_unique() {
+        let set: BTreeSet<&str> = ALL.iter().copied().collect();
+        assert_eq!(set.len(), ALL.len());
+        assert!(ALL.iter().all(|id| id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+    }
+}

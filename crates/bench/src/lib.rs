@@ -1,0 +1,70 @@
+//! # hos-bench
+//!
+//! The experiment harness: every table and figure promised by the
+//! demo paper's evaluation plan (part 3), regenerable from the command
+//! line. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results.
+//!
+//! ```sh
+//! cargo run -p hos-bench --release --bin harness -- all
+//! cargo run -p hos-bench --release --bin harness -- e2 e3
+//! ```
+//!
+//! Each experiment prints an aligned table and writes a CSV to
+//! `results/`.
+
+pub mod experiments;
+pub mod workloads;
+
+use hos_data::table::Table;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Where result CSVs are written (relative to the workspace root).
+pub fn results_dir() -> PathBuf {
+    // When run via `cargo run -p hos-bench`, cwd is the workspace root.
+    PathBuf::from("results")
+}
+
+/// Prints a table under a heading and writes its CSV.
+pub fn emit(id: &str, title: &str, table: &Table, dir: &Path) {
+    println!("\n=== {id}: {title} ===\n");
+    println!("{}", table.render());
+    let path = dir.join(format!("{id}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Milliseconds with 2 decimals, for table cells.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures() {
+        let (v, s) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(s >= 0.009, "measured {s}");
+    }
+
+    #[test]
+    fn ms_format() {
+        assert_eq!(ms(0.001234), "1.23");
+    }
+}

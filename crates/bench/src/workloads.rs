@@ -1,0 +1,62 @@
+//! Shared workload builders for the experiments.
+
+use hos_data::synth::planted::{generate, PlantedSpec, PlantedWorkload};
+use hos_data::Subspace;
+
+/// The standard planted workload used across experiments: clustered
+/// background plus one outlier per target subspace (a single dim, a
+/// pair, and a triple, where dimensionality allows).
+pub fn standard_planted(n: usize, d: usize, seed: u64) -> PlantedWorkload {
+    let mut targets = vec![Subspace::from_dims(&[0])];
+    if d >= 4 {
+        targets.push(Subspace::from_dims(&[1, 2]));
+    }
+    if d >= 6 {
+        targets.push(Subspace::from_dims(&[3, 4, 5]));
+    }
+    generate(&PlantedSpec {
+        n_background: n,
+        d,
+        n_clusters: 3,
+        cluster_sigma: 1.0,
+        extent: 100.0,
+        targets,
+        shift_sigmas: 12.0,
+        seed,
+    })
+    .expect("valid standard spec")
+}
+
+/// Query mix for efficiency experiments: the planted outliers plus an
+/// equal number of background points (ids 0, 1, 2, ...).
+pub fn query_mix(w: &PlantedWorkload) -> Vec<usize> {
+    let mut q = w.outlier_ids();
+    let n_out = q.len();
+    q.extend(0..n_out);
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_planted_shapes() {
+        let w = standard_planted(500, 8, 1);
+        assert_eq!(w.dataset.dim(), 8);
+        assert_eq!(w.dataset.len(), 503);
+        assert_eq!(w.outliers.len(), 3);
+        let w2 = standard_planted(100, 3, 1);
+        assert_eq!(w2.outliers.len(), 1);
+        let w3 = standard_planted(100, 5, 1);
+        assert_eq!(w3.outliers.len(), 2);
+    }
+
+    #[test]
+    fn query_mix_balances() {
+        let w = standard_planted(200, 8, 2);
+        let q = query_mix(&w);
+        assert_eq!(q.len(), 6);
+        assert_eq!(&q[3..], &[0, 1, 2]);
+    }
+}

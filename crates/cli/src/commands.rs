@@ -1,0 +1,405 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use hos_core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_data::csv::{read_csv_path, write_csv_path, CsvOptions};
+use hos_data::normalize::{normalize, NormKind, Normalizer};
+use hos_data::synth::planted::{generate, PlantedSpec};
+use hos_data::table::{fmt_f64, Table};
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::Engine;
+
+type CmdResult = Result<(), String>;
+
+const HELP: &str = "\
+hos-miner — detect the outlying subspaces of high-dimensional data
+(reproduction of Zhang et al., VLDB 2004)
+
+USAGE:
+  hos-miner generate --out FILE [--n 2000] [--d 8] [--clusters 3]
+                     [--targets \"[1,2];[5]\"] [--shift 12] [--seed 0]
+  hos-miner info     --data FILE [--header]
+  hos-miner fit      --data FILE --save-model FILE [... tuning flags]
+  hos-miner query    --data FILE (--id N | --point \"x1,x2,...\")
+                     [--model FILE]
+                     [--k 5] [--threshold T | --quantile 0.95]
+                     [--engine linear|xtree|vafile] [--samples 20]
+                     [--metric l1|l2|linf] [--normalize none|minmax|zscore]
+                     [--smoothing 1.0] [--threads 1] [--seed 0] [--header]
+  hos-miner scan     --data FILE [--top 5] [--model FILE] [... tuning flags]
+  hos-miner help
+
+With --model, the threshold and learned priors come from a file written
+by `fit` and the per-dataset learning phase is skipped.
+Subspaces are printed 1-based, e.g. [1,3] = first and third columns.";
+
+/// Dispatches an argv to a subcommand.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv)?;
+    match args.positional().first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args),
+        Some("info") => cmd_info(&args),
+        Some("fit") => cmd_fit(&args),
+        Some("query") => cmd_query(&args),
+        Some("scan") => cmd_scan(&args),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `hos-miner help`")),
+    }
+}
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    let path = args.require("data")?;
+    let opts = CsvOptions { delimiter: ',', has_header: args.switch("header") };
+    read_csv_path(path, &opts).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn parse_metric(args: &Args) -> Result<Metric, String> {
+    match args.get("metric").unwrap_or("l2") {
+        "l1" => Ok(Metric::L1),
+        "l2" => Ok(Metric::L2),
+        "linf" => Ok(Metric::LInf),
+        other => Err(format!("unknown metric {other:?} (expected l1|l2|linf)")),
+    }
+}
+
+fn parse_normalizer(args: &Args, ds: &Dataset) -> Result<(Dataset, Option<Normalizer>), String> {
+    match args.get("normalize").unwrap_or("none") {
+        "none" => Ok((ds.clone(), None)),
+        "minmax" => {
+            let (z, n) = normalize(ds, NormKind::MinMax).map_err(|e| e.to_string())?;
+            Ok((z, Some(n)))
+        }
+        "zscore" => {
+            let (z, n) = normalize(ds, NormKind::ZScore).map_err(|e| e.to_string())?;
+            Ok((z, Some(n)))
+        }
+        other => Err(format!("unknown normalization {other:?}")),
+    }
+}
+
+/// Builds a miner either from a saved model (`--model`) or by fitting
+/// with the tuning flags.
+fn build_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
+    if let Some(path) = args.get("model") {
+        let model = hos_core::ModelFile::load(path).map_err(|e| e.to_string())?;
+        return model.into_miner(ds).map_err(|e| e.to_string());
+    }
+    fit_miner(args, ds)
+}
+
+fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
+    let k = args.get_or("k", 5usize)?;
+    let threshold = match (args.get_opt::<f64>("threshold")?, args.get_opt::<f64>("quantile")?) {
+        (Some(_), Some(_)) => {
+            return Err("--threshold and --quantile are mutually exclusive".into())
+        }
+        (Some(t), None) => ThresholdPolicy::Fixed(t),
+        (None, q) => ThresholdPolicy::FullSpaceQuantile {
+            q: q.unwrap_or(0.95),
+            sample: 200,
+        },
+    };
+    let engine: Engine = args
+        .get("engine")
+        .unwrap_or("linear")
+        .parse()
+        .map_err(|e: String| e)?;
+    let config = HosMinerConfig {
+        k,
+        threshold,
+        metric: parse_metric(args)?,
+        engine,
+        sample_size: args.get_or("samples", 20usize)?,
+        prior_smoothing: args.get_or("smoothing", 1.0f64)?,
+        threads: args.get_or("threads", 1usize)?,
+        seed: args.get_or("seed", 0u64)?,
+    };
+    HosMiner::fit(ds, config).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let n = args.get_or("n", 2000usize)?;
+    let d = args.get_or("d", 8usize)?;
+    let targets: Vec<Subspace> = match args.get("targets") {
+        None => vec![Subspace::from_dims(&[0, 1]), Subspace::from_dims(&[d.saturating_sub(1)])],
+        Some(spec) => spec
+            .split(';')
+            .map(|s| s.parse::<Subspace>())
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let spec = PlantedSpec {
+        n_background: n,
+        d,
+        n_clusters: args.get_or("clusters", 3usize)?,
+        cluster_sigma: 1.0,
+        extent: 100.0,
+        targets,
+        shift_sigmas: args.get_or("shift", 12.0f64)?,
+        seed: args.get_or("seed", 0u64)?,
+    };
+    let w = generate(&spec).map_err(|e| e.to_string())?;
+    write_csv_path(&w.dataset, out, ',').map_err(|e| e.to_string())?;
+    println!("wrote {} points x {} dims to {out}", w.dataset.len(), d);
+    for o in &w.outliers {
+        println!("planted outlier: point #{} in subspace {}", o.id, o.subspace);
+    }
+    Ok(())
+}
+
+fn cmd_fit(args: &Args) -> CmdResult {
+    let out = args.require("save-model")?;
+    let raw = load(args)?;
+    let (ds, _) = parse_normalizer(args, &raw)?;
+    let miner = fit_miner(args, ds)?;
+    let model = hos_core::ModelFile::from_miner(&miner);
+    model.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "fitted: k={}, metric={}, T={}, {} learning samples; model written to {out}",
+        model.k,
+        model.metric.name(),
+        fmt_f64(model.threshold),
+        model.samples
+    );
+    println!("note: apply the same --normalize flag on query/scan as used here.");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> CmdResult {
+    let ds = load(args)?;
+    println!("{} points, {} dimensions", ds.len(), ds.dim());
+    let mut t = Table::new(vec!["col", "name", "mean", "std", "min", "max"]);
+    for c in 0..ds.dim() {
+        let col = ds.column_vec(c);
+        let (mean, std, lo, hi) =
+            hos_data::stats::column_summary(&col).ok_or("empty dataset")?;
+        let name = ds
+            .names()
+            .map(|n| n[c].clone())
+            .unwrap_or_else(|| format!("x{}", c + 1));
+        t.push(vec![
+            (c + 1).to_string(),
+            name,
+            fmt_f64(mean),
+            fmt_f64(std),
+            fmt_f64(lo),
+            fmt_f64(hi),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn print_outcome(out: &hos_core::QueryOutcome, threshold: f64) {
+    if out.minimal.is_empty() {
+        println!("not an outlier in any subspace (threshold T = {})", fmt_f64(threshold));
+    } else {
+        println!("minimal outlying subspaces (T = {}):", fmt_f64(threshold));
+        let mut t = Table::new(vec!["subspace", "dims", "OD"]);
+        for s in &out.minimal {
+            let od = out
+                .outlying
+                .iter()
+                .find(|x| x.subspace == *s)
+                .and_then(|x| x.od)
+                .map(fmt_f64)
+                .unwrap_or_else(|| ">= T".to_string());
+            t.push(vec![s.to_string(), s.dim().to_string(), od]);
+        }
+        println!("{}", t.render());
+        println!(
+            "({} outlying subspaces total before refinement)",
+            out.outlying.len()
+        );
+    }
+    println!(
+        "search: {} OD evals, {} pruned-in, {} pruned-out, lattice {}, {:.1} ms",
+        out.stats.od_evals,
+        out.stats.pruned_outlier,
+        out.stats.pruned_non_outlier,
+        out.stats.lattice_size,
+        out.stats.seconds * 1e3
+    );
+}
+
+fn cmd_query(args: &Args) -> CmdResult {
+    let raw = load(args)?;
+    let (ds, norm) = parse_normalizer(args, &raw)?;
+    let miner = build_miner(args, ds)?;
+    let (out, query, exclude) = match (args.get_opt::<usize>("id")?, args.get("point")) {
+        (Some(_), Some(_)) => return Err("--id and --point are mutually exclusive".into()),
+        (Some(id), None) => {
+            let out = miner.query_id(id).map_err(|e| e.to_string())?;
+            let query: Vec<f64> = miner
+                .engine()
+                .dataset()
+                .try_row(id)
+                .map_err(|e| e.to_string())?
+                .to_vec();
+            (out, query, Some(id))
+        }
+        (None, Some(spec)) => {
+            let raw_point: Vec<f64> = spec
+                .split(',')
+                .map(|v| v.trim().parse::<f64>().map_err(|_| format!("bad coordinate {v:?}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            let point = match &norm {
+                Some(n) => n.apply_row(&raw_point).map_err(|e| e.to_string())?,
+                None => raw_point,
+            };
+            let out = miner.query_point(&point).map_err(|e| e.to_string())?;
+            (out, point, None)
+        }
+        (None, None) => return Err("query needs --id or --point".into()),
+    };
+    print_outcome(&out, miner.threshold());
+    if args.switch("verbose") {
+        let ex =
+            hos_core::explain(&miner, &query, exclude, &out).map_err(|e| e.to_string())?;
+        let names = miner.engine().dataset().names().map(|n| n.to_vec());
+        println!("{}", hos_core::explain::render(&ex, names.as_deref()));
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &Args) -> CmdResult {
+    let raw = load(args)?;
+    let (ds, _) = parse_normalizer(args, &raw)?;
+    let miner = build_miner(args, ds)?;
+    let top = args.get_or("top", 5usize)?;
+    let report = hos_core::scan_outliers(&miner, top).map_err(|e| e.to_string())?;
+    println!(
+        "top {top} points by full-space OD (threshold T = {}):\n",
+        fmt_f64(report.threshold)
+    );
+    if report.hits.is_empty() {
+        println!("no point reaches the threshold in any subspace.");
+    }
+    for hit in &report.hits {
+        println!("point #{}: full-space OD = {}", hit.id, fmt_f64(hit.full_od));
+        let minimal: Vec<String> =
+            hit.outcome.minimal.iter().map(|s| s.to_string()).collect();
+        println!(
+            "  minimal outlying subspaces: {}  ({} OD evals)\n",
+            minimal.join(" "),
+            hit.outcome.stats.od_evals
+        );
+    }
+    println!(
+        "({} of {} points skipped without any subspace search: full-space OD < T)",
+        report.skipped,
+        report.skipped + report.truncated + report.hits.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> CmdResult {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("hos_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&["help"]).is_ok());
+        assert!(run(&[]).is_ok());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn generate_info_query_scan_pipeline() {
+        let path = tmp("pipeline.csv");
+        run(&[
+            "generate", "--out", &path, "--n", "300", "--d", "5", "--targets", "[1,2];[4]",
+            "--seed", "3",
+        ])
+        .unwrap();
+        run(&["info", "--data", &path]).unwrap();
+        // Planted outliers are the last two rows: ids 300 and 301.
+        run(&["query", "--data", &path, "--id", "300", "--samples", "5"]).unwrap();
+        run(&["query", "--data", &path, "--id", "300", "--samples", "5", "--verbose"]).unwrap();
+        run(&[
+            "query", "--data", &path, "--point", "0,0,0,0,0", "--quantile", "0.9",
+            "--samples", "0",
+        ])
+        .unwrap();
+        run(&["scan", "--data", &path, "--top", "3", "--samples", "5"]).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_flag_validation() {
+        let path = tmp("valid.csv");
+        run(&["generate", "--out", &path, "--n", "100", "--d", "4"]).unwrap();
+        assert!(run(&["query", "--data", &path]).is_err());
+        assert!(run(&["query", "--data", &path, "--id", "0", "--point", "1,2,3,4"]).is_err());
+        assert!(run(&[
+            "query", "--data", &path, "--id", "0", "--threshold", "5", "--quantile", "0.9"
+        ])
+        .is_err());
+        assert!(run(&["query", "--data", &path, "--id", "0", "--metric", "cosine"]).is_err());
+        assert!(run(&["query", "--data", &path, "--point", "1,2,oops,4"]).is_err());
+        assert!(run(&["query", "--data", "/nonexistent.csv", "--id", "0"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn normalization_options() {
+        let path = tmp("norm.csv");
+        run(&["generate", "--out", &path, "--n", "200", "--d", "4", "--seed", "9"]).unwrap();
+        for mode in ["none", "minmax", "zscore"] {
+            run(&[
+                "query", "--data", &path, "--id", "0", "--normalize", mode, "--samples", "0",
+            ])
+            .unwrap();
+        }
+        assert!(run(&[
+            "query", "--data", &path, "--id", "0", "--normalize", "log"
+        ])
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fit_then_query_with_saved_model() {
+        let data = tmp("model_data.csv");
+        let model = tmp("fitted.model");
+        run(&["generate", "--out", &data, "--n", "300", "--d", "5", "--seed", "8"]).unwrap();
+        run(&[
+            "fit", "--data", &data, "--save-model", &model, "--k", "4", "--quantile",
+            "0.9", "--samples", "8",
+        ])
+        .unwrap();
+        run(&["query", "--data", &data, "--id", "300", "--model", &model]).unwrap();
+        run(&["scan", "--data", &data, "--top", "2", "--model", &model]).unwrap();
+        // A corrupt model file is an error, not a panic.
+        std::fs::write(&model, "garbage").unwrap();
+        assert!(run(&["query", "--data", &data, "--id", "0", "--model", &model]).is_err());
+        assert!(run(&["fit", "--data", &data]).is_err()); // missing --save-model
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn xtree_engine_via_cli() {
+        let path = tmp("xtree.csv");
+        run(&["generate", "--out", &path, "--n", "400", "--d", "5", "--seed", "2"]).unwrap();
+        run(&[
+            "query", "--data", &path, "--id", "400", "--engine", "xtree", "--samples", "3",
+        ])
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

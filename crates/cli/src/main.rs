@@ -1,0 +1,28 @@
+//! `hos-miner` — the demo system CLI (paper Figure 2, demo part 4).
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic CSV workload with planted outliers;
+//! * `info`     — dataset summary statistics;
+//! * `query`    — find the outlying subspaces of a point (by id or
+//!   coordinates): index → threshold → learn → dynamic search → filter;
+//! * `scan`     — rank dataset points by full-space OD and report the
+//!   minimal outlying subspaces of the top ones.
+//!
+//! Run `hos-miner help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

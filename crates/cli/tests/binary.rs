@@ -1,0 +1,113 @@
+//! End-to-end tests of the compiled `hos-miner` binary: real process
+//! spawns, real files, real exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hos-miner")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn hos-miner")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hos_cli_binary_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_exits_zero_and_mentions_subcommands() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "info", "query", "scan"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = run(&["explode"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("explode"));
+}
+
+#[test]
+fn full_pipeline_via_binary() {
+    let csv = tmp("pipeline.csv");
+    let csv_s = csv.to_str().unwrap();
+    let out = run(&[
+        "generate", "--out", csv_s, "--n", "400", "--d", "6", "--targets", "[1,2]", "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("planted outlier: point #400 in subspace [1,2]"));
+
+    // Query the planted outlier: must report at least one subspace and
+    // print the search statistics line.
+    let out = run(&[
+        "query", "--data", csv_s, "--id", "400", "--k", "5", "--quantile", "0.95",
+        "--samples", "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("minimal outlying subspaces"),
+        "unexpected query output:\n{text}"
+    );
+    assert!(text.contains("OD evals"));
+
+    // A point at a cluster core: typically clean. Either outcome must
+    // exit zero; the output must be one of the two known shapes.
+    let out = run(&["query", "--data", csv_s, "--id", "0", "--samples", "0"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("not an outlier") || text.contains("minimal outlying subspaces"),
+        "unexpected output:\n{text}"
+    );
+
+    // info renders one row per column.
+    let out = run(&["info", "--data", csv_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("401 points, 6 dimensions"));
+
+    // scan ranks and reports.
+    let out = run(&["scan", "--data", csv_s, "--top", "2", "--samples", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top 2 points by full-space OD"));
+    assert!(text.contains("#400"), "planted outlier should rank top:\n{text}");
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = run(&["query", "--data", "/definitely/not/here.csv", "--id", "0"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"));
+}
+
+#[test]
+fn engine_flag_accepts_all_engines() {
+    let csv = tmp("engines.csv");
+    let csv_s = csv.to_str().unwrap();
+    assert!(run(&["generate", "--out", csv_s, "--n", "300", "--d", "5", "--seed", "1"])
+        .status
+        .success());
+    for engine in ["linear", "xtree", "vafile"] {
+        let out = run(&[
+            "query", "--data", csv_s, "--id", "300", "--engine", engine, "--samples", "0",
+        ]);
+        assert!(out.status.success(), "engine {engine}");
+    }
+    std::fs::remove_file(csv).ok();
+}

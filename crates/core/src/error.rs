@@ -1,0 +1,60 @@
+//! Error type for the HOS-Miner core.
+
+use hos_data::DataError;
+use std::fmt;
+
+/// Errors produced by configuration, fitting or querying.
+#[derive(Debug)]
+pub enum HosError {
+    /// A data-layer failure (loading, shapes, non-finite values).
+    Data(DataError),
+    /// A configuration parameter was invalid.
+    Config(String),
+    /// A query was malformed (e.g. wrong arity for the fitted dataset).
+    Query(String),
+}
+
+impl fmt::Display for HosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HosError::Data(e) => write!(f, "data error: {e}"),
+            HosError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            HosError::Query(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HosError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for HosError {
+    fn from(e: DataError) -> Self {
+        HosError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = HosError::Config("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+        assert!(e.source().is_none());
+
+        let d: HosError = DataError::Empty.into();
+        assert!(d.to_string().contains("data error"));
+        assert!(d.source().is_some());
+
+        let q = HosError::Query("arity".into());
+        assert!(q.to_string().contains("invalid query"));
+    }
+}

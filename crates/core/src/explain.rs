@@ -1,0 +1,297 @@
+//! Human-readable explanations of query outcomes.
+//!
+//! The demo's audience-facing promise is *insight*: not just "point p
+//! is outlying in \[2,4\]" but why. This module decomposes a result
+//! into the pieces a user acts on:
+//!
+//! * per-dimension **marginal deviation** of the query from the data
+//!   (robust z-score via median/MAD, so outliers in the data don't
+//!   mask themselves);
+//! * per minimal subspace, the **OD margin** over the threshold and
+//!   the share each member dimension contributes to the distance mass
+//!   to the k nearest neighbours in that subspace;
+//! * the nearest neighbours themselves, for inspection.
+
+use crate::miner::{HosMiner, QueryOutcome};
+use crate::Result;
+use hos_data::{stats, PointId, Subspace};
+
+/// Deviation of the query in one dimension.
+#[derive(Clone, Debug)]
+pub struct DimDeviation {
+    /// 0-based dimension.
+    pub dim: usize,
+    /// Query coordinate.
+    pub value: f64,
+    /// Dataset median of the dimension.
+    pub median: f64,
+    /// Robust z-score: `(value - median) / (1.4826 * MAD)` (0 when the
+    /// dimension is constant).
+    pub robust_z: f64,
+}
+
+/// Explanation of one minimal outlying subspace.
+#[derive(Clone, Debug)]
+pub struct SubspaceExplanation {
+    /// The subspace.
+    pub subspace: Subspace,
+    /// Its OD for the query.
+    pub od: f64,
+    /// `od / threshold` — how decisively it crosses.
+    pub margin: f64,
+    /// For each member dimension, its share of the summed
+    /// (pre-metric) distance mass to the k nearest neighbours in this
+    /// subspace; shares sum to 1.
+    pub dim_shares: Vec<(usize, f64)>,
+    /// The k nearest neighbours in this subspace.
+    pub neighbors: Vec<(PointId, f64)>,
+}
+
+/// A complete explanation of a query outcome.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Marginal deviations, sorted by |robust z| descending.
+    pub deviations: Vec<DimDeviation>,
+    /// One entry per minimal outlying subspace.
+    pub subspaces: Vec<SubspaceExplanation>,
+    /// The threshold the outcome was computed against.
+    pub threshold: f64,
+}
+
+impl Explanation {
+    /// Dimensions whose marginal deviation alone looks unremarkable
+    /// (|robust z| < 2) yet which participate in an outlying subspace —
+    /// the "only the combination is anomalous" cases that motivate the
+    /// paper.
+    pub fn combination_only_dims(&self) -> Vec<usize> {
+        let marginal_ok: Vec<usize> = self
+            .deviations
+            .iter()
+            .filter(|d| d.robust_z.abs() < 2.0)
+            .map(|d| d.dim)
+            .collect();
+        let mut out: Vec<usize> = self
+            .subspaces
+            .iter()
+            .flat_map(|s| s.subspace.dims())
+            .filter(|d| marginal_ok.contains(d))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Median and MAD of a column.
+fn median_mad(col: &[f64]) -> (f64, f64) {
+    let median = stats::quantile(col, 0.5).expect("non-empty column");
+    let deviations: Vec<f64> = col.iter().map(|v| (v - median).abs()).collect();
+    let mad = stats::quantile(&deviations, 0.5).expect("non-empty");
+    (median, mad)
+}
+
+/// Explains a query outcome produced by `miner` for `query`.
+///
+/// `query` must be the same coordinates the outcome was computed for
+/// (after any normalisation), and `exclude` the same exclusion id.
+pub fn explain(
+    miner: &HosMiner,
+    query: &[f64],
+    exclude: Option<PointId>,
+    outcome: &QueryOutcome,
+) -> Result<Explanation> {
+    let engine = miner.engine();
+    let ds = engine.dataset();
+    let k = miner.config().k;
+    let metric = engine.metric();
+
+    let mut deviations: Vec<DimDeviation> = (0..ds.dim())
+        .map(|dim| {
+            let col = ds.column_vec(dim);
+            let (median, mad) = median_mad(&col);
+            let scale = 1.4826 * mad;
+            let robust_z = if scale > 0.0 { (query[dim] - median) / scale } else { 0.0 };
+            DimDeviation { dim, value: query[dim], median, robust_z }
+        })
+        .collect();
+    deviations.sort_by(|a, b| {
+        b.robust_z
+            .abs()
+            .partial_cmp(&a.robust_z.abs())
+            .expect("finite")
+            .then(a.dim.cmp(&b.dim))
+    });
+
+    let mut subspaces = Vec::with_capacity(outcome.minimal.len());
+    for &s in &outcome.minimal {
+        let neighbors: Vec<(PointId, f64)> = engine
+            .knn(query, k, s, exclude)
+            .into_iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
+        let od: f64 = neighbors.iter().map(|(_, d)| d).sum();
+        // Per-dimension share of the pre-metric distance mass.
+        let mut shares: Vec<(usize, f64)> = s.dims().map(|d| (d, 0.0)).collect();
+        let mut total = 0.0;
+        for &(id, _) in &neighbors {
+            let row = ds.row(id);
+            for (slot, dim) in shares.iter_mut().zip(s.dims()) {
+                let contrib = metric.accumulate(0.0, (query[dim] - row[dim]).abs());
+                slot.1 += contrib;
+                total += contrib;
+            }
+        }
+        if total > 0.0 {
+            for slot in &mut shares {
+                slot.1 /= total;
+            }
+        }
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        subspaces.push(SubspaceExplanation {
+            subspace: s,
+            od,
+            margin: od / miner.threshold(),
+            dim_shares: shares,
+            neighbors,
+        });
+    }
+
+    Ok(Explanation { deviations, subspaces, threshold: miner.threshold() })
+}
+
+/// Renders an explanation as indented plain text (used by the CLI's
+/// `--verbose` query output).
+pub fn render(explanation: &Explanation, names: Option<&[String]>) -> String {
+    use std::fmt::Write as _;
+    let name = |dim: usize| -> String {
+        names
+            .and_then(|n| n.get(dim))
+            .cloned()
+            .unwrap_or_else(|| format!("x{}", dim + 1))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "marginal deviations (robust z, |z| >= 1 shown):");
+    let mut shown = 0;
+    for d in &explanation.deviations {
+        if d.robust_z.abs() >= 1.0 {
+            let _ = writeln!(
+                out,
+                "  {:<12} value {:>10.4}  median {:>10.4}  z {:>7.2}",
+                name(d.dim),
+                d.value,
+                d.median,
+                d.robust_z
+            );
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "  (every coordinate is marginally unremarkable)");
+    }
+    for s in &explanation.subspaces {
+        let _ = writeln!(
+            out,
+            "subspace {}: OD {:.4} = {:.2}x threshold",
+            s.subspace, s.od, s.margin
+        );
+        for &(dim, share) in &s.dim_shares {
+            let _ = writeln!(out, "  {:<12} {:>5.1}% of the distance mass", name(dim), share * 100.0);
+        }
+    }
+    let combo = explanation.combination_only_dims();
+    if !combo.is_empty() {
+        let combo_names: Vec<String> = combo.iter().map(|&d| name(d)).collect();
+        let _ = writeln!(
+            out,
+            "note: {} unremarkable alone, anomalous only in combination",
+            combo_names.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::HosMinerConfig;
+    use crate::od::ThresholdPolicy;
+    use hos_data::synth::correlated::{figure1_views, CorrelatedSpec};
+
+    fn fig1_miner() -> (HosMiner, Vec<f64>) {
+        let fig = figure1_views(&CorrelatedSpec::default()).unwrap();
+        let miner = HosMiner::fit(
+            fig.dataset,
+            HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+                sample_size: 5,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        (miner, fig.query)
+    }
+
+    #[test]
+    fn explains_combination_only_outlier() {
+        let (miner, query) = fig1_miner();
+        let outcome = miner.query_point(&query).unwrap();
+        assert!(!outcome.minimal.is_empty());
+        let ex = explain(&miner, &query, None, &outcome).unwrap();
+        // The Figure 1 query is marginally mild in every coordinate.
+        for d in &ex.deviations {
+            assert!(d.robust_z.abs() < 3.5, "dim {} z {}", d.dim, d.robust_z);
+        }
+        // Its outlying view [1,2] must be explained with margin > 1.
+        let s = &ex.subspaces[0];
+        assert!(s.margin >= 1.0);
+        assert_eq!(s.neighbors.len(), 5);
+        // Distance shares sum to ~1 and cover both dims.
+        let total: f64 = s.dim_shares.iter().map(|x| x.1).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(s.dim_shares.len(), 2);
+        // The combination-only note fires for the correlated pair.
+        assert!(!ex.combination_only_dims().is_empty());
+    }
+
+    #[test]
+    fn render_produces_readable_text() {
+        let (miner, query) = fig1_miner();
+        let outcome = miner.query_point(&query).unwrap();
+        let ex = explain(&miner, &query, None, &outcome).unwrap();
+        let text = render(&ex, None);
+        assert!(text.contains("marginal deviations"));
+        assert!(text.contains("threshold"));
+        assert!(text.contains("x1"));
+        let named = render(
+            &ex,
+            Some(&["a".into(), "b".into(), "c".into(), "d".into(), "e".into(), "f".into()]),
+        );
+        assert!(named.contains('a'));
+    }
+
+    #[test]
+    fn inlier_explanation_is_empty_but_valid() {
+        let (miner, _) = fig1_miner();
+        let centre = vec![0.5; 6];
+        let outcome = miner.query_point(&centre).unwrap();
+        assert!(outcome.minimal.is_empty());
+        let ex = explain(&miner, &centre, None, &outcome).unwrap();
+        assert!(ex.subspaces.is_empty());
+        assert_eq!(ex.deviations.len(), 6);
+    }
+
+    #[test]
+    fn median_mad_robustness() {
+        // One wild value barely moves median/MAD.
+        let mut col: Vec<f64> = (0..99).map(|i| i as f64 * 0.01).collect();
+        col.push(1e6);
+        let (median, mad) = median_mad(&col);
+        assert!((median - 0.5).abs() < 0.02);
+        assert!(mad < 0.3);
+        // Constant column: zero MAD, zero z (no division by zero).
+        let (m2, mad2) = median_mad(&[7.0; 10]);
+        assert_eq!(m2, 7.0);
+        assert_eq!(mad2, 0.0);
+    }
+}

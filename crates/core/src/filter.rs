@@ -1,0 +1,134 @@
+//! Result refinement (paper §3.4): keep only *minimal* outlying
+//! subspaces.
+//!
+//! By Property 2, every superset of an outlying subspace is itself
+//! outlying, so the superset members of the answer set carry no
+//! information. The filter performs the paper's upward selection:
+//! examine subspaces from the lowest dimensionality up, keep one only
+//! if no previously kept subspace is a subset of it.
+
+use hos_data::Subspace;
+
+/// Filters an answer set down to its minimal members.
+///
+/// The output is sorted by (dimensionality, mask) and is guaranteed to
+/// be an antichain: no element is a subset of another. The input need
+/// not be sorted and may contain duplicates.
+///
+/// ```
+/// use hos_core::minimal_subspaces;
+/// use hos_data::Subspace;
+///
+/// // The paper's §3.4 example (1-based): [1,3], [2,4] and all their
+/// // supersets reduce to just [1,3] and [2,4].
+/// let answer: Vec<Subspace> =
+///     ["[1,3]", "[2,4]", "[1,2,3]", "[1,2,4]", "[1,3,4]", "[2,3,4]", "[1,2,3,4]"]
+///         .iter().map(|s| s.parse().unwrap()).collect();
+/// let minimal = minimal_subspaces(&answer);
+/// assert_eq!(minimal, vec!["[1,3]".parse().unwrap(), "[2,4]".parse().unwrap()]);
+/// ```
+pub fn minimal_subspaces(outlying: &[Subspace]) -> Vec<Subspace> {
+    let mut sorted: Vec<Subspace> = outlying.to_vec();
+    sorted.sort_by_key(|s| (s.dim(), s.mask()));
+    sorted.dedup();
+    let mut kept: Vec<Subspace> = Vec::new();
+    for s in sorted {
+        if !kept.iter().any(|m| m.is_subset_of(s)) {
+            kept.push(s);
+        }
+    }
+    kept
+}
+
+/// Checks whether `candidate` is covered by the minimal set, i.e. is a
+/// superset of (or equal to) some minimal subspace. Together with
+/// Property 2 this reconstructs the full answer set from the filtered
+/// one.
+pub fn covered_by(candidate: Subspace, minimal: &[Subspace]) -> bool {
+    minimal.iter().any(|m| m.is_subset_of(candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dims: &[usize]) -> Subspace {
+        Subspace::from_dims(dims)
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // Paper §3.4: outlying subspaces of a point in 4-d space are
+        // [1,3], [2,4], [1,2,3], [1,2,4], [1,3,4], [2,3,4], [1,2,3,4];
+        // the filter returns only [1,3] and [2,4].
+        // (Paper uses 1-based dims; ours are 0-based.)
+        let input = vec![
+            s(&[0, 2]),
+            s(&[1, 3]),
+            s(&[0, 1, 2]),
+            s(&[0, 1, 3]),
+            s(&[0, 2, 3]),
+            s(&[1, 2, 3]),
+            s(&[0, 1, 2, 3]),
+        ];
+        let minimal = minimal_subspaces(&input);
+        assert_eq!(minimal, vec![s(&[0, 2]), s(&[1, 3])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(minimal_subspaces(&[]).is_empty());
+    }
+
+    #[test]
+    fn singleton_kept() {
+        let input = vec![s(&[1])];
+        assert_eq!(minimal_subspaces(&input), input);
+    }
+
+    #[test]
+    fn incomparable_sets_all_kept() {
+        let input = vec![s(&[0, 1]), s(&[2, 3]), s(&[1, 2])];
+        let out = minimal_subspaces(&input);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let input = vec![s(&[0]), s(&[0]), s(&[0, 1])];
+        assert_eq!(minimal_subspaces(&input), vec![s(&[0])]);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let input = vec![s(&[0, 1, 2]), s(&[0]), s(&[1, 2])];
+        let out = minimal_subspaces(&input);
+        assert_eq!(out, vec![s(&[0]), s(&[1, 2])]);
+    }
+
+    #[test]
+    fn output_is_antichain() {
+        let input: Vec<Subspace> = (1u64..32).map(Subspace::from_mask).collect();
+        let out = minimal_subspaces(&input);
+        for a in &out {
+            for b in &out {
+                if a != b {
+                    assert!(!a.is_subset_of(*b), "{a} ⊆ {b}");
+                }
+            }
+        }
+        // All five singletons are the minimal frontier of the full lattice.
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn covered_by_reconstructs_answer_set() {
+        let minimal = vec![s(&[0, 2]), s(&[1, 3])];
+        assert!(covered_by(s(&[0, 2]), &minimal));
+        assert!(covered_by(s(&[0, 1, 2]), &minimal));
+        assert!(covered_by(s(&[0, 1, 2, 3]), &minimal));
+        assert!(!covered_by(s(&[0, 1]), &minimal));
+        assert!(!covered_by(s(&[0]), &minimal));
+        assert!(!covered_by(s(&[2]), &[]));
+    }
+}

@@ -1,0 +1,389 @@
+//! The `HosMiner` facade: the full system of the paper's Figure 2.
+//!
+//! `fit` wires the four modules together — index the data (X-tree or
+//! linear scan), resolve the threshold, run the sampling-based
+//! learning — and `query_*` runs the dynamic subspace search followed
+//! by the refinement filter.
+
+use crate::error::HosError;
+use crate::filter::minimal_subspaces;
+use crate::learning::LearnedModel;
+use crate::od::ThresholdPolicy;
+use crate::search::{dynamic_search, ScoredSubspace, SearchOutcome, SearchStats};
+use crate::Result;
+use hos_data::{Dataset, Metric, PointId, Subspace};
+use hos_index::{knn::build_engine, Engine, KnnEngine};
+
+/// Configuration of a HOS-Miner instance.
+#[derive(Clone, Copy, Debug)]
+pub struct HosMinerConfig {
+    /// Neighbour count `k` of the OD measure.
+    pub k: usize,
+    /// How the global threshold `T` is chosen.
+    pub threshold: ThresholdPolicy,
+    /// Distance metric (must be projection monotone — all provided
+    /// metrics are).
+    pub metric: Metric,
+    /// k-NN engine backing the OD evaluations.
+    pub engine: Engine,
+    /// Sample size `S` of the learning process (0 = skip learning and
+    /// use the uniform priors).
+    pub sample_size: usize,
+    /// Laplace smoothing pseudo-count applied to the learned priors
+    /// (see `learning` module docs). `0` = the paper's literal
+    /// average; default `1`.
+    pub prior_smoothing: f64,
+    /// Worker threads for per-level OD batches.
+    pub threads: usize,
+    /// Seed for sampling (threshold + learning).
+    pub seed: u64,
+}
+
+impl Default for HosMinerConfig {
+    fn default() -> Self {
+        HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::default(),
+            metric: Metric::L2,
+            engine: Engine::Linear,
+            sample_size: 20,
+            prior_smoothing: 1.0,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one query: the answer set, its minimal frontier, and the
+/// cost accounting.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Every outlying subspace found (evaluated or pruned-in).
+    pub outlying: Vec<ScoredSubspace>,
+    /// The refined result the system reports to the user (paper §3.4):
+    /// minimal outlying subspaces only.
+    pub minimal: Vec<Subspace>,
+    /// Search cost accounting.
+    pub stats: SearchStats,
+}
+
+impl QueryOutcome {
+    fn from_search(out: SearchOutcome) -> Self {
+        let subspaces: Vec<Subspace> = out.subspaces();
+        QueryOutcome {
+            minimal: minimal_subspaces(&subspaces),
+            outlying: out.outlying,
+            stats: out.stats,
+        }
+    }
+
+    /// Whether the point is an outlier in at least one subspace.
+    pub fn is_outlier(&self) -> bool {
+        !self.outlying.is_empty()
+    }
+}
+
+/// A fitted HOS-Miner ready to answer outlying-subspace queries.
+///
+/// ```
+/// use hos_core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+/// use hos_data::{Dataset, Subspace};
+///
+/// // A 2-d cluster plus one point displaced along the first axis only.
+/// let mut rows: Vec<Vec<f64>> =
+///     (0..50).map(|i| vec![(i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]).collect();
+/// rows.push(vec![50.0, 0.2]);
+/// let data = Dataset::from_rows(&rows).unwrap();
+///
+/// let miner = HosMiner::fit(data, HosMinerConfig {
+///     k: 3,
+///     threshold: ThresholdPolicy::Fixed(10.0),
+///     sample_size: 0, // uniform priors; >0 runs the learning phase
+///     ..HosMinerConfig::default()
+/// }).unwrap();
+///
+/// let out = miner.query_id(50).unwrap();
+/// assert_eq!(out.minimal, vec![Subspace::from_dims(&[0])]);
+/// assert!(miner.query_id(0).unwrap().minimal.is_empty());
+/// ```
+pub struct HosMiner {
+    engine: Box<dyn KnnEngine>,
+    config: HosMinerConfig,
+    model: LearnedModel,
+}
+
+impl HosMiner {
+    /// Builds the index, resolves the threshold and runs the learning
+    /// process over `dataset`.
+    pub fn fit(dataset: Dataset, config: HosMinerConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(HosError::Config("k must be positive".into()));
+        }
+        if dataset.is_empty() {
+            return Err(HosError::Config("dataset must be non-empty".into()));
+        }
+        if dataset.len() <= config.k {
+            return Err(HosError::Config(format!(
+                "dataset has {} points; need more than k = {} for self-excluded k-NN",
+                dataset.len(),
+                config.k
+            )));
+        }
+        if !config.metric.is_projection_monotone() {
+            return Err(HosError::Config(format!(
+                "metric {:?} is not projection monotone; pruning would be unsound",
+                config.metric
+            )));
+        }
+        let d = dataset.dim();
+        if d > hos_lattice::lattice::MAX_LATTICE_DIM {
+            return Err(HosError::Config(format!(
+                "dimensionality {d} exceeds the dynamic-search limit {}",
+                hos_lattice::lattice::MAX_LATTICE_DIM
+            )));
+        }
+        let engine = build_engine(config.engine, dataset, config.metric);
+        let threshold = config.threshold.resolve(engine.as_ref(), config.k, config.seed)?;
+        let model = crate::learning::learn_with_smoothing(
+            engine.as_ref(),
+            config.k,
+            threshold,
+            config.sample_size,
+            config.seed.wrapping_add(1),
+            config.threads,
+            config.prior_smoothing,
+        )?;
+        Ok(HosMiner { engine, config, model })
+    }
+
+    /// Assembles a miner from pre-fitted parts — used by model
+    /// persistence ([`crate::model_io::ModelFile::into_miner`]) to
+    /// skip threshold resolution and learning. Validates the same
+    /// invariants as [`HosMiner::fit`].
+    pub fn from_parts(
+        dataset: Dataset,
+        config: HosMinerConfig,
+        model: LearnedModel,
+    ) -> Result<Self> {
+        if config.k == 0 {
+            return Err(HosError::Config("k must be positive".into()));
+        }
+        if dataset.is_empty() || dataset.len() <= config.k {
+            return Err(HosError::Config(format!(
+                "dataset has {} points; need more than k = {}",
+                dataset.len(),
+                config.k
+            )));
+        }
+        if model.priors.dim() != dataset.dim() {
+            return Err(HosError::Config(format!(
+                "priors cover {} dimensions, dataset has {}",
+                model.priors.dim(),
+                dataset.dim()
+            )));
+        }
+        if !(model.threshold.is_finite() && model.threshold > 0.0) {
+            return Err(HosError::Config(format!(
+                "threshold {} must be positive and finite",
+                model.threshold
+            )));
+        }
+        let engine = build_engine(config.engine, dataset, config.metric);
+        Ok(HosMiner { engine, config, model })
+    }
+
+    /// The resolved global threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.model.threshold
+    }
+
+    /// The learned model (priors + learning cost).
+    pub fn model(&self) -> &LearnedModel {
+        &self.model
+    }
+
+    /// The fitted configuration.
+    pub fn config(&self) -> &HosMinerConfig {
+        &self.config
+    }
+
+    /// The underlying k-NN engine.
+    pub fn engine(&self) -> &dyn KnnEngine {
+        self.engine.as_ref()
+    }
+
+    /// Finds the outlying subspaces of an arbitrary query point.
+    pub fn query_point(&self, query: &[f64]) -> Result<QueryOutcome> {
+        let d = self.engine.dataset().dim();
+        if query.len() != d {
+            return Err(HosError::Query(format!(
+                "query has {} coordinates, dataset has {d} dimensions",
+                query.len()
+            )));
+        }
+        if query.iter().any(|v| !v.is_finite()) {
+            return Err(HosError::Query("query contains non-finite values".into()));
+        }
+        Ok(QueryOutcome::from_search(dynamic_search(
+            self.engine.as_ref(),
+            query,
+            None,
+            self.config.k,
+            self.model.threshold,
+            &self.model.priors,
+            self.config.threads,
+        )))
+    }
+
+    /// Finds the outlying subspaces of dataset member `id` (excluded
+    /// from its own neighbourhoods).
+    pub fn query_id(&self, id: PointId) -> Result<QueryOutcome> {
+        let ds = self.engine.dataset();
+        if id >= ds.len() {
+            return Err(HosError::Query(format!(
+                "point id {id} out of bounds for dataset of {} points",
+                ds.len()
+            )));
+        }
+        let row: Vec<f64> = ds.row(id).to_vec();
+        Ok(QueryOutcome::from_search(dynamic_search(
+            self.engine.as_ref(),
+            &row,
+            Some(id),
+            self.config.k,
+            self.model.threshold,
+            &self.model.priors,
+            self.config.threads,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::synth::planted::{generate, PlantedSpec};
+
+    fn planted() -> (Dataset, Vec<(PointId, Subspace)>) {
+        let spec = PlantedSpec {
+            n_background: 300,
+            d: 5,
+            n_clusters: 2,
+            cluster_sigma: 1.0,
+            extent: 60.0,
+            targets: vec![Subspace::from_dims(&[0, 1]), Subspace::from_dims(&[3])],
+            shift_sigmas: 12.0,
+            seed: 17,
+        };
+        let w = generate(&spec).unwrap();
+        let truth = w.outliers.iter().map(|o| (o.id, o.subspace)).collect();
+        (w.dataset, truth)
+    }
+
+    fn fitted(engine: Engine) -> (HosMiner, Vec<(PointId, Subspace)>) {
+        let (ds, truth) = planted();
+        let config = HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 150 },
+            engine,
+            sample_size: 10,
+            ..HosMinerConfig::default()
+        };
+        (HosMiner::fit(ds, config).unwrap(), truth)
+    }
+
+    #[test]
+    fn detects_planted_outlying_subspaces() {
+        let (miner, truth) = fitted(Engine::Linear);
+        for (id, target) in truth {
+            let out = miner.query_id(id).unwrap();
+            assert!(out.is_outlier(), "planted outlier {id} not detected at all");
+            // The target subspace (or a subset of it) must be in the
+            // minimal frontier: the deviation was injected exactly there.
+            assert!(
+                out.minimal.iter().any(|m| m.is_subset_of(target)),
+                "target {target} not covered by minimal set {:?}",
+                out.minimal
+            );
+        }
+    }
+
+    #[test]
+    fn background_points_mostly_clean() {
+        let (miner, _) = fitted(Engine::Linear);
+        let clean = (0..40)
+            .filter(|&id| !miner.query_id(id).unwrap().is_outlier())
+            .count();
+        assert!(clean >= 35, "only {clean}/40 background points clean");
+    }
+
+    #[test]
+    fn xtree_engine_agrees_with_linear() {
+        let (lin, truth) = fitted(Engine::Linear);
+        let (xt, _) = fitted(Engine::XTree);
+        for (id, _) in truth {
+            let a = lin.query_id(id).unwrap();
+            let b = xt.query_id(id).unwrap();
+            assert_eq!(a.minimal, b.minimal, "engines disagree on point {id}");
+        }
+    }
+
+    #[test]
+    fn minimal_is_antichain_and_covers_answer() {
+        let (miner, truth) = fitted(Engine::Linear);
+        let out = miner.query_id(truth[0].0).unwrap();
+        for a in &out.minimal {
+            for b in &out.minimal {
+                if a != b {
+                    assert!(!a.is_subset_of(*b));
+                }
+            }
+        }
+        for s in &out.outlying {
+            assert!(
+                crate::filter::covered_by(s.subspace, &out.minimal),
+                "answer member {} not covered",
+                s.subspace
+            );
+        }
+    }
+
+    #[test]
+    fn query_point_external() {
+        let (miner, _) = fitted(Engine::Linear);
+        // A point absurdly far away in every dimension is outlying
+        // everywhere; its minimal set is the single dimensions.
+        let far = vec![1e4; 5];
+        let out = miner.query_point(&far).unwrap();
+        assert!(out.is_outlier());
+        assert_eq!(out.minimal.len(), 5);
+        assert!(out.minimal.iter().all(|s| s.dim() == 1));
+    }
+
+    #[test]
+    fn config_validation() {
+        let (ds, _) = planted();
+        let bad_k = HosMinerConfig { k: 0, ..HosMinerConfig::default() };
+        assert!(HosMiner::fit(ds.clone(), bad_k).is_err());
+        assert!(HosMiner::fit(Dataset::empty(), HosMinerConfig::default()).is_err());
+        let tiny = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let cfg = HosMinerConfig { k: 5, ..HosMinerConfig::default() };
+        assert!(HosMiner::fit(tiny, cfg).is_err());
+    }
+
+    #[test]
+    fn query_validation() {
+        let (miner, _) = fitted(Engine::Linear);
+        assert!(miner.query_point(&[1.0]).is_err());
+        assert!(miner.query_point(&[f64::NAN; 5]).is_err());
+        assert!(miner.query_id(10_000).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let (miner, _) = fitted(Engine::Linear);
+        assert!(miner.threshold() > 0.0);
+        assert_eq!(miner.config().k, 5);
+        assert_eq!(miner.model().samples, 10);
+        assert_eq!(miner.engine().dataset().dim(), 5);
+    }
+}

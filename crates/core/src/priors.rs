@@ -1,0 +1,140 @@
+//! Per-level pruning probabilities `p_up(m)` and `p_down(m)`.
+//!
+//! `p_up(m, p)` is the probability that an `m`-dimensional subspace
+//! turns out outlying for point `p` (enabling upward pruning), and
+//! `p_down(m, p)` the probability it turns out non-outlying (enabling
+//! downward pruning). The paper fixes them during the learning phase
+//! (§3.2) and replaces them with learned averages for query points.
+
+use crate::error::HosError;
+use crate::Result;
+
+/// Per-level pruning probabilities, indexed by dimensionality
+/// `1..=d` (index 0 is unused padding).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Priors {
+    p_up: Vec<f64>,
+    p_down: Vec<f64>,
+}
+
+impl Priors {
+    /// The fixed priors of §3.2 used while learning:
+    ///
+    /// * `m = 1`: `p_up = 1`, `p_down = 0` (nothing below to prune);
+    /// * `m = d`: `p_up = 0`, `p_down = 1` (nothing above to prune);
+    /// * otherwise both `0.5`.
+    pub fn uniform(d: usize) -> Self {
+        assert!(d >= 1);
+        let mut p_up = vec![0.5; d + 1];
+        let mut p_down = vec![0.5; d + 1];
+        p_up[0] = 0.0;
+        p_down[0] = 0.0;
+        p_up[1] = 1.0;
+        p_down[1] = 0.0;
+        p_up[d] = 0.0;
+        p_down[d] = 1.0;
+        if d == 1 {
+            // Degenerate: the single level has nothing to prune either way.
+            p_up[1] = 0.0;
+            p_down[1] = 0.0;
+        }
+        Priors { p_up, p_down }
+    }
+
+    /// Builds priors from explicit per-level values (index = level,
+    /// length `d + 1`, index 0 ignored). The paper's boundary
+    /// conventions `p_down(1) = p_up(d) = 0` are enforced.
+    pub fn from_values(mut p_up: Vec<f64>, mut p_down: Vec<f64>) -> Result<Self> {
+        if p_up.len() != p_down.len() || p_up.len() < 2 {
+            return Err(HosError::Config(format!(
+                "prior vectors must have equal length >= 2, got {} and {}",
+                p_up.len(),
+                p_down.len()
+            )));
+        }
+        for (m, (&u, &dn)) in p_up.iter().zip(&p_down).enumerate().skip(1) {
+            if !(0.0..=1.0).contains(&u) || !(0.0..=1.0).contains(&dn) {
+                return Err(HosError::Config(format!(
+                    "priors at level {m} outside [0,1]: p_up={u}, p_down={dn}"
+                )));
+            }
+        }
+        let d = p_up.len() - 1;
+        p_down[1] = 0.0;
+        p_up[d] = 0.0;
+        Ok(Priors { p_up, p_down })
+    }
+
+    /// Dimensionality these priors cover.
+    pub fn dim(&self) -> usize {
+        self.p_up.len() - 1
+    }
+
+    /// `p_up(m)`.
+    pub fn up(&self, m: usize) -> f64 {
+        self.p_up[m]
+    }
+
+    /// `p_down(m)`.
+    pub fn down(&self, m: usize) -> f64 {
+        self.p_down[m]
+    }
+
+    /// All upward probabilities (index = level).
+    pub fn up_all(&self) -> &[f64] {
+        &self.p_up
+    }
+
+    /// All downward probabilities (index = level).
+    pub fn down_all(&self) -> &[f64] {
+        &self.p_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_paper_section_3_2() {
+        let p = Priors::uniform(5);
+        assert_eq!(p.dim(), 5);
+        assert_eq!(p.up(1), 1.0);
+        assert_eq!(p.down(1), 0.0);
+        assert_eq!(p.up(5), 0.0);
+        assert_eq!(p.down(5), 1.0);
+        for m in 2..5 {
+            assert_eq!(p.up(m), 0.5);
+            assert_eq!(p.down(m), 0.5);
+        }
+    }
+
+    #[test]
+    fn degenerate_one_dimensional() {
+        let p = Priors::uniform(1);
+        assert_eq!(p.up(1), 0.0);
+        assert_eq!(p.down(1), 0.0);
+    }
+
+    #[test]
+    fn from_values_enforces_boundaries() {
+        let d = 4;
+        let p = Priors::from_values(vec![0.0, 0.9, 0.4, 0.2, 0.7], vec![0.0, 0.8, 0.6, 0.8, 0.3])
+            .unwrap();
+        assert_eq!(p.dim(), d);
+        assert_eq!(p.down(1), 0.0, "paper: p_down(1) = 0");
+        assert_eq!(p.up(d), 0.0, "paper: p_up(d) = 0");
+        assert_eq!(p.up(2), 0.4);
+        assert_eq!(p.down(3), 0.8);
+        assert_eq!(p.up_all().len(), d + 1);
+        assert_eq!(p.down_all().len(), d + 1);
+    }
+
+    #[test]
+    fn from_values_validation() {
+        assert!(Priors::from_values(vec![0.0, 1.5], vec![0.0, 0.5]).is_err());
+        assert!(Priors::from_values(vec![0.0, 0.5], vec![0.0]).is_err());
+        assert!(Priors::from_values(vec![], vec![]).is_err());
+        assert!(Priors::from_values(vec![0.0, -0.1], vec![0.0, 0.5]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Dataset-wide outlying-subspace scans.
+//!
+//! The demo's interactive flow is "pick a suspicious point, ask where
+//! it is outlying". This module automates the first half: by OD
+//! monotonicity the full-space OD is every point's *maximum* OD over
+//! all subspaces, so ranking by it immediately separates points that
+//! have at least one outlying subspace (full-space OD ≥ T) from points
+//! that have none — the latter need no search at all.
+
+use crate::miner::{HosMiner, QueryOutcome};
+use crate::Result;
+use hos_data::PointId;
+
+/// One scan hit: a point with at least one outlying subspace.
+#[derive(Clone, Debug)]
+pub struct ScanHit {
+    /// The point.
+    pub id: PointId,
+    /// Its full-space OD (the maximum over all subspaces).
+    pub full_od: f64,
+    /// The full per-point query result.
+    pub outcome: QueryOutcome,
+}
+
+/// Summary of a dataset scan.
+#[derive(Clone, Debug)]
+pub struct ScanReport {
+    /// Points with a non-empty answer set, descending by full-space OD.
+    pub hits: Vec<ScanHit>,
+    /// Points above the threshold that were not searched because the
+    /// hit `limit` was reached (each *would* be a hit).
+    pub truncated: usize,
+    /// How many points were skipped without any subspace search
+    /// because their full-space OD fell below the threshold.
+    pub skipped: usize,
+    /// The threshold used.
+    pub threshold: f64,
+}
+
+impl ScanReport {
+    /// Ids of all hits, descending by full-space OD.
+    pub fn hit_ids(&self) -> Vec<PointId> {
+        self.hits.iter().map(|h| h.id).collect()
+    }
+}
+
+/// Scans every dataset point, running the subspace search only for
+/// points whose full-space OD reaches the threshold, and reporting at
+/// most `limit` hits (use `usize::MAX` for all).
+pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
+    let engine = miner.engine();
+    let ds = engine.dataset();
+    let k = miner.config().k;
+    let t = miner.threshold();
+    let full = ds.full_space();
+
+    let mut ranked: Vec<(PointId, f64)> = (0..ds.len())
+        .map(|i| (i, engine.od(ds.row(i), k, full, Some(i))))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+
+    let mut hits = Vec::new();
+    let mut truncated = 0usize;
+    let mut skipped = 0usize;
+    for (idx, (id, full_od)) in ranked.iter().enumerate() {
+        if *full_od < t {
+            // Monotonicity: no subspace can reach T either, and the
+            // ranking is descending, so everything from here on is
+            // also below T.
+            skipped = ds.len() - idx;
+            break;
+        }
+        if hits.len() >= limit {
+            truncated += 1;
+            continue;
+        }
+        let outcome = miner.query_id(*id)?;
+        debug_assert!(outcome.is_outlier(), "full OD >= T implies non-empty answer");
+        hits.push(ScanHit { id: *id, full_od: *full_od, outcome });
+    }
+    Ok(ScanReport { hits, truncated, skipped, threshold: t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::HosMinerConfig;
+    use crate::od::ThresholdPolicy;
+    use hos_data::synth::planted::{generate, PlantedSpec};
+    use hos_data::Subspace;
+
+    fn miner() -> (HosMiner, Vec<PointId>) {
+        let w = generate(&PlantedSpec {
+            n_background: 400,
+            d: 6,
+            n_clusters: 2,
+            cluster_sigma: 1.0,
+            extent: 60.0,
+            targets: vec![Subspace::from_dims(&[0]), Subspace::from_dims(&[2, 3])],
+            shift_sigmas: 12.0,
+            seed: 5,
+        })
+        .unwrap();
+        let ids = w.outlier_ids();
+        let m = HosMiner::fit(
+            w.dataset,
+            HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+                sample_size: 5,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        (m, ids)
+    }
+
+    #[test]
+    fn scan_finds_planted_points_first() {
+        let (m, planted) = miner();
+        let report = scan_outliers(&m, 10).unwrap();
+        assert!(!report.hits.is_empty());
+        // The two planted outliers dominate the full-space OD ranking.
+        let top2: Vec<PointId> = report.hit_ids().into_iter().take(2).collect();
+        for id in planted {
+            assert!(top2.contains(&id), "planted {id} not in top hits {top2:?}");
+        }
+        // Descending order by full OD.
+        for w in report.hits.windows(2) {
+            assert!(w[0].full_od >= w[1].full_od);
+        }
+        // Every hit crosses the threshold and has a non-empty answer.
+        for h in &report.hits {
+            assert!(h.full_od >= report.threshold);
+            assert!(h.outcome.is_outlier());
+        }
+    }
+
+    #[test]
+    fn skip_accounting() {
+        let (m, _) = miner();
+        let report = scan_outliers(&m, usize::MAX).unwrap();
+        let ds_len = m.engine().dataset().len();
+        assert_eq!(report.hits.len() + report.truncated + report.skipped, ds_len);
+        assert_eq!(report.truncated, 0);
+        // With a 0.98-quantile threshold, the vast majority is skipped
+        // without a search.
+        assert!(report.skipped > ds_len * 9 / 10);
+    }
+
+    #[test]
+    fn limit_caps_searches_not_ranking() {
+        let (m, _) = miner();
+        let all = scan_outliers(&m, usize::MAX).unwrap();
+        let one = scan_outliers(&m, 1).unwrap();
+        assert_eq!(one.hits.len(), 1.min(all.hits.len()));
+        if !all.hits.is_empty() {
+            assert_eq!(one.hits[0].id, all.hits[0].id);
+            assert_eq!(one.truncated, all.hits.len() - 1);
+            assert_eq!(one.skipped, all.skipped);
+        }
+    }
+}

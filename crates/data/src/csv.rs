@@ -1,0 +1,201 @@
+//! Dependency-free CSV ingestion and export.
+//!
+//! Supports the simple numeric-matrix CSVs the system consumes: a
+//! configurable delimiter, an optional header row, `#`-prefixed comment
+//! lines, and blank-line tolerance. Quoting is not supported (numeric
+//! data never needs it); a quote character in the input is a parse
+//! error rather than silently misread data.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use crate::Result;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// CSV reading options.
+#[derive(Clone, Debug)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first non-comment line is a header of column names.
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', has_header: false }
+    }
+}
+
+/// Reads a dataset from any reader.
+pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset> {
+    let mut builder = DatasetBuilder::new();
+    let mut names: Option<Vec<String>> = None;
+    let mut saw_header = false;
+    let buf = BufReader::new(reader);
+    let mut row: Vec<f64> = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.contains('"') {
+            return Err(DataError::Parse {
+                line: lineno,
+                msg: "quoted fields are not supported".into(),
+            });
+        }
+        if opts.has_header && !saw_header {
+            saw_header = true;
+            names = Some(
+                trimmed
+                    .split(opts.delimiter)
+                    .map(|s| s.trim().to_string())
+                    .collect(),
+            );
+            continue;
+        }
+        row.clear();
+        for field in trimmed.split(opts.delimiter) {
+            let v: f64 = field.trim().parse().map_err(|_| DataError::Parse {
+                line: lineno,
+                msg: format!("invalid number {:?}", field.trim()),
+            })?;
+            row.push(v);
+        }
+        builder.push_row(&row).map_err(|e| match e {
+            DataError::Shape { expected, got } => DataError::Parse {
+                line: lineno,
+                msg: format!("expected {expected} columns, got {got}"),
+            },
+            other => other,
+        })?;
+    }
+    let mut ds = builder.build()?;
+    if let Some(ns) = names {
+        ds = ds.with_names(ns)?;
+    }
+    Ok(ds)
+}
+
+/// Reads a dataset from a file path.
+pub fn read_csv_path<P: AsRef<Path>>(path: P, opts: &CsvOptions) -> Result<Dataset> {
+    let f = std::fs::File::open(path)?;
+    read_csv(f, opts)
+}
+
+/// Writes a dataset as CSV (header included when names are present).
+pub fn write_csv<W: Write>(ds: &Dataset, writer: &mut W, delimiter: char) -> Result<()> {
+    if let Some(names) = ds.names() {
+        let header: Vec<&str> = names.iter().map(String::as_str).collect();
+        writeln!(writer, "{}", header.join(&delimiter.to_string()))?;
+    }
+    let mut buf = String::new();
+    for (_, row) in ds.iter() {
+        buf.clear();
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                buf.push(delimiter);
+            }
+            // `{}` prints f64 round-trippably in Rust.
+            buf.push_str(&v.to_string());
+        }
+        writeln!(writer, "{buf}")?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset to a file path.
+pub fn write_csv_path<P: AsRef<Path>>(ds: &Dataset, path: P, delimiter: char) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv(ds, &mut f, delimiter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_no_header() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.5], vec![-3.0, 0.125]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf, ',').unwrap();
+        let back = read_csv(&buf[..], &CsvOptions::default()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn roundtrip_with_header() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0]])
+            .unwrap()
+            .with_names(vec!["x".into(), "y".into()])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf, ';').unwrap();
+        let opts = CsvOptions { delimiter: ';', has_header: true };
+        let back = read_csv(&buf[..], &opts).unwrap();
+        assert_eq!(back.names().unwrap(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(back.row(0), ds.row(0));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# comment\n\n1,2\n  \n3,4\n";
+        let ds = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_bad_number() {
+        let text = "1,2\n3,oops\n";
+        let err = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers_on_ragged_rows() {
+        let text = "1,2\n3\n";
+        let err = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_quotes() {
+        let text = "\"1\",2\n";
+        assert!(read_csv(text.as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let text = " 1 , 2 \n";
+        let ds = read_csv(text.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        let ds = read_csv("".as_bytes(), &CsvOptions::default()).unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hos_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let ds = Dataset::from_rows(&[vec![9.0, 8.0, 7.0]]).unwrap();
+        write_csv_path(&ds, &path, ',').unwrap();
+        let back = read_csv_path(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(path).ok();
+    }
+}

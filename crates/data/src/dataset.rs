@@ -1,0 +1,375 @@
+//! Dense, row-major dataset storage.
+//!
+//! HOS-Miner evaluates distances in arbitrary axis-parallel projections
+//! of the data, so the representation favours fast row access: one
+//! contiguous `Vec<f64>` of `n * d` values. Columns are secondary
+//! (needed only for normalisation and equi-depth statistics) and are
+//! accessed through strided iterators.
+
+use crate::error::DataError;
+use crate::subspace::{Subspace, MAX_DIM};
+use crate::Result;
+
+/// Identifier of a point: its row index in the [`Dataset`].
+pub type PointId = usize;
+
+/// A dense `n x d` matrix of `f64`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+    names: Option<Vec<String>>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// * [`DataError::Shape`] if `data.len()` is not a multiple of `d`
+    ///   or `d == 0` with non-empty data.
+    /// * [`DataError::DimTooLarge`] if `d` exceeds [`MAX_DIM`].
+    /// * [`DataError::NonFinite`] if any value is NaN or infinite.
+    pub fn from_flat(data: Vec<f64>, d: usize) -> Result<Self> {
+        if d > MAX_DIM {
+            return Err(DataError::DimTooLarge { dim: d, max: MAX_DIM });
+        }
+        if d == 0 {
+            if data.is_empty() {
+                return Ok(Dataset { n: 0, d: 0, data, names: None });
+            }
+            return Err(DataError::Shape { expected: 0, got: data.len() });
+        }
+        if !data.len().is_multiple_of(d) {
+            return Err(DataError::Shape { expected: d, got: data.len() % d });
+        }
+        let n = data.len() / d;
+        for (idx, v) in data.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DataError::NonFinite { row: idx / d, col: idx % d });
+            }
+        }
+        Ok(Dataset { n, d, data, names: None })
+    }
+
+    /// Creates a dataset from rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let mut b = DatasetBuilder::new();
+        for r in rows {
+            b.push_row(r)?;
+        }
+        b.build()
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The full space over this dataset's dimensions.
+    #[inline]
+    pub fn full_space(&self) -> Subspace {
+        Subspace::full(self.d)
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: PointId) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Checked row access.
+    pub fn try_row(&self, i: PointId) -> Result<&[f64]> {
+        if i >= self.n {
+            return Err(DataError::OutOfBounds { what: "row", index: i, len: self.n });
+        }
+        Ok(self.row(i))
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n && col < self.d);
+        self.data[row * self.d + col]
+    }
+
+    /// Iterates `(id, row)` pairs. Empty for a 0-dimensional dataset.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        // chunks_exact panics on 0; a 0-d dataset is necessarily empty.
+        self.data.chunks_exact(self.d.max(1)).enumerate()
+    }
+
+    /// Iterates the values of one column.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(col < self.d, "column {col} out of bounds for dim {}", self.d);
+        self.data.iter().skip(col).step_by(self.d).copied()
+    }
+
+    /// Copies a column into a `Vec`.
+    pub fn column_vec(&self, col: usize) -> Vec<f64> {
+        self.column(col).collect()
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Optional column names.
+    pub fn names(&self) -> Option<&[String]> {
+        self.names.as_deref()
+    }
+
+    /// Attaches column names (must match dimensionality).
+    pub fn with_names(mut self, names: Vec<String>) -> Result<Self> {
+        if names.len() != self.d {
+            return Err(DataError::Shape { expected: self.d, got: names.len() });
+        }
+        self.names = Some(names);
+        Ok(self)
+    }
+
+    /// Projects the dataset onto a subspace, producing a smaller,
+    /// `|s|`-dimensional dataset with rows in the same order.
+    ///
+    /// This is mostly useful for exporting views (e.g. the Figure 1
+    /// scatter plots); the search code never materialises projections,
+    /// it evaluates metrics directly through subspace masks.
+    pub fn project(&self, s: Subspace) -> Result<Dataset> {
+        let dims = s.dim_vec();
+        if let Some(&max) = dims.last() {
+            if max >= self.d {
+                return Err(DataError::OutOfBounds { what: "column", index: max, len: self.d });
+            }
+        }
+        let mut data = Vec::with_capacity(self.n * dims.len());
+        for i in 0..self.n {
+            let row = self.row(i);
+            for &c in &dims {
+                data.push(row[c]);
+            }
+        }
+        let names = self.names.as_ref().map(|ns| {
+            dims.iter().map(|&c| ns[c].clone()).collect::<Vec<_>>()
+        });
+        let mut out = Dataset::from_flat(data, dims.len())?;
+        if let Some(ns) = names {
+            out = out.with_names(ns)?;
+        }
+        Ok(out)
+    }
+
+    /// Appends a row, consuming and returning the dataset.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<PointId> {
+        if self.n == 0 && self.d == 0 {
+            // First row fixes the dimensionality.
+            if row.is_empty() || row.len() > MAX_DIM {
+                return Err(DataError::DimTooLarge { dim: row.len(), max: MAX_DIM });
+            }
+            self.d = row.len();
+        }
+        if row.len() != self.d {
+            return Err(DataError::Shape { expected: self.d, got: row.len() });
+        }
+        for (c, v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DataError::NonFinite { row: self.n, col: c });
+            }
+        }
+        self.data.extend_from_slice(row);
+        self.n += 1;
+        Ok(self.n - 1)
+    }
+
+    /// Creates an empty dataset whose dimensionality is fixed by the
+    /// first pushed row.
+    pub fn empty() -> Self {
+        Dataset { n: 0, d: 0, data: Vec::new(), names: None }
+    }
+}
+
+/// Incremental dataset construction with shape validation.
+#[derive(Default)]
+pub struct DatasetBuilder {
+    d: Option<usize>,
+    data: Vec<f64>,
+    names: Option<Vec<String>>,
+    rows: usize,
+}
+
+impl DatasetBuilder {
+    /// New, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-declares the dimensionality (otherwise fixed by first row).
+    pub fn with_dim(mut self, d: usize) -> Self {
+        self.d = Some(d);
+        self
+    }
+
+    /// Sets column names.
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        self.names = Some(names);
+        self
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        let d = *self.d.get_or_insert(row.len());
+        if row.len() != d {
+            return Err(DataError::Shape { expected: d, got: row.len() });
+        }
+        if d == 0 || d > MAX_DIM {
+            return Err(DataError::DimTooLarge { dim: d, max: MAX_DIM });
+        }
+        for (c, v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DataError::NonFinite { row: self.rows, col: c });
+            }
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finalises the dataset.
+    pub fn build(self) -> Result<Dataset> {
+        let d = self.d.unwrap_or(0);
+        let mut ds = Dataset::from_flat(self.data, d)?;
+        if let Some(names) = self.names {
+            ds = ds.with_names(names)?;
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let ds = small();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.get(2, 0), 7.0);
+        assert_eq!(ds.full_space(), Subspace::full(3));
+    }
+
+    #[test]
+    fn from_flat_validates() {
+        assert!(Dataset::from_flat(vec![1.0, 2.0, 3.0], 2).is_err());
+        assert!(Dataset::from_flat(vec![1.0, f64::NAN], 2).is_err());
+        assert!(Dataset::from_flat(vec![1.0, f64::INFINITY], 2).is_err());
+        assert!(Dataset::from_flat(vec![], 0).unwrap().is_empty());
+        assert!(Dataset::from_flat(vec![1.0], 0).is_err());
+        assert!(Dataset::from_flat(vec![0.0; 64], 64).is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let ds = small();
+        assert_eq!(ds.column_vec(0), vec![1.0, 4.0, 7.0]);
+        assert_eq!(ds.column_vec(2), vec![3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = small();
+        let ids: Vec<PointId> = ds.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn projection() {
+        let ds = small();
+        let p = ds.project(Subspace::from_dims(&[0, 2])).unwrap();
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.row(0), &[1.0, 3.0]);
+        assert_eq!(p.row(2), &[7.0, 9.0]);
+        assert!(ds.project(Subspace::from_dims(&[5])).is_err());
+    }
+
+    #[test]
+    fn projection_preserves_names() {
+        let ds = small()
+            .with_names(vec!["a".into(), "b".into(), "c".into()])
+            .unwrap();
+        let p = ds.project(Subspace::from_dims(&[2])).unwrap();
+        assert_eq!(p.names().unwrap(), &["c".to_string()]);
+    }
+
+    #[test]
+    fn builder_fixes_dim_from_first_row() {
+        let mut b = DatasetBuilder::new();
+        b.push_row(&[1.0, 2.0]).unwrap();
+        assert!(b.push_row(&[3.0]).is_err());
+        b.push_row(&[3.0, 4.0]).unwrap();
+        let ds = b.build().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_nonfinite() {
+        let mut b = DatasetBuilder::new();
+        assert!(b.push_row(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn names_must_match_dim() {
+        assert!(small().with_names(vec!["x".into()]).is_err());
+    }
+
+    #[test]
+    fn push_row_on_dataset() {
+        let mut ds = Dataset::empty();
+        let id0 = ds.push_row(&[1.0, 2.0]).unwrap();
+        let id1 = ds.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(ds.len(), 2);
+        assert!(ds.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn try_row_bounds() {
+        let ds = small();
+        assert!(ds.try_row(2).is_ok());
+        assert!(ds.try_row(3).is_err());
+    }
+}

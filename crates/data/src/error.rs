@@ -1,0 +1,119 @@
+//! Error type shared across the data layer.
+
+use std::fmt;
+
+/// Errors produced while constructing, loading or transforming datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure (file open, read, write).
+    Io(std::io::Error),
+    /// A text record could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A row had a different arity than the dataset dimensionality.
+    Shape {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of columns actually seen.
+        got: usize,
+    },
+    /// The operation requires a non-empty dataset.
+    Empty,
+    /// Requested dimensionality exceeds what a `u64` subspace mask holds.
+    DimTooLarge {
+        /// Requested dimensionality.
+        dim: usize,
+        /// Maximum supported dimensionality.
+        max: usize,
+    },
+    /// A non-finite value (`NaN`/`±inf`) was found where finite data is required.
+    NonFinite {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// An index was out of bounds for the dataset.
+    OutOfBounds {
+        /// What kind of index (e.g. "row", "column").
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        len: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParam(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            DataError::Shape { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} columns, got {got}")
+            }
+            DataError::Empty => write!(f, "operation requires a non-empty dataset"),
+            DataError::DimTooLarge { dim, max } => {
+                write!(f, "dimensionality {dim} exceeds the supported maximum {max}")
+            }
+            DataError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            DataError::OutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+            DataError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<DataError> = vec![
+            DataError::Io(std::io::Error::other("boom")),
+            DataError::Parse { line: 3, msg: "bad float".into() },
+            DataError::Shape { expected: 4, got: 2 },
+            DataError::Empty,
+            DataError::DimTooLarge { dim: 100, max: 63 },
+            DataError::NonFinite { row: 1, col: 2 },
+            DataError::OutOfBounds { what: "row", index: 9, len: 3 },
+            DataError::InvalidParam("k must be positive".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, DataError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,313 @@
+//! Distance metrics with subspace projection.
+//!
+//! Every metric here is **projection monotone**: for points `a`, `b`
+//! and subspaces `s2 ⊆ s1`, `dist_{s2}(a,b) <= dist_{s1}(a,b)`. This is
+//! the property underlying the paper's Property 1 and 2 of the
+//! outlying degree (OD): each coordinate contributes a non-negative
+//! term, so removing coordinates can only shrink the distance. The
+//! monotonicity of OD itself follows (see `hos-core::od`):
+//! the k-NN distances of a point in a superspace dominate those in the
+//! subspace, hence so does their sum.
+//!
+//! The enum design (instead of a trait object) keeps metrics `Copy`,
+//! allows exhaustive matching in hot loops, and gives the index layer a
+//! two-phase `accumulate`/`finish` interface for MINDIST lower bounds.
+
+use crate::subspace::Subspace;
+
+/// A projection-monotone distance metric.
+///
+/// ```
+/// use hos_data::{Metric, Subspace};
+///
+/// let a = [0.0, 3.0, 1.0];
+/// let b = [4.0, 0.0, 1.0];
+/// assert_eq!(Metric::L2.dist_full(&a, &b), 5.0);
+/// // Restricting to a subspace can only shrink the distance:
+/// let s = Subspace::from_dims(&[0]);
+/// assert_eq!(Metric::L2.dist_sub(&a, &b, s), 4.0);
+/// assert!(Metric::L2.is_projection_monotone());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Metric {
+    /// Manhattan distance: `Σ |a_i - b_i|`.
+    L1,
+    /// Euclidean distance: `sqrt(Σ (a_i - b_i)^2)`.
+    #[default]
+    L2,
+    /// Chebyshev distance: `max |a_i - b_i|`.
+    LInf,
+    /// General Minkowski distance with exponent `p >= 1`.
+    Lp(f64),
+}
+
+
+impl Metric {
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Metric::L1 => "L1".to_string(),
+            Metric::L2 => "L2".to_string(),
+            Metric::LInf => "Linf".to_string(),
+            Metric::Lp(p) => format!("L{p}"),
+        }
+    }
+
+    /// Distance between `a` and `b` restricted to subspace `s`.
+    ///
+    /// Only coordinates whose bit is set in `s` contribute. `a` and `b`
+    /// must have equal length and cover every dimension in `s`.
+    #[inline]
+    pub fn dist_sub(&self, a: &[f64], b: &[f64], s: Subspace) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0f64;
+        match self {
+            Metric::L1 => {
+                for d in s.dims() {
+                    acc += (a[d] - b[d]).abs();
+                }
+                acc
+            }
+            Metric::L2 => {
+                for d in s.dims() {
+                    let t = a[d] - b[d];
+                    acc += t * t;
+                }
+                acc.sqrt()
+            }
+            Metric::LInf => {
+                for d in s.dims() {
+                    let t = (a[d] - b[d]).abs();
+                    if t > acc {
+                        acc = t;
+                    }
+                }
+                acc
+            }
+            Metric::Lp(p) => {
+                for d in s.dims() {
+                    acc += (a[d] - b[d]).abs().powf(*p);
+                }
+                acc.powf(1.0 / p)
+            }
+        }
+    }
+
+    /// Distance in the full space of the slices.
+    #[inline]
+    pub fn dist_full(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::LInf => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+            Metric::Lp(p) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs().powf(*p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+        }
+    }
+
+    /// Folds one per-dimension term (an absolute coordinate gap) into a
+    /// running accumulator. Combine with [`Metric::finish`] to obtain a
+    /// distance; used by the X-tree to build MINDIST lower bounds
+    /// dimension by dimension.
+    #[inline]
+    pub fn accumulate(&self, acc: f64, gap: f64) -> f64 {
+        match self {
+            Metric::L1 => acc + gap,
+            Metric::L2 => acc + gap * gap,
+            Metric::LInf => acc.max(gap),
+            Metric::Lp(p) => acc + gap.powf(*p),
+        }
+    }
+
+    /// Converts an accumulator produced by [`Metric::accumulate`] into
+    /// a distance value comparable with `dist_sub` outputs.
+    #[inline]
+    pub fn finish(&self, acc: f64) -> f64 {
+        match self {
+            Metric::L1 | Metric::LInf => acc,
+            Metric::L2 => acc.sqrt(),
+            Metric::Lp(p) => acc.powf(1.0 / p),
+        }
+    }
+
+    /// Monotone-transform shortcut: comparing `pre_finish` values
+    /// orders distances identically to comparing finished values, so
+    /// k-NN search can avoid `sqrt`/`powf` until the very end.
+    #[inline]
+    pub fn pre_dist_sub(&self, a: &[f64], b: &[f64], s: Subspace) -> f64 {
+        let mut acc = 0.0f64;
+        for d in s.dims() {
+            acc = self.accumulate(acc, (a[d] - b[d]).abs());
+        }
+        acc
+    }
+
+    /// Inverse of [`Metric::finish`]: maps a finished distance back to
+    /// pre-metric accumulator space, so thresholds can be compared
+    /// against accumulators without finishing every candidate.
+    #[inline]
+    pub fn pre_of(&self, dist: f64) -> f64 {
+        match self {
+            Metric::L1 | Metric::LInf => dist,
+            Metric::L2 => dist * dist,
+            Metric::Lp(p) => dist.powf(*p),
+        }
+    }
+
+    /// Normalisation divisor making ODs comparable across subspace
+    /// dimensionalities (an extension over the paper, see DESIGN.md):
+    /// the expected growth rate of the metric with dimension count.
+    /// For L1 this is `m`, for L2 `sqrt(m)`, for L∞ `1`.
+    pub fn dim_scale(&self, m: usize) -> f64 {
+        let m = m.max(1) as f64;
+        match self {
+            Metric::L1 => m,
+            Metric::L2 => m.sqrt(),
+            Metric::LInf => 1.0,
+            Metric::Lp(p) => m.powf(1.0 / p),
+        }
+    }
+
+    /// Whether this metric satisfies projection monotonicity. All
+    /// implemented metrics do; the method exists so generic code can
+    /// assert the contract explicitly.
+    pub fn is_projection_monotone(&self) -> bool {
+        match self {
+            Metric::Lp(p) => *p >= 1.0,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+    const B: [f64; 4] = [1.0, 3.0, 2.0, -1.0];
+
+    #[test]
+    fn l1_subspace() {
+        let s = Subspace::from_dims(&[0, 1]);
+        assert_eq!(Metric::L1.dist_sub(&A, &B, s), 3.0);
+        assert_eq!(Metric::L1.dist_full(&A, &B), 1.0 + 2.0 + 0.0 + 4.0);
+    }
+
+    #[test]
+    fn l2_subspace() {
+        let s = Subspace::from_dims(&[0, 3]);
+        let d = Metric::L2.dist_sub(&A, &B, s);
+        assert!((d - (1.0f64 + 16.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_subspace() {
+        let s = Subspace::from_dims(&[1, 2]);
+        assert_eq!(Metric::LInf.dist_sub(&A, &B, s), 2.0);
+        assert_eq!(Metric::LInf.dist_full(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn lp_matches_l1_l2_at_exponents() {
+        let s = Subspace::from_dims(&[0, 1, 3]);
+        let lp1 = Metric::Lp(1.0).dist_sub(&A, &B, s);
+        let l1 = Metric::L1.dist_sub(&A, &B, s);
+        assert!((lp1 - l1).abs() < 1e-12);
+        let lp2 = Metric::Lp(2.0).dist_sub(&A, &B, s);
+        let l2 = Metric::L2.dist_sub(&A, &B, s);
+        assert!((lp2 - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_subspace_distance_is_zero() {
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            assert_eq!(m.dist_sub(&A, &B, Subspace::empty()), 0.0);
+        }
+    }
+
+    #[test]
+    fn full_equals_sub_on_full_space() {
+        let s = Subspace::full(4);
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(2.5)] {
+            let a = m.dist_full(&A, &B);
+            let b = m.dist_sub(&A, &B, s);
+            assert!((a - b).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn accumulate_finish_equals_dist() {
+        let s = Subspace::from_dims(&[1, 2, 3]);
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(4.0)] {
+            let mut acc = 0.0;
+            for d in s.dims() {
+                acc = m.accumulate(acc, (A[d] - B[d]).abs());
+            }
+            let via_acc = m.finish(acc);
+            let direct = m.dist_sub(&A, &B, s);
+            assert!((via_acc - direct).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn pre_dist_orders_like_dist() {
+        let s = Subspace::full(4);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            let d_ab = m.dist_sub(&A, &B, s);
+            let d_ac = m.dist_sub(&A, &c, s);
+            let p_ab = m.pre_dist_sub(&A, &B, s);
+            let p_ac = m.pre_dist_sub(&A, &c, s);
+            assert_eq!(d_ab < d_ac, p_ab < p_ac, "{m:?}");
+            assert!((m.finish(p_ab) - d_ab).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_monotonicity_spot_check() {
+        let sub = Subspace::from_dims(&[0, 2]);
+        let sup = Subspace::from_dims(&[0, 1, 2, 3]);
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(2.0)] {
+            assert!(m.dist_sub(&A, &B, sub) <= m.dist_sub(&A, &B, sup) + 1e-12);
+            assert!(m.is_projection_monotone());
+        }
+    }
+
+    #[test]
+    fn pre_of_inverts_finish() {
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            for d in [0.0, 0.5, 2.0, 17.5] {
+                assert!((m.finish(m.pre_of(d)) - d).abs() < 1e-9, "{m:?} {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dim_scale_values() {
+        assert_eq!(Metric::L1.dim_scale(4), 4.0);
+        assert!((Metric::L2.dim_scale(4) - 2.0).abs() < 1e-12);
+        assert_eq!(Metric::LInf.dim_scale(4), 1.0);
+        assert_eq!(Metric::L1.dim_scale(0), 1.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Metric::L2.name(), "L2");
+        assert_eq!(Metric::Lp(3.0).name(), "L3");
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-column dataset normalisation.
+//!
+//! OD compares distance sums against one global threshold `T`, so
+//! columns on wildly different scales would let one dimension dominate
+//! every subspace. The paper does not discuss normalisation explicitly
+//! but any distance-threshold formulation assumes comparable scales;
+//! both transforms here are standard preprocessing for it.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::stats;
+use crate::Result;
+
+/// Which normalisation to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormKind {
+    /// Rescale each column to `[0, 1]`.
+    MinMax,
+    /// Centre each column to mean 0 and standard deviation 1.
+    ZScore,
+}
+
+/// A fitted per-column affine transform `x' = (x - shift) / scale`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Normalizer {
+    kind: NormKind,
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits the transform on a dataset.
+    pub fn fit(ds: &Dataset, kind: NormKind) -> Result<Self> {
+        if ds.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let d = ds.dim();
+        let mut shift = Vec::with_capacity(d);
+        let mut scale = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = ds.column_vec(c);
+            match kind {
+                NormKind::MinMax => {
+                    let (lo, hi) = stats::min_max(&col).expect("non-empty");
+                    shift.push(lo);
+                    let span = hi - lo;
+                    scale.push(if span > 0.0 { span } else { 1.0 });
+                }
+                NormKind::ZScore => {
+                    shift.push(stats::mean(&col));
+                    let sd = stats::std_dev(&col);
+                    scale.push(if sd > 0.0 { sd } else { 1.0 });
+                }
+            }
+        }
+        Ok(Normalizer { kind, shift, scale })
+    }
+
+    /// The transform kind.
+    pub fn kind(&self) -> NormKind {
+        self.kind
+    }
+
+    /// Dimensionality the transform was fitted on.
+    pub fn dim(&self) -> usize {
+        self.shift.len()
+    }
+
+    /// Applies the transform to a dataset, producing a new one.
+    pub fn apply(&self, ds: &Dataset) -> Result<Dataset> {
+        if ds.dim() != self.dim() {
+            return Err(DataError::Shape { expected: self.dim(), got: ds.dim() });
+        }
+        let mut flat = Vec::with_capacity(ds.len() * ds.dim());
+        for (_, row) in ds.iter() {
+            for (c, &v) in row.iter().enumerate() {
+                flat.push((v - self.shift[c]) / self.scale[c]);
+            }
+        }
+        let mut out = Dataset::from_flat(flat, ds.dim())?;
+        if let Some(names) = ds.names() {
+            out = out.with_names(names.to_vec())?;
+        }
+        Ok(out)
+    }
+
+    /// Transforms a single row (e.g. an external query point).
+    pub fn apply_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.dim() {
+            return Err(DataError::Shape { expected: self.dim(), got: row.len() });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| (v - self.shift[c]) / self.scale[c])
+            .collect())
+    }
+
+    /// Inverts the transform on a single row.
+    pub fn invert_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.dim() {
+            return Err(DataError::Shape { expected: self.dim(), got: row.len() });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| v * self.scale[c] + self.shift[c])
+            .collect())
+    }
+}
+
+/// Convenience: fit-and-apply in one call, returning both the
+/// transformed dataset and the fitted transform (needed to map query
+/// points into the same coordinate system).
+pub fn normalize(ds: &Dataset, kind: NormKind) -> Result<(Dataset, Normalizer)> {
+    let norm = Normalizer::fit(ds, kind)?;
+    let out = norm.apply(ds)?;
+    Ok((out, norm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 10.0],
+            vec![5.0, 20.0],
+            vec![10.0, 30.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let (out, _) = normalize(&ds(), NormKind::MinMax).unwrap();
+        for c in 0..out.dim() {
+            let col = out.column_vec(c);
+            let (lo, hi) = stats::min_max(&col).unwrap();
+            assert!((lo - 0.0).abs() < 1e-12);
+            assert!((hi - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(out.get(1, 0), 0.5);
+    }
+
+    #[test]
+    fn zscore_centres_columns() {
+        let (out, _) = normalize(&ds(), NormKind::ZScore).unwrap();
+        for c in 0..out.dim() {
+            let col = out.column_vec(c);
+            assert!(stats::mean(&col).abs() < 1e-12);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let flat = Dataset::from_rows(&[vec![7.0, 1.0], vec![7.0, 2.0]]).unwrap();
+        let (out, _) = normalize(&flat, NormKind::MinMax).unwrap();
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(1, 0), 0.0);
+        let (out2, _) = normalize(&flat, NormKind::ZScore).unwrap();
+        assert_eq!(out2.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn apply_row_matches_dataset_transform() {
+        let (out, norm) = normalize(&ds(), NormKind::MinMax).unwrap();
+        let r = norm.apply_row(&[5.0, 20.0]).unwrap();
+        assert_eq!(&r[..], out.row(1));
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let (_, norm) = normalize(&ds(), NormKind::ZScore).unwrap();
+        let original = [3.0, 17.0];
+        let fwd = norm.apply_row(&original).unwrap();
+        let back = norm.invert_row(&fwd).unwrap();
+        for (a, b) in original.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let (_, norm) = normalize(&ds(), NormKind::MinMax).unwrap();
+        assert!(norm.apply_row(&[1.0]).is_err());
+        let other = Dataset::from_rows(&[vec![1.0]]).unwrap();
+        assert!(norm.apply(&other).is_err());
+        assert!(Normalizer::fit(&Dataset::empty(), NormKind::MinMax).is_err());
+    }
+
+    #[test]
+    fn names_survive() {
+        let named = ds().with_names(vec!["a".into(), "b".into()]).unwrap();
+        let (out, _) = normalize(&named, NormKind::MinMax).unwrap();
+        assert_eq!(out.names().unwrap()[1], "b");
+    }
+}

@@ -1,0 +1,205 @@
+//! Basic descriptive statistics used across the workspace.
+//!
+//! Includes equi-depth boundary computation, which is the building
+//! block of the Aggarwal–Yu baseline's φ-grid discretisation.
+
+use crate::error::DataError;
+use crate::Result;
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum and maximum; `None` for empty input.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Linear-interpolation quantile of `q ∈ [0,1]` on a *sorted* slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(DataError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(DataError::InvalidParam(format!("quantile {q} outside [0,1]")));
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Quantile of unsorted data (copies and sorts internally).
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_sorted(&v, q)
+}
+
+/// Equi-depth bucket boundaries: splits the value range into `phi`
+/// buckets each holding (as close as possible to) `n/phi` values.
+///
+/// Returns `phi - 1` interior cut points; bucket `j` of value `x` is
+/// the number of cut points `<= x`. Ties at the boundary go to the
+/// higher bucket, matching the usual equi-depth histogram convention.
+pub fn equi_depth_boundaries(xs: &[f64], phi: usize) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(DataError::Empty);
+    }
+    if phi < 1 {
+        return Err(DataError::InvalidParam("phi must be >= 1".into()));
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut cuts = Vec::with_capacity(phi.saturating_sub(1));
+    for j in 1..phi {
+        let q = j as f64 / phi as f64;
+        cuts.push(quantile_sorted(&v, q)?);
+    }
+    Ok(cuts)
+}
+
+/// Bucket index of `x` given boundaries from [`equi_depth_boundaries`].
+/// Result is in `0..=cuts.len()`.
+pub fn bucket_of(x: f64, cuts: &[f64]) -> usize {
+    // Number of cut points strictly below-or-equal — binary search.
+    match cuts.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+        Ok(mut i) => {
+            // Ties go up: skip equal cut points.
+            while i < cuts.len() && cuts[i] <= x {
+                i += 1;
+            }
+            i
+        }
+        Err(i) => i,
+    }
+}
+
+/// Summary of one column: `(mean, std, min, max)`.
+pub fn column_summary(xs: &[f64]) -> Option<(f64, f64, f64, f64)> {
+    let (lo, hi) = min_max(xs)?;
+    Some((mean(xs), std_dev(xs), lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 3.0);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 2.0);
+        // Interpolation between ranks.
+        let ys = [0.0, 10.0];
+        assert_eq!(quantile(&ys, 0.3).unwrap(), 3.0);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&xs, 1.5).is_err());
+        assert_eq!(quantile(&[7.0], 0.9).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn equi_depth_uniform() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cuts = equi_depth_boundaries(&xs, 4).unwrap();
+        assert_eq!(cuts.len(), 3);
+        // Buckets should each receive ~25 values.
+        let mut counts = [0usize; 4];
+        for &x in &xs {
+            counts[bucket_of(x, &cuts)] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equi_depth_errors() {
+        assert!(equi_depth_boundaries(&[], 3).is_err());
+        assert!(equi_depth_boundaries(&[1.0], 0).is_err());
+        assert_eq!(equi_depth_boundaries(&[1.0, 2.0], 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        let cuts = [1.0, 2.0, 3.0];
+        assert_eq!(bucket_of(0.5, &cuts), 0);
+        assert_eq!(bucket_of(1.0, &cuts), 1); // tie goes up
+        assert_eq!(bucket_of(2.5, &cuts), 2);
+        assert_eq!(bucket_of(9.0, &cuts), 3);
+        assert_eq!(bucket_of(5.0, &[]), 0);
+    }
+
+    #[test]
+    fn bucket_of_repeated_cuts() {
+        // Degenerate boundaries from skewed data collapse onto one value.
+        let cuts = [2.0, 2.0, 2.0];
+        assert_eq!(bucket_of(1.0, &cuts), 0);
+        assert_eq!(bucket_of(2.0, &cuts), 3);
+        assert_eq!(bucket_of(3.0, &cuts), 3);
+    }
+
+    #[test]
+    fn summary() {
+        let (m, s, lo, hi) = column_summary(&[1.0, 3.0]).unwrap();
+        assert_eq!(m, 2.0);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 3.0);
+        assert!(s > 0.0);
+        assert!(column_summary(&[]).is_none());
+    }
+}

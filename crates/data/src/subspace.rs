@@ -1,0 +1,514 @@
+//! Axis-parallel subspaces of `R^d` as `u64` bitmasks.
+//!
+//! Bit `i` set means dimension `i` (0-based) participates in the
+//! subspace. The paper displays subspaces 1-based (e.g. `[1,3]` in a
+//! 4-dimensional space); [`Subspace`]'s `Display`/`FromStr` follow that
+//! convention while the programmatic API stays 0-based.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum supported dimensionality (bits in the mask, minus the sign
+/// safety margin we keep so `1u64 << d` never overflows).
+pub const MAX_DIM: usize = 63;
+
+/// An axis-parallel subspace encoded as a bitmask over dimensions.
+///
+/// ```
+/// use hos_data::Subspace;
+///
+/// let s = Subspace::from_dims(&[0, 2]);      // dimensions 1 and 3, 1-based
+/// assert_eq!(s.to_string(), "[1,3]");        // displayed like the paper
+/// assert_eq!(s.dim(), 2);
+/// assert!(s.is_subset_of(Subspace::full(4)));
+/// assert_eq!("[1,3]".parse::<Subspace>().unwrap(), s);
+///
+/// // Lattice navigation:
+/// assert_eq!(s.subsets().count(), 3);        // [1], [3], [1,3]
+/// assert_eq!(s.supersets(4).count(), 4);     // [1,3] [1,2,3] [1,3,4] [1,2,3,4]
+/// assert_eq!(Subspace::all_of_dim(4, 2).count(), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Subspace(u64);
+
+impl Subspace {
+    /// The empty subspace (no dimensions).
+    #[inline]
+    pub const fn empty() -> Self {
+        Subspace(0)
+    }
+
+    /// The full space over `d` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `d > MAX_DIM`.
+    #[inline]
+    pub fn full(d: usize) -> Self {
+        assert!(d <= MAX_DIM, "dimensionality {d} exceeds MAX_DIM {MAX_DIM}");
+        if d == 0 {
+            Subspace(0)
+        } else {
+            Subspace(u64::MAX >> (64 - d))
+        }
+    }
+
+    /// Builds a subspace from a raw bitmask.
+    #[inline]
+    pub const fn from_mask(mask: u64) -> Self {
+        Subspace(mask)
+    }
+
+    /// Builds a subspace containing exactly one dimension.
+    #[inline]
+    pub fn single(dim: usize) -> Self {
+        assert!(dim < MAX_DIM, "dimension {dim} exceeds MAX_DIM");
+        Subspace(1u64 << dim)
+    }
+
+    /// Builds a subspace from a list of 0-based dimensions.
+    pub fn from_dims(dims: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &d in dims {
+            assert!(d < MAX_DIM, "dimension {d} exceeds MAX_DIM");
+            mask |= 1u64 << d;
+        }
+        Subspace(mask)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Number of dimensions in the subspace (the paper's `dim(s)`).
+    #[inline]
+    pub const fn dim(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the subspace contains no dimensions.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether dimension `dim` (0-based) participates.
+    #[inline]
+    pub const fn contains_dim(self, dim: usize) -> bool {
+        dim < 64 && (self.0 >> dim) & 1 == 1
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Subspace) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset_of(self, other: Subspace) -> bool {
+        other.0 & self.0 == other.0
+    }
+
+    /// `self ⊂ other` (strict).
+    #[inline]
+    pub const fn is_strict_subset_of(self, other: Subspace) -> bool {
+        self.0 != other.0 && self.is_subset_of(other)
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: Subspace) -> Subspace {
+        Subspace(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(self, other: Subspace) -> Subspace {
+        Subspace(self.0 & other.0)
+    }
+
+    /// Dimensions of `self` not in `other`.
+    #[inline]
+    pub const fn difference(self, other: Subspace) -> Subspace {
+        Subspace(self.0 & !other.0)
+    }
+
+    /// Complement within a `d`-dimensional full space.
+    #[inline]
+    pub fn complement(self, d: usize) -> Subspace {
+        Subspace(Self::full(d).0 & !self.0)
+    }
+
+    /// Adds a dimension, returning the enlarged subspace.
+    #[inline]
+    pub fn with_dim(self, dim: usize) -> Subspace {
+        assert!(dim < MAX_DIM);
+        Subspace(self.0 | (1u64 << dim))
+    }
+
+    /// Removes a dimension, returning the shrunk subspace.
+    #[inline]
+    pub fn without_dim(self, dim: usize) -> Subspace {
+        Subspace(self.0 & !(1u64 << dim))
+    }
+
+    /// Iterates the 0-based dimensions present, in increasing order.
+    #[inline]
+    pub fn dims(self) -> DimIter {
+        DimIter(self.0)
+    }
+
+    /// Collects the 0-based dimensions into a `Vec`.
+    pub fn dim_vec(self) -> Vec<usize> {
+        self.dims().collect()
+    }
+
+    /// Iterates every non-empty subset of `self` (including `self`).
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter { mask: self.0, sub: self.0, done: self.0 == 0 }
+    }
+
+    /// Iterates every strict, non-empty subset of `self`.
+    pub fn strict_subsets(self) -> impl Iterator<Item = Subspace> {
+        let me = self;
+        self.subsets().filter(move |s| *s != me)
+    }
+
+    /// Iterates every superset of `self` within a `d`-dimensional space
+    /// (including `self`).
+    pub fn supersets(self, d: usize) -> impl Iterator<Item = Subspace> {
+        let comp = self.complement(d);
+        let base = self;
+        // Supersets of s = s ∪ t for every subset t of the complement
+        // (including the empty t, which yields s itself).
+        std::iter::once(base).chain(comp.subsets().map(move |t| base.union(t)))
+    }
+
+    /// Enumerates all subspaces of cardinality `m` within `d`
+    /// dimensions, in increasing mask order (Gosper's hack).
+    pub fn all_of_dim(d: usize, m: usize) -> CardinalityIter {
+        assert!(d <= MAX_DIM);
+        if m == 0 || m > d {
+            return CardinalityIter { cur: 0, limit: 0, done: true };
+        }
+        CardinalityIter {
+            cur: (1u64 << m) - 1,
+            limit: Subspace::full(d).0,
+            done: false,
+        }
+    }
+
+    /// Enumerates every non-empty subspace of a `d`-dimensional space
+    /// in increasing mask order. There are `2^d - 1` of them.
+    pub fn all_nonempty(d: usize) -> impl Iterator<Item = Subspace> {
+        assert!(d <= MAX_DIM);
+        let limit = Subspace::full(d).0;
+        (1..=limit).map(Subspace::from_mask)
+    }
+
+    /// Total number of non-empty subspaces of a `d`-dimensional space.
+    pub fn lattice_size(d: usize) -> u64 {
+        assert!(d <= MAX_DIM);
+        if d == 0 {
+            0
+        } else {
+            (1u64 << d) - 1
+        }
+    }
+}
+
+impl fmt::Debug for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subspace{self}")
+    }
+}
+
+/// Displays 1-based, matching the paper: `[1, 3]`.
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", d + 1)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Parses the paper's 1-based notation, e.g. `[1,3]` or `1,3`.
+impl FromStr for Subspace {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let inner = s.trim().trim_start_matches('[').trim_end_matches(']');
+        if inner.trim().is_empty() {
+            return Ok(Subspace::empty());
+        }
+        let mut mask = 0u64;
+        for part in inner.split(',') {
+            let v: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid dimension {part:?} in subspace {s:?}"))?;
+            if v == 0 || v > MAX_DIM {
+                return Err(format!("dimension {v} out of range 1..={MAX_DIM}"));
+            }
+            mask |= 1u64 << (v - 1);
+        }
+        Ok(Subspace(mask))
+    }
+}
+
+/// Iterator over the dimensions of a subspace.
+#[derive(Clone)]
+pub struct DimIter(u64);
+
+impl Iterator for DimIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let d = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(d)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DimIter {}
+
+/// Iterator over all non-empty submasks of a mask, descending.
+pub struct SubsetIter {
+    mask: u64,
+    sub: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = Subspace;
+
+    fn next(&mut self) -> Option<Subspace> {
+        if self.done {
+            return None;
+        }
+        let cur = self.sub;
+        if cur == 0 {
+            self.done = true;
+            return None;
+        }
+        self.sub = (self.sub - 1) & self.mask;
+        if self.sub == 0 {
+            self.done = true;
+        }
+        Some(Subspace(cur))
+    }
+}
+
+/// Iterator over all masks with a fixed popcount (Gosper's hack).
+pub struct CardinalityIter {
+    cur: u64,
+    limit: u64,
+    done: bool,
+}
+
+impl Iterator for CardinalityIter {
+    type Item = Subspace;
+
+    fn next(&mut self) -> Option<Subspace> {
+        if self.done || self.cur > self.limit {
+            self.done = true;
+            return None;
+        }
+        let out = Subspace(self.cur);
+        // Gosper's hack: next integer with the same popcount.
+        let c = self.cur;
+        let lowest = c & c.wrapping_neg();
+        let ripple = c + lowest;
+        if lowest == 0 || ripple == 0 {
+            self.done = true;
+        } else {
+            self.cur = ripple | (((c ^ ripple) >> 2) / lowest);
+            if self.cur > self.limit {
+                self.done = true;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(Subspace::empty().dim(), 0);
+        assert!(Subspace::empty().is_empty());
+        assert_eq!(Subspace::full(4).mask(), 0b1111);
+        assert_eq!(Subspace::full(4).dim(), 4);
+        assert_eq!(Subspace::full(0), Subspace::empty());
+        assert_eq!(Subspace::full(63).dim(), 63);
+    }
+
+    #[test]
+    fn from_dims_roundtrip() {
+        let s = Subspace::from_dims(&[0, 2]);
+        assert_eq!(s.dim_vec(), vec![0, 2]);
+        assert!(s.contains_dim(0));
+        assert!(!s.contains_dim(1));
+        assert!(s.contains_dim(2));
+        assert!(!s.contains_dim(63));
+    }
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        // The paper writes the subspace over dimensions {1,3} as [1,3].
+        let s = Subspace::from_dims(&[0, 2]);
+        assert_eq!(s.to_string(), "[1,3]");
+        assert_eq!(Subspace::empty().to_string(), "[]");
+    }
+
+    #[test]
+    fn parse_one_based() {
+        let s: Subspace = "[1,3]".parse().unwrap();
+        assert_eq!(s, Subspace::from_dims(&[0, 2]));
+        let s2: Subspace = " 2 , 4 ".parse().unwrap();
+        assert_eq!(s2, Subspace::from_dims(&[1, 3]));
+        assert_eq!("[]".parse::<Subspace>().unwrap(), Subspace::empty());
+        assert!("[0]".parse::<Subspace>().is_err());
+        assert!("[x]".parse::<Subspace>().is_err());
+        assert!("[64]".parse::<Subspace>().is_err());
+    }
+
+    #[test]
+    fn subset_superset_relations() {
+        let s13 = Subspace::from_dims(&[0, 2]);
+        let s123 = Subspace::from_dims(&[0, 1, 2]);
+        assert!(s13.is_subset_of(s123));
+        assert!(s13.is_strict_subset_of(s123));
+        assert!(s123.is_superset_of(s13));
+        assert!(!s123.is_subset_of(s13));
+        assert!(s13.is_subset_of(s13));
+        assert!(!s13.is_strict_subset_of(s13));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Subspace::from_dims(&[0, 1]);
+        let b = Subspace::from_dims(&[1, 2]);
+        assert_eq!(a.union(b), Subspace::from_dims(&[0, 1, 2]));
+        assert_eq!(a.intersect(b), Subspace::from_dims(&[1]));
+        assert_eq!(a.difference(b), Subspace::from_dims(&[0]));
+        assert_eq!(a.complement(4), Subspace::from_dims(&[2, 3]));
+        assert_eq!(a.with_dim(3), Subspace::from_dims(&[0, 1, 3]));
+        assert_eq!(a.without_dim(0), Subspace::from_dims(&[1]));
+    }
+
+    #[test]
+    fn subsets_enumeration_is_complete() {
+        let s = Subspace::from_dims(&[0, 2, 3]);
+        let subs: Vec<Subspace> = s.subsets().collect();
+        assert_eq!(subs.len(), 7); // 2^3 - 1 non-empty subsets
+        for sub in &subs {
+            assert!(sub.is_subset_of(s));
+            assert!(!sub.is_empty());
+        }
+        // All distinct.
+        let mut masks: Vec<u64> = subs.iter().map(|s| s.mask()).collect();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 7);
+    }
+
+    #[test]
+    fn strict_subsets_exclude_self() {
+        let s = Subspace::from_dims(&[1, 4]);
+        let subs: Vec<Subspace> = s.strict_subsets().collect();
+        assert_eq!(subs.len(), 2);
+        assert!(!subs.contains(&s));
+    }
+
+    #[test]
+    fn empty_has_no_subsets() {
+        assert_eq!(Subspace::empty().subsets().count(), 0);
+    }
+
+    #[test]
+    fn supersets_enumeration_is_complete() {
+        let s = Subspace::from_dims(&[1]);
+        let sups: Vec<Subspace> = s.supersets(3).collect();
+        // Supersets of {1} in 3 dims: {1},{0,1},{1,2},{0,1,2}.
+        assert_eq!(sups.len(), 4);
+        for sup in &sups {
+            assert!(sup.is_superset_of(s));
+        }
+    }
+
+    #[test]
+    fn all_of_dim_matches_binomial() {
+        fn binom(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1usize;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        for d in 1..=8 {
+            for m in 0..=d + 1 {
+                let got = Subspace::all_of_dim(d, m).count();
+                // m == 0 would be the empty subspace, which the
+                // iterator deliberately excludes.
+                let expected = if m == 0 { 0 } else { binom(d, m) };
+                assert_eq!(got, expected, "d={d} m={m}");
+                for s in Subspace::all_of_dim(d, m) {
+                    assert_eq!(s.dim(), m);
+                    assert!(s.is_subset_of(Subspace::full(d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_nonempty_counts() {
+        assert_eq!(Subspace::all_nonempty(4).count(), 15);
+        assert_eq!(Subspace::lattice_size(4), 15);
+        assert_eq!(Subspace::lattice_size(0), 0);
+        assert_eq!(Subspace::lattice_size(1), 1);
+    }
+
+    #[test]
+    fn dims_iterator_is_sorted_and_exact() {
+        let s = Subspace::from_dims(&[5, 1, 9]);
+        let v = s.dim_vec();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(s.dims().len(), 3);
+    }
+
+    #[test]
+    fn gosper_handles_top_of_range() {
+        // m == d: exactly one subspace, the full space.
+        let v: Vec<Subspace> = Subspace::all_of_dim(6, 6).collect();
+        assert_eq!(v, vec![Subspace::full(6)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_rejects_oversized_dim() {
+        let _ = Subspace::full(64);
+    }
+}

@@ -1,0 +1,195 @@
+//! Correlation-structured data reproducing the paper's Figure 1
+//! scenario: a query point whose outlyingness is visible in one 2-d
+//! view and absent in others.
+//!
+//! Dimensions come in pairs. In a *correlated* pair the second
+//! coordinate is a linear function of the first plus small noise, so
+//! the data forms a tight band; a point that is marginally normal in
+//! each coordinate but off the band is a strong 2-d outlier. In a
+//! *blob* pair the coordinates are independent, so the same point is
+//! unremarkable.
+
+use super::normal;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::subspace::Subspace;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of pairwise-structured data.
+#[derive(Clone, Debug)]
+pub struct CorrelatedSpec {
+    /// Number of background points.
+    pub n: usize,
+    /// Number of dimension *pairs*; total dimensionality is `2 * pairs`.
+    pub pairs: usize,
+    /// Indices of pairs (0-based) that carry the correlation band;
+    /// the rest are independent blobs.
+    pub correlated_pairs: Vec<usize>,
+    /// Noise level of the band (fraction of the coordinate range).
+    pub band_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorrelatedSpec {
+    fn default() -> Self {
+        CorrelatedSpec {
+            n: 300,
+            pairs: 3,
+            correlated_pairs: vec![0],
+            band_noise: 0.03,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of [`figure1_views`]: the dataset, the query point and the
+/// 2-d views (as subspaces) in which the query is expected to be an
+/// outlier / inlier respectively.
+#[derive(Clone, Debug)]
+pub struct Figure1Data {
+    /// Background points.
+    pub dataset: Dataset,
+    /// The query point `p` from Figure 1.
+    pub query: Vec<f64>,
+    /// Views where `p` breaks the structure (expected outlying).
+    pub outlying_views: Vec<Subspace>,
+    /// Views where `p` blends in (expected non-outlying).
+    pub inlying_views: Vec<Subspace>,
+}
+
+/// Generates the Figure 1 workload.
+///
+/// Coordinates live in `[0, 1]`. In correlated pairs the band is
+/// `y = x` with `band_noise` jitter and the query sits at
+/// `(0.1, 0.9)` — marginally typical (both coordinates are well inside
+/// the data range), but maximally far off the band, so the joint view
+/// is strongly anomalous. In blob pairs both coordinates are
+/// independent `N(0.5, 0.15)` and the query sits near the blob centre.
+pub fn figure1_views(spec: &CorrelatedSpec) -> Result<Figure1Data> {
+    if spec.pairs == 0 || spec.n == 0 {
+        return Err(DataError::Empty);
+    }
+    for &p in &spec.correlated_pairs {
+        if p >= spec.pairs {
+            return Err(DataError::InvalidParam(format!(
+                "correlated pair {p} out of range 0..{}",
+                spec.pairs
+            )));
+        }
+    }
+    let d = spec.pairs * 2;
+    if d > crate::subspace::MAX_DIM {
+        return Err(DataError::DimTooLarge { dim: d, max: crate::subspace::MAX_DIM });
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut flat = Vec::with_capacity(spec.n * d);
+    for _ in 0..spec.n {
+        for p in 0..spec.pairs {
+            if spec.correlated_pairs.contains(&p) {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let y = (x + normal(&mut rng, 0.0, spec.band_noise)).clamp(0.0, 1.0);
+                flat.push(x);
+                flat.push(y);
+            } else {
+                flat.push(normal(&mut rng, 0.5, 0.15).clamp(0.0, 1.0));
+                flat.push(normal(&mut rng, 0.5, 0.15).clamp(0.0, 1.0));
+            }
+        }
+    }
+    let dataset = Dataset::from_flat(flat, d)?;
+
+    let mut query = Vec::with_capacity(d);
+    let mut outlying_views = Vec::new();
+    let mut inlying_views = Vec::new();
+    for p in 0..spec.pairs {
+        let view = Subspace::from_dims(&[2 * p, 2 * p + 1]);
+        if spec.correlated_pairs.contains(&p) {
+            // Marginally typical, far off the band.
+            query.push(0.1);
+            query.push(0.9);
+            outlying_views.push(view);
+        } else {
+            query.push(0.5);
+            query.push(0.52);
+            inlying_views.push(view);
+        }
+    }
+
+    Ok(Figure1Data { dataset, query, outlying_views, inlying_views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    #[test]
+    fn shape() {
+        let f = figure1_views(&CorrelatedSpec::default()).unwrap();
+        assert_eq!(f.dataset.dim(), 6);
+        assert_eq!(f.dataset.len(), 300);
+        assert_eq!(f.query.len(), 6);
+        assert_eq!(f.outlying_views.len(), 1);
+        assert_eq!(f.inlying_views.len(), 2);
+    }
+
+    #[test]
+    fn query_is_anomalous_only_in_correlated_view() {
+        let f = figure1_views(&CorrelatedSpec::default()).unwrap();
+        // Average distance to 5 nearest neighbours per view.
+        let knn_score = |view: Subspace| -> f64 {
+            let mut dists: Vec<f64> = f
+                .dataset
+                .iter()
+                .map(|(_, row)| Metric::L2.dist_sub(&f.query, row, view))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            dists.iter().take(5).sum()
+        };
+        let outlying = knn_score(f.outlying_views[0]);
+        for &v in &f.inlying_views {
+            let inlying = knn_score(v);
+            assert!(
+                outlying > inlying * 3.0,
+                "outlying view score {outlying} vs inlying {inlying}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_is_tight() {
+        let f = figure1_views(&CorrelatedSpec::default()).unwrap();
+        // In the correlated pair, |y - x| stays small for background
+        // points.
+        let mut max_gap: f64 = 0.0;
+        for (_, row) in f.dataset.iter() {
+            max_gap = max_gap.max((row[0] - row[1]).abs());
+        }
+        assert!(max_gap < 0.25, "band gap {max_gap}");
+        // While the query is far off the band.
+        assert!((f.query[0] - f.query[1]).abs() > 0.6);
+    }
+
+    #[test]
+    fn validation() {
+        let s = CorrelatedSpec { pairs: 0, ..CorrelatedSpec::default() };
+        assert!(figure1_views(&s).is_err());
+        let s = CorrelatedSpec { correlated_pairs: vec![9], ..CorrelatedSpec::default() };
+        assert!(figure1_views(&s).is_err());
+        let s = CorrelatedSpec { n: 0, ..CorrelatedSpec::default() };
+        assert!(figure1_views(&s).is_err());
+        // 80 dims > MAX_DIM
+        let s = CorrelatedSpec { pairs: 40, ..CorrelatedSpec::default() };
+        assert!(figure1_views(&s).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = figure1_views(&CorrelatedSpec::default()).unwrap();
+        let b = figure1_views(&CorrelatedSpec::default()).unwrap();
+        assert_eq!(a.dataset, b.dataset);
+    }
+}

@@ -1,0 +1,180 @@
+//! Gaussian mixture generation — the standard clustered background
+//! against which outliers are meaningful.
+
+use super::normal;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One mixture component: an axis-aligned Gaussian blob.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Component centre (fixes the dimensionality).
+    pub center: Vec<f64>,
+    /// Per-dimension standard deviation (scalar, axis-aligned).
+    pub sigma: f64,
+    /// Relative sampling weight (need not be normalised).
+    pub weight: f64,
+}
+
+/// A mixture of axis-aligned Gaussian clusters.
+#[derive(Clone, Debug)]
+pub struct GaussianMixture {
+    clusters: Vec<ClusterSpec>,
+    d: usize,
+}
+
+impl GaussianMixture {
+    /// Builds a mixture, validating that all centres agree on
+    /// dimensionality and weights/sigmas are positive.
+    pub fn new(clusters: Vec<ClusterSpec>) -> Result<Self> {
+        let first = clusters.first().ok_or(DataError::Empty)?;
+        let d = first.center.len();
+        for c in &clusters {
+            if c.center.len() != d {
+                return Err(DataError::Shape { expected: d, got: c.center.len() });
+            }
+            if c.sigma <= 0.0 {
+                return Err(DataError::InvalidParam(format!("sigma {} <= 0", c.sigma)));
+            }
+            if c.weight <= 0.0 {
+                return Err(DataError::InvalidParam(format!("weight {} <= 0", c.weight)));
+            }
+        }
+        Ok(GaussianMixture { clusters, d })
+    }
+
+    /// Convenience constructor: `k` clusters with centres drawn
+    /// uniformly from `[0, extent]^d`, equal weights, common sigma.
+    pub fn random(k: usize, d: usize, extent: f64, sigma: f64, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(DataError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clusters = (0..k)
+            .map(|_| ClusterSpec {
+                center: (0..d).map(|_| rng.gen_range(0.0..extent)).collect(),
+                sigma,
+                weight: 1.0,
+            })
+            .collect();
+        GaussianMixture::new(clusters)
+    }
+
+    /// Dimensionality of the mixture.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The mixture components.
+    pub fn clusters(&self) -> &[ClusterSpec] {
+        &self.clusters
+    }
+
+    /// Samples the index of a component proportionally to weight.
+    fn sample_component<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut t = rng.gen_range(0.0..total);
+        for (i, c) in self.clusters.iter().enumerate() {
+            if t < c.weight {
+                return i;
+            }
+            t -= c.weight;
+        }
+        self.clusters.len() - 1
+    }
+
+    /// Samples one point into `out` (must have length `d`), returning
+    /// the component index it came from.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) -> usize {
+        debug_assert_eq!(out.len(), self.d);
+        let ci = self.sample_component(rng);
+        let c = &self.clusters[ci];
+        for (o, &mu) in out.iter_mut().zip(&c.center) {
+            *o = normal(rng, mu, c.sigma);
+        }
+        ci
+    }
+
+    /// Generates a dataset of `n` samples, also returning the component
+    /// assignment of each point.
+    pub fn generate(&self, n: usize, seed: u64) -> Result<(Dataset, Vec<usize>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = vec![0.0; n * self.d];
+        let mut assign = Vec::with_capacity(n);
+        for i in 0..n {
+            let ci = self.sample_into(&mut rng, &mut flat[i * self.d..(i + 1) * self.d]);
+            assign.push(ci);
+        }
+        Ok((Dataset::from_flat(flat, self.d)?, assign))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn validation() {
+        assert!(GaussianMixture::new(vec![]).is_err());
+        let bad_dim = vec![
+            ClusterSpec { center: vec![0.0], sigma: 1.0, weight: 1.0 },
+            ClusterSpec { center: vec![0.0, 1.0], sigma: 1.0, weight: 1.0 },
+        ];
+        assert!(GaussianMixture::new(bad_dim).is_err());
+        let bad_sigma = vec![ClusterSpec { center: vec![0.0], sigma: 0.0, weight: 1.0 }];
+        assert!(GaussianMixture::new(bad_sigma).is_err());
+        let bad_weight = vec![ClusterSpec { center: vec![0.0], sigma: 1.0, weight: -1.0 }];
+        assert!(GaussianMixture::new(bad_weight).is_err());
+    }
+
+    #[test]
+    fn single_cluster_statistics() {
+        let gm = GaussianMixture::new(vec![ClusterSpec {
+            center: vec![5.0, -2.0],
+            sigma: 0.5,
+            weight: 1.0,
+        }])
+        .unwrap();
+        let (ds, assign) = gm.generate(5000, 1).unwrap();
+        assert_eq!(ds.len(), 5000);
+        assert!(assign.iter().all(|&a| a == 0));
+        assert!((stats::mean(&ds.column_vec(0)) - 5.0).abs() < 0.05);
+        assert!((stats::mean(&ds.column_vec(1)) + 2.0).abs() < 0.05);
+        assert!((stats::std_dev(&ds.column_vec(0)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn weights_drive_component_frequencies() {
+        let gm = GaussianMixture::new(vec![
+            ClusterSpec { center: vec![0.0], sigma: 0.1, weight: 3.0 },
+            ClusterSpec { center: vec![100.0], sigma: 0.1, weight: 1.0 },
+        ])
+        .unwrap();
+        let (_, assign) = gm.generate(4000, 5).unwrap();
+        let c0 = assign.iter().filter(|&&a| a == 0).count();
+        let frac = c0 as f64 / assign.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn random_mixture_shape() {
+        let gm = GaussianMixture::random(4, 6, 100.0, 2.0, 9).unwrap();
+        assert_eq!(gm.dim(), 6);
+        assert_eq!(gm.clusters().len(), 4);
+        let (ds, _) = gm.generate(100, 2).unwrap();
+        assert_eq!(ds.dim(), 6);
+        assert!(GaussianMixture::random(0, 2, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let gm = GaussianMixture::random(2, 3, 10.0, 1.0, 7).unwrap();
+        let (a, _) = gm.generate(64, 3).unwrap();
+        let (b, _) = gm.generate(64, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Skewed-marginal data: exponential and log-normal columns.
+//!
+//! Distance-threshold methods behave differently on heavy-tailed
+//! marginals (the "outliers" of a skewed column are its routine tail),
+//! so the test and experiment suites need a generator whose columns
+//! are *not* symmetric. Variates derive from the crate's Box–Muller
+//! normal (log-normal) and inverse-CDF sampling (exponential), keeping
+//! the dependency set unchanged.
+
+use super::{normal, std_normal};
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marginal distribution of one column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ColumnDist {
+    /// Normal with mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (> 0).
+        sd: f64,
+    },
+    /// Exponential with rate `lambda` (> 0); mean `1/lambda`.
+    Exponential {
+        /// Rate parameter.
+        lambda: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Location of the underlying normal.
+        mu: f64,
+        /// Scale of the underlying normal (> 0).
+        sigma: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound (> lo).
+        hi: f64,
+    },
+}
+
+impl ColumnDist {
+    fn validate(&self) -> Result<()> {
+        let ok = match self {
+            ColumnDist::Normal { sd, .. } => *sd > 0.0,
+            ColumnDist::Exponential { lambda } => *lambda > 0.0,
+            ColumnDist::LogNormal { sigma, .. } => *sigma > 0.0,
+            ColumnDist::Uniform { lo, hi } => hi > lo,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(DataError::InvalidParam(format!("invalid column distribution {self:?}")))
+        }
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ColumnDist::Normal { mean, sd } => normal(rng, mean, sd),
+            ColumnDist::Exponential { lambda } => {
+                // Inverse CDF; guard log(0).
+                let u: f64 = loop {
+                    let u = rng.gen::<f64>();
+                    if u > f64::MIN_POSITIVE {
+                        break u;
+                    }
+                };
+                -u.ln() / lambda
+            }
+            ColumnDist::LogNormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),
+            ColumnDist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+        }
+    }
+}
+
+/// Generates `n` points whose columns follow the given independent
+/// marginals (one [`ColumnDist`] per dimension).
+pub fn mixed_marginals(n: usize, columns: &[ColumnDist], seed: u64) -> Result<Dataset> {
+    if columns.is_empty() {
+        return Err(DataError::Empty);
+    }
+    for c in columns {
+        c.validate()?;
+    }
+    let d = columns.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flat = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        for c in columns {
+            flat.push(c.sample(&mut rng));
+        }
+    }
+    Dataset::from_flat(flat, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn exponential_moments() {
+        let cols = [ColumnDist::Exponential { lambda: 2.0 }];
+        let ds = mixed_marginals(20_000, &cols, 5).unwrap();
+        let col = ds.column_vec(0);
+        assert!((stats::mean(&col) - 0.5).abs() < 0.02);
+        // Exponential is non-negative and right-skewed: median < mean.
+        assert!(col.iter().all(|&v| v >= 0.0));
+        let median = stats::quantile(&col, 0.5).unwrap();
+        assert!(median < stats::mean(&col));
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let cols = [ColumnDist::LogNormal { mu: 0.0, sigma: 0.5 }];
+        let ds = mixed_marginals(20_000, &cols, 7).unwrap();
+        let col = ds.column_vec(0);
+        // E[lognormal] = exp(mu + sigma^2/2).
+        let expected = (0.125f64).exp();
+        assert!((stats::mean(&col) - expected).abs() < 0.03, "mean {}", stats::mean(&col));
+        assert!(col.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn mixed_columns_are_independent_shapes() {
+        let cols = [
+            ColumnDist::Normal { mean: 10.0, sd: 1.0 },
+            ColumnDist::Exponential { lambda: 1.0 },
+            ColumnDist::Uniform { lo: -1.0, hi: 1.0 },
+        ];
+        let ds = mixed_marginals(5000, &cols, 3).unwrap();
+        assert_eq!(ds.dim(), 3);
+        assert!((stats::mean(&ds.column_vec(0)) - 10.0).abs() < 0.1);
+        assert!((stats::mean(&ds.column_vec(1)) - 1.0).abs() < 0.1);
+        assert!(ds.column(2).all(|v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(mixed_marginals(10, &[], 0).is_err());
+        assert!(mixed_marginals(10, &[ColumnDist::Normal { mean: 0.0, sd: 0.0 }], 0).is_err());
+        assert!(mixed_marginals(10, &[ColumnDist::Exponential { lambda: -1.0 }], 0).is_err());
+        assert!(mixed_marginals(10, &[ColumnDist::Uniform { lo: 1.0, hi: 1.0 }], 0).is_err());
+        assert!(
+            mixed_marginals(10, &[ColumnDist::LogNormal { mu: 0.0, sigma: 0.0 }], 0).is_err()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cols = [ColumnDist::Exponential { lambda: 1.0 }; 2];
+        let a = mixed_marginals(100, &cols, 11).unwrap();
+        let b = mixed_marginals(100, &cols, 11).unwrap();
+        assert_eq!(a, b);
+    }
+}

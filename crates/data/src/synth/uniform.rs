@@ -1,0 +1,62 @@
+//! Uniform random data — the "no structure" control workload.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` points uniformly distributed in `[lo, hi]^d`.
+pub fn uniform(n: usize, d: usize, lo: f64, hi: f64, seed: u64) -> Result<Dataset> {
+    if hi <= lo {
+        return Err(DataError::InvalidParam(format!("empty range [{lo}, {hi}]")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flat = Vec::with_capacity(n * d);
+    for _ in 0..n * d {
+        flat.push(rng.gen_range(lo..hi));
+    }
+    Dataset::from_flat(flat, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn shape_and_range() {
+        let ds = uniform(500, 4, -1.0, 1.0, 3).unwrap();
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 4);
+        for (_, row) in ds.iter() {
+            for &v in row {
+                assert!((-1.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let ds = uniform(5000, 2, 0.0, 10.0, 11).unwrap();
+        for c in 0..2 {
+            let m = stats::mean(&ds.column_vec(c));
+            assert!((m - 5.0).abs() < 0.3, "col {c} mean {m}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uniform(50, 3, 0.0, 1.0, 9).unwrap();
+        let b = uniform(50, 3, 0.0, 1.0, 9).unwrap();
+        assert_eq!(a, b);
+        let c = uniform(50, 3, 0.0, 1.0, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        assert!(uniform(10, 2, 1.0, 1.0, 0).is_err());
+        assert!(uniform(10, 2, 2.0, 1.0, 0).is_err());
+    }
+}

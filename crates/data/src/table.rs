@@ -1,0 +1,225 @@
+//! Minimal plain-text and CSV table rendering.
+//!
+//! The experiment harness and the examples print small result tables;
+//! this module keeps that output consistent (aligned text for the
+//! terminal, CSV for `results/*.csv`).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple table: a header row plus data rows of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row; arity must match the header.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — this is developer-facing output code
+    /// and a mismatch is a bug at the call site.
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "table row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for
+/// table display.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Renders a crude ASCII scatter plot of 2-d points, marking one
+/// highlighted point with `*` (used by the Figure 1 example).
+pub fn ascii_scatter(points: &[(f64, f64)], highlight: (f64, f64), w: usize, h: usize) -> String {
+    let mut lo_x = highlight.0;
+    let mut hi_x = highlight.0;
+    let mut lo_y = highlight.1;
+    let mut hi_y = highlight.1;
+    for &(x, y) in points {
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    let span_x = (hi_x - lo_x).max(1e-9);
+    let span_y = (hi_y - lo_y).max(1e-9);
+    let mut grid = vec![vec![b' '; w]; h];
+    let place = |x: f64, y: f64| {
+        let cx = (((x - lo_x) / span_x) * (w - 1) as f64).round() as usize;
+        let cy = (((y - lo_y) / span_y) * (h - 1) as f64).round() as usize;
+        (cx.min(w - 1), h - 1 - cy.min(h - 1))
+    };
+    for &(x, y) in points {
+        let (cx, cy) = place(x, y);
+        grid[cy][cx] = b'x';
+    }
+    let (cx, cy) = place(highlight.0, highlight.1);
+    grid[cy][cx] = b'*';
+    let mut out = String::with_capacity((w + 3) * h);
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push_str("+\n");
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.push(vec!["a", "1"]);
+        t.push(vec!["long-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.push(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_f64(0.000123), "0.00012");
+    }
+
+    #[test]
+    fn scatter_contains_highlight() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (0.5, 0.2)];
+        let s = ascii_scatter(&pts, (0.9, 0.1), 20, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains('x'));
+        assert_eq!(s.lines().count(), 12);
+    }
+
+    #[test]
+    fn scatter_degenerate_extent() {
+        // All points identical — must not divide by zero or go OOB.
+        let pts = vec![(2.0, 2.0), (2.0, 2.0)];
+        let s = ascii_scatter(&pts, (2.0, 2.0), 8, 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("hos_table_test").join("nested");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(vec!["x"]);
+        t.push(vec!["9"]);
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the data layer's core invariants.
+//!
+//! The single most load-bearing fact in the whole system is metric
+//! projection monotonicity (it justifies the paper's Property 1/2 and
+//! therefore every pruning step), so it gets exercised across random
+//! points, masks and metrics here.
+
+use hos_data::metric::Metric;
+use hos_data::stats;
+use hos_data::subspace::Subspace;
+use proptest::prelude::*;
+
+const D: usize = 12;
+
+fn arb_point() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, D)
+}
+
+fn arb_mask() -> impl Strategy<Value = u64> {
+    0u64..(1u64 << D)
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::L1),
+        Just(Metric::L2),
+        Just(Metric::LInf),
+        (1.0f64..5.0).prop_map(Metric::Lp),
+    ]
+}
+
+proptest! {
+    /// dist_{s∩t} <= dist_s for any masks: projection monotonicity.
+    #[test]
+    fn metric_projection_monotone(a in arb_point(), b in arb_point(),
+                                  m1 in arb_mask(), m2 in arb_mask(),
+                                  metric in arb_metric()) {
+        let s = Subspace::from_mask(m1);
+        let sub = Subspace::from_mask(m1 & m2); // guaranteed subset of s
+        let d_sub = metric.dist_sub(&a, &b, sub);
+        let d_sup = metric.dist_sub(&a, &b, s);
+        prop_assert!(d_sub <= d_sup + 1e-9,
+            "metric {metric:?}: subset dist {d_sub} > superset dist {d_sup}");
+    }
+
+    /// Metric axioms on subspace distances: symmetry, identity,
+    /// non-negativity, triangle inequality.
+    #[test]
+    fn metric_axioms(a in arb_point(), b in arb_point(), c in arb_point(),
+                     m in arb_mask(), metric in arb_metric()) {
+        let s = Subspace::from_mask(m);
+        let ab = metric.dist_sub(&a, &b, s);
+        let ba = metric.dist_sub(&b, &a, s);
+        let aa = metric.dist_sub(&a, &a, s);
+        let ac = metric.dist_sub(&a, &c, s);
+        let cb = metric.dist_sub(&c, &b, s);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(aa.abs() < 1e-12);
+        prop_assert!(ab <= ac + cb + 1e-6,
+            "triangle violated: {ab} > {ac} + {cb}");
+    }
+
+    /// pre_dist_sub is a monotone transform of dist_sub.
+    #[test]
+    fn pre_dist_is_order_preserving(a in arb_point(), b in arb_point(), c in arb_point(),
+                                    m in arb_mask(), metric in arb_metric()) {
+        let s = Subspace::from_mask(m);
+        let d_ab = metric.dist_sub(&a, &b, s);
+        let d_ac = metric.dist_sub(&a, &c, s);
+        let p_ab = metric.pre_dist_sub(&a, &b, s);
+        let p_ac = metric.pre_dist_sub(&a, &c, s);
+        if d_ab + 1e-9 < d_ac {
+            prop_assert!(p_ab <= p_ac + 1e-9);
+        }
+        prop_assert!((metric.finish(p_ab) - d_ab).abs() < 1e-6);
+    }
+
+    /// Subset/superset relations and set algebra are consistent.
+    #[test]
+    fn subspace_algebra(m1 in arb_mask(), m2 in arb_mask()) {
+        let a = Subspace::from_mask(m1);
+        let b = Subspace::from_mask(m2);
+        let u = a.union(b);
+        let i = a.intersect(b);
+        prop_assert!(a.is_subset_of(u) && b.is_subset_of(u));
+        prop_assert!(i.is_subset_of(a) && i.is_subset_of(b));
+        prop_assert_eq!(a.is_subset_of(b), b.is_superset_of(a));
+        prop_assert_eq!(u.dim() + i.dim(), a.dim() + b.dim());
+        prop_assert_eq!(a.difference(b).union(i), a);
+        // Complement within D dims partitions the full space.
+        let comp = a.complement(D);
+        prop_assert_eq!(a.union(comp), Subspace::full(D));
+        prop_assert!(a.intersect(comp).is_empty());
+    }
+
+    /// Every enumerated subset really is a subset, and the count is 2^m - 1.
+    #[test]
+    fn subsets_are_subsets(m in 0u64..(1u64 << 10)) {
+        let s = Subspace::from_mask(m);
+        let mut count = 0u64;
+        for sub in s.subsets() {
+            prop_assert!(sub.is_subset_of(s));
+            prop_assert!(!sub.is_empty());
+            count += 1;
+        }
+        let expected = if s.is_empty() { 0 } else { (1u64 << s.dim()) - 1 };
+        prop_assert_eq!(count, expected);
+    }
+
+    /// Display/FromStr round-trips.
+    #[test]
+    fn subspace_display_roundtrip(m in arb_mask()) {
+        let s = Subspace::from_mask(m);
+        let text = s.to_string();
+        let back: Subspace = text.parse().unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(mut xs in prop::collection::vec(-100.0f64..100.0, 1..50),
+                         q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = stats::quantile(&xs, lo).unwrap();
+        let b = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(a >= xs[0] - 1e-9 && b <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// Equi-depth buckets cover all data and are roughly balanced.
+    #[test]
+    fn equi_depth_buckets_balanced(xs in prop::collection::vec(-1e6f64..1e6, 50..200),
+                                   phi in 2usize..10) {
+        let cuts = stats::equi_depth_boundaries(&xs, phi).unwrap();
+        prop_assert_eq!(cuts.len(), phi - 1);
+        let mut counts = vec![0usize; phi];
+        for &x in &xs {
+            let b = stats::bucket_of(x, &cuts);
+            prop_assert!(b < phi);
+            counts[b] += 1;
+        }
+        // With continuous (almost surely distinct) data each bucket
+        // holds n/phi ± 2.
+        let target = xs.len() as f64 / phi as f64;
+        for &c in &counts {
+            prop_assert!((c as f64 - target).abs() <= 2.0 + target * 0.1,
+                "counts {counts:?} target {target}");
+        }
+    }
+}

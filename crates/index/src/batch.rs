@@ -1,0 +1,100 @@
+//! Multi-threaded batch OD evaluation.
+//!
+//! The dynamic subspace search evaluates OD for a whole *level* of the
+//! lattice at a time (all unpruned subspaces with the same
+//! dimensionality), which parallelises embarrassingly: each subspace's
+//! k-NN query is independent. Crossbeam scoped threads split the
+//! subspace list across `threads` workers.
+
+use crate::knn::KnnEngine;
+use hos_data::{PointId, Subspace};
+
+/// Evaluates `OD(query, s)` for every subspace in `subspaces`,
+/// returning results in input order.
+///
+/// `threads == 1` (or a single subspace) short-circuits to a serial
+/// loop — important because the search calls this with small batches
+/// where thread spawn overhead would dominate.
+pub fn batch_od(
+    engine: &dyn KnnEngine,
+    query: &[f64],
+    k: usize,
+    subspaces: &[Subspace],
+    exclude: Option<PointId>,
+    threads: usize,
+) -> Vec<f64> {
+    if subspaces.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(subspaces.len());
+    if threads == 1 {
+        return subspaces
+            .iter()
+            .map(|&s| engine.od(query, k, s, exclude))
+            .collect();
+    }
+    let mut out = vec![0.0f64; subspaces.len()];
+    let chunk = subspaces.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (slice_in, slice_out) in subspaces.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (s, o) in slice_in.iter().zip(slice_out.iter_mut()) {
+                    *o = engine.od(query, k, *s, exclude);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use hos_data::{Dataset, Metric};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (LinearScan, Vec<f64>, Vec<Subspace>) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = 6;
+        let flat: Vec<f64> = (0..500 * d).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let ds = Dataset::from_flat(flat, d).unwrap();
+        let q: Vec<f64> = ds.row(17).to_vec();
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        (LinearScan::new(ds, Metric::L2), q, subspaces)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (engine, q, subspaces) = setup();
+        let serial = batch_od(&engine, &q, 5, &subspaces, Some(17), 1);
+        let parallel = batch_od(&engine, &q, 5, &subspaces, Some(17), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (engine, q, _) = setup();
+        assert!(batch_od(&engine, &q, 5, &[], None, 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let (engine, q, subspaces) = setup();
+        let r = batch_od(&engine, &q, 3, &subspaces[..2], None, 64);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let (engine, q, subspaces) = setup();
+        let r = batch_od(&engine, &q, 3, &subspaces[..3], None, 0);
+        assert_eq!(r.len(), 3);
+    }
+}

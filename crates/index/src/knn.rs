@@ -1,0 +1,138 @@
+//! The k-NN engine abstraction used by every search layer.
+
+use hos_data::{Dataset, Metric, PointId, Subspace};
+
+/// One neighbour returned by a query: the point and its distance to
+/// the query in the queried subspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Row id of the neighbour in the engine's dataset.
+    pub id: PointId,
+    /// Distance in the queried subspace (finished, not pre-metric).
+    pub dist: f64,
+}
+
+/// A k-NN engine over a fixed dataset and metric.
+///
+/// Implementations must return **exact** neighbours: HOS-Miner's
+/// pruning arguments rely on true OD values, so approximate engines
+/// would silently invalidate Property 1/2 reasoning.
+pub trait KnnEngine: Send + Sync {
+    /// The indexed dataset.
+    fn dataset(&self) -> &Dataset;
+
+    /// The distance metric.
+    fn metric(&self) -> Metric;
+
+    /// The `k` nearest neighbours of `query` in subspace `s`, sorted
+    /// by ascending distance. `exclude` removes one point id from
+    /// consideration (the query itself, when it is a dataset member).
+    ///
+    /// Returns fewer than `k` neighbours only when the dataset (minus
+    /// the exclusion) holds fewer than `k` points. An empty subspace
+    /// yields distance `0` to every point.
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>)
+        -> Vec<Neighbor>;
+
+    /// Every point within `radius` of `query` in subspace `s`
+    /// (inclusive), in arbitrary order.
+    fn range(&self, query: &[f64], radius: f64, s: Subspace, exclude: Option<PointId>)
+        -> Vec<Neighbor>;
+
+    /// The outlying degree of `query` in `s`: the sum of distances to
+    /// its `k` nearest neighbours (paper §2).
+    fn od(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> f64 {
+        self.knn(query, k, s, exclude).iter().map(|n| n.dist).sum()
+    }
+
+    /// Number of distance computations performed so far, if the
+    /// engine counts them (used by the efficiency experiments).
+    fn distance_evals(&self) -> u64 {
+        0
+    }
+}
+
+/// A concrete engine choice, for configs and CLIs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Exact brute-force scan.
+    #[default]
+    Linear,
+    /// X-tree index.
+    XTree,
+    /// VA-file (quantised filter-and-refine scan).
+    VaFile,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "linear" | "scan" => Ok(Engine::Linear),
+            "xtree" | "x-tree" => Ok(Engine::XTree),
+            "vafile" | "va-file" | "va" => Ok(Engine::VaFile),
+            other => Err(format!("unknown engine {other:?} (expected linear|xtree|vafile)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Linear => write!(f, "linear"),
+            Engine::XTree => write!(f, "xtree"),
+            Engine::VaFile => write!(f, "vafile"),
+        }
+    }
+}
+
+/// Builds the chosen engine over a dataset.
+pub fn build_engine(
+    engine: Engine,
+    dataset: Dataset,
+    metric: Metric,
+) -> Box<dyn KnnEngine> {
+    match engine {
+        Engine::Linear => Box::new(crate::linear::LinearScan::new(dataset, metric)),
+        Engine::XTree => Box::new(crate::xtree::XTree::build(
+            dataset,
+            metric,
+            crate::xtree::XTreeConfig::default(),
+        )),
+        Engine::VaFile => Box::new(crate::vafile::VaFile::build(
+            dataset,
+            metric,
+            crate::vafile::VaFileConfig::default(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parse_and_display() {
+        assert_eq!("linear".parse::<Engine>().unwrap(), Engine::Linear);
+        assert_eq!("XTREE".parse::<Engine>().unwrap(), Engine::XTree);
+        assert_eq!("x-tree".parse::<Engine>().unwrap(), Engine::XTree);
+        assert_eq!("va".parse::<Engine>().unwrap(), Engine::VaFile);
+        assert_eq!("VA-FILE".parse::<Engine>().unwrap(), Engine::VaFile);
+        assert!("quadtree".parse::<Engine>().is_err());
+        assert_eq!(Engine::Linear.to_string(), "linear");
+        assert_eq!(Engine::XTree.to_string(), "xtree");
+        assert_eq!(Engine::VaFile.to_string(), "vafile");
+        assert_eq!(Engine::default(), Engine::Linear);
+    }
+
+    #[test]
+    fn build_engine_returns_working_engines() {
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+            let e = build_engine(kind, ds.clone(), Metric::L2);
+            let nn = e.knn(&[0.1, 0.1], 1, Subspace::full(2), None);
+            assert_eq!(nn[0].id, 0, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # hos-index
+//!
+//! k-nearest-neighbour engines for HOS-Miner. The paper's architecture
+//! (Figure 2) includes an *X-tree Indexing module* that indexes the
+//! high-dimensional dataset "to facilitate k-NN search in every
+//! subspace"; this crate provides that module plus a linear-scan
+//! reference engine used both as a baseline (experiment E7) and as a
+//! correctness oracle in tests.
+//!
+//! * [`knn::KnnEngine`] — the engine abstraction: k-NN and range
+//!   queries in an arbitrary axis-parallel subspace, with optional
+//!   self-exclusion for queries that are dataset members.
+//! * [`linear::LinearScan`] — exact brute force with a bounded heap.
+//! * [`xtree::XTree`] — a from-scratch X-tree (Berchtold, Keim,
+//!   Kriegel, VLDB'96): an R-tree derivative whose directory nodes
+//!   degenerate into *supernodes* when no low-overlap split exists,
+//!   which is what keeps it functional in high dimensionality.
+//!   Subspace queries use MINDIST lower bounds computed only over the
+//!   projected dimensions.
+//! * [`vafile::VaFile`] — a VA-file (Weber, Schek, Blott, VLDB'98):
+//!   the classic scan-based competitor to hierarchical indexes in
+//!   high dimensionality, included so experiment E7 covers both index
+//!   philosophies.
+//! * [`batch`] — multi-threaded batch OD evaluation over subspaces
+//!   (crossbeam scoped threads).
+
+pub mod batch;
+pub mod knn;
+pub mod linear;
+pub mod vafile;
+pub mod xtree;
+
+pub use knn::{Engine, KnnEngine, Neighbor};
+pub use linear::LinearScan;
+pub use vafile::{VaFile, VaFileConfig};
+pub use xtree::{XTree, XTreeConfig};

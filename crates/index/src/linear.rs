@@ -1,0 +1,263 @@
+//! Exact brute-force k-NN with a bounded max-heap.
+//!
+//! The workhorse engine: for the dataset sizes of the paper's
+//! experiments a well-written scan is often faster than any index once
+//! the projected dimensionality grows (experiment E7 quantifies the
+//! crossover), and it doubles as the correctness oracle for the
+//! X-tree.
+
+use crate::knn::{KnnEngine, Neighbor};
+use hos_data::{Dataset, Metric, PointId, Subspace};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Heap entry ordered by pre-metric distance (max-heap: the worst
+/// current neighbour sits on top, ready to be evicted).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    pre: f64,
+    id: PointId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.pre == other.pre && self.id == other.id
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Distances are finite by Dataset validation; tie-break on id
+        // for determinism.
+        self.pre
+            .partial_cmp(&other.pre)
+            .expect("finite distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Brute-force exact k-NN engine.
+///
+/// ```
+/// use hos_data::{Dataset, Metric, Subspace};
+/// use hos_index::{KnnEngine, LinearScan};
+///
+/// let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![9.0, 9.0]]).unwrap();
+/// let engine = LinearScan::new(ds, Metric::L2);
+/// let nn = engine.knn(&[0.0, 0.0], 2, Subspace::full(2), None);
+/// assert_eq!(nn[0].id, 0);
+/// assert_eq!(nn[1].id, 1);
+/// // OD = sum of the k nearest distances (the paper's §2 measure):
+/// assert_eq!(engine.od(&[0.0, 0.0], 2, Subspace::full(2), None), 1.0);
+/// ```
+pub struct LinearScan {
+    dataset: Dataset,
+    metric: Metric,
+    evals: AtomicU64,
+}
+
+impl LinearScan {
+    /// Wraps a dataset; no preprocessing needed.
+    pub fn new(dataset: Dataset, metric: Metric) -> Self {
+        LinearScan { dataset, metric, evals: AtomicU64::new(0) }
+    }
+}
+
+impl KnnEngine for LinearScan {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn(
+        &self,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        if k == 0 || self.dataset.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut count = 0u64;
+        for (id, row) in self.dataset.iter() {
+            if Some(id) == exclude {
+                continue;
+            }
+            let pre = self.metric.pre_dist_sub(query, row, s);
+            count += 1;
+            if heap.len() < k {
+                heap.push(HeapEntry { pre, id });
+            } else if let Some(top) = heap.peek() {
+                if pre < top.pre {
+                    heap.pop();
+                    heap.push(HeapEntry { pre, id });
+                }
+            }
+        }
+        self.evals.fetch_add(count, AtomicOrdering::Relaxed);
+        let mut out: Vec<Neighbor> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| Neighbor { id: e.id, dist: self.metric.finish(e.pre) })
+            .collect();
+        // into_sorted_vec gives ascending order already; keep explicit
+        // sort semantics stable against future heap changes.
+        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
+        out
+    }
+
+    fn range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let mut count = 0u64;
+        for (id, row) in self.dataset.iter() {
+            if Some(id) == exclude {
+                continue;
+            }
+            count += 1;
+            let d = self.metric.dist_sub(query, row, s);
+            if d <= radius {
+                out.push(Neighbor { id, dist: d });
+            }
+        }
+        self.evals.fetch_add(count, AtomicOrdering::Relaxed);
+        out
+    }
+
+    fn distance_evals(&self) -> u64 {
+        self.evals.load(AtomicOrdering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 3.0],
+            vec![10.0, 10.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        let nn = e.knn(&[0.0, 0.0], 3, Subspace::full(2), None);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[0].dist, 0.0);
+        assert_eq!(nn[1].id, 1);
+        assert_eq!(nn[2].id, 2);
+        assert!(nn[1].dist <= nn[2].dist);
+    }
+
+    #[test]
+    fn exclusion_removes_self() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        let nn = e.knn(&[0.0, 0.0], 2, Subspace::full(2), Some(0));
+        assert_eq!(nn[0].id, 1);
+        assert!(nn.iter().all(|n| n.id != 0));
+    }
+
+    #[test]
+    fn subspace_query_uses_only_masked_dims() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        // Along dim 1 only, point 1 (y=0) ties point 0; id tiebreak.
+        let nn = e.knn(&[0.0, 0.0], 2, Subspace::from_dims(&[1]), None);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[1].id, 1);
+        assert_eq!(nn[1].dist, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let e = LinearScan::new(ds(), Metric::L1);
+        let nn = e.knn(&[0.0, 0.0], 99, Subspace::full(2), Some(4));
+        assert_eq!(nn.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_and_empty_dataset() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        assert!(e.knn(&[0.0, 0.0], 0, Subspace::full(2), None).is_empty());
+        let empty = LinearScan::new(Dataset::empty(), Metric::L2);
+        assert!(empty.knn(&[], 3, Subspace::empty(), None).is_empty());
+    }
+
+    #[test]
+    fn od_is_sum_of_knn_distances() {
+        let e = LinearScan::new(ds(), Metric::L1);
+        let s = Subspace::full(2);
+        let nn = e.knn(&[0.0, 0.0], 3, s, None);
+        let od = e.od(&[0.0, 0.0], 3, s, None);
+        let sum: f64 = nn.iter().map(|n| n.dist).sum();
+        assert!((od - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_query() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        let r = e.range(&[0.0, 0.0], 2.0, Subspace::full(2), None);
+        let mut ids: Vec<PointId> = r.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let r2 = e.range(&[0.0, 0.0], 2.0, Subspace::full(2), Some(0));
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn empty_subspace_gives_zero_distances() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        let nn = e.knn(&[0.0, 0.0], 2, Subspace::empty(), None);
+        assert!(nn.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn distance_evals_counted() {
+        let e = LinearScan::new(ds(), Metric::L2);
+        assert_eq!(e.distance_evals(), 0);
+        e.knn(&[0.0, 0.0], 1, Subspace::full(2), None);
+        assert_eq!(e.distance_evals(), 5);
+        e.range(&[0.0, 0.0], 1.0, Subspace::full(2), Some(0));
+        assert_eq!(e.distance_evals(), 9);
+    }
+
+    #[test]
+    fn deterministic_ties_break_by_id() {
+        // Points 1 and 2 are equidistant from the query under L1.
+        let ds = Dataset::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![-1.0],
+        ])
+        .unwrap();
+        let e = LinearScan::new(ds, Metric::L1);
+        let nn = e.knn(&[0.0], 3, Subspace::full(1), None);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[1].id, 1);
+        assert_eq!(nn[2].id, 2);
+    }
+}

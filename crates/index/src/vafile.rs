@@ -1,0 +1,358 @@
+//! VA-file (Vector Approximation file; Weber, Schek, Blott — VLDB'98).
+//!
+//! The canonical alternative to hierarchical indexes in high
+//! dimensionality: instead of a tree, store a compact quantised
+//! *approximation* of every vector (`bits` per dimension) and answer
+//! k-NN queries in two phases:
+//!
+//! 1. **Filter** — scan the approximations, computing per-vector lower
+//!    and upper distance bounds from the quantisation cells alone; a
+//!    vector whose lower bound exceeds the current kth-best upper
+//!    bound cannot be a result.
+//! 2. **Refine** — compute exact distances only for the survivors, in
+//!    ascending lower-bound order, stopping once the next lower bound
+//!    exceeds the kth exact distance.
+//!
+//! The approximation scan touches every point but reads only
+//! `bits × |s|` of data per point, so the filter is cheap; the
+//! expensive full-precision reads are the `distance_evals` the
+//! experiments count. Subspace queries come for free: bounds are
+//! accumulated only over the masked dimensions.
+
+use crate::knn::{KnnEngine, Neighbor};
+use hos_data::{Dataset, Metric, PointId, Subspace};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// VA-file construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VaFileConfig {
+    /// Quantisation bits per dimension (cells = `2^bits`), 1..=8.
+    pub bits: u32,
+}
+
+impl Default for VaFileConfig {
+    fn default() -> Self {
+        VaFileConfig { bits: 6 }
+    }
+}
+
+/// The VA-file engine.
+pub struct VaFile {
+    dataset: Dataset,
+    metric: Metric,
+    /// Cell boundaries per dimension: `cells + 1` ascending marks
+    /// (equi-width over the data range).
+    marks: Vec<Vec<f64>>,
+    /// Quantised cell index per (point, dimension), row-major.
+    approx: Vec<u8>,
+    cells: usize,
+    evals: AtomicU64,
+}
+
+impl VaFile {
+    /// Quantises the dataset.
+    ///
+    /// # Panics
+    /// Panics if `bits` is outside `1..=8`.
+    pub fn build(dataset: Dataset, metric: Metric, cfg: VaFileConfig) -> Self {
+        assert!((1..=8).contains(&cfg.bits), "bits must be in 1..=8");
+        let d = dataset.dim();
+        let cells = 1usize << cfg.bits;
+        let mut marks = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = dataset.column_vec(c);
+            let (lo, hi) = hos_data::stats::min_max(&col).unwrap_or((0.0, 1.0));
+            let span = (hi - lo).max(f64::MIN_POSITIVE);
+            // Equi-width marks; the last mark is nudged up so the max
+            // value falls in the top cell, not past it.
+            let mut m: Vec<f64> =
+                (0..=cells).map(|i| lo + span * i as f64 / cells as f64).collect();
+            let last = m.len() - 1;
+            m[last] = hi + span * 1e-9;
+            marks.push(m);
+        }
+        let mut approx = vec![0u8; dataset.len() * d];
+        for (i, row) in dataset.iter() {
+            for (c, &v) in row.iter().enumerate() {
+                approx[i * d + c] = cell_of(&marks[c], v, cells) as u8;
+            }
+        }
+        VaFile { dataset, metric, marks, approx, cells, evals: AtomicU64::new(0) }
+    }
+
+    /// Number of quantisation cells per dimension.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Lower and upper pre-metric distance bounds between `query` and
+    /// the approximation of point `i`, over subspace `s`.
+    fn bounds(&self, query: &[f64], i: PointId, s: Subspace) -> (f64, f64) {
+        let d = self.dataset.dim();
+        let mut lo_acc = 0.0;
+        let mut hi_acc = 0.0;
+        for dim in s.dims() {
+            let cell = self.approx[i * d + dim] as usize;
+            let cell_lo = self.marks[dim][cell];
+            let cell_hi = self.marks[dim][cell + 1];
+            let q = query[dim];
+            let gap_lo = if q < cell_lo {
+                cell_lo - q
+            } else if q > cell_hi {
+                q - cell_hi
+            } else {
+                0.0
+            };
+            let gap_hi = (q - cell_lo).abs().max((q - cell_hi).abs());
+            lo_acc = self.metric.accumulate(lo_acc, gap_lo);
+            hi_acc = self.metric.accumulate(hi_acc, gap_hi);
+        }
+        (lo_acc, hi_acc)
+    }
+}
+
+fn cell_of(marks: &[f64], v: f64, cells: usize) -> usize {
+    // Binary search over the ascending marks.
+    match marks.binary_search_by(|m| m.partial_cmp(&v).expect("finite")) {
+        Ok(i) => i.min(cells - 1),
+        Err(i) => i.saturating_sub(1).min(cells - 1),
+    }
+}
+
+/// Max-heap entry for the k-best candidate set.
+#[derive(PartialEq)]
+struct Cand {
+    pre: f64,
+    id: PointId,
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pre
+            .partial_cmp(&other.pre)
+            .expect("finite")
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl KnnEngine for VaFile {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn(
+        &self,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        let n = self.dataset.len();
+        if k == 0 || n == 0 {
+            return Vec::new();
+        }
+        // Phase 1: filter on approximation bounds. Track the kth
+        // smallest *upper* bound seen; anything with a lower bound
+        // beyond it is out.
+        let mut upper_heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        let mut survivors: Vec<(f64, PointId)> = Vec::new();
+        for i in 0..n {
+            if Some(i) == exclude {
+                continue;
+            }
+            let (lo, hi) = self.bounds(query, i, s);
+            if upper_heap.len() < k {
+                upper_heap.push(Cand { pre: hi, id: i });
+            } else if hi < upper_heap.peek().expect("k > 0").pre {
+                upper_heap.pop();
+                upper_heap.push(Cand { pre: hi, id: i });
+            }
+            survivors.push((lo, i));
+        }
+        let kth_upper = upper_heap.peek().map(|c| c.pre).unwrap_or(f64::INFINITY);
+        survivors.retain(|&(lo, _)| lo <= kth_upper);
+        // Phase 2: refine in ascending lower-bound order.
+        survivors.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        let mut evals = 0u64;
+        for &(lo, i) in &survivors {
+            if best.len() == k && lo > best.peek().expect("k > 0").pre {
+                break;
+            }
+            let pre = self.metric.pre_dist_sub(query, self.dataset.row(i), s);
+            evals += 1;
+            if best.len() < k {
+                best.push(Cand { pre, id: i });
+            } else if pre < best.peek().expect("k > 0").pre {
+                best.pop();
+                best.push(Cand { pre, id: i });
+            }
+        }
+        self.evals.fetch_add(evals, AtomicOrdering::Relaxed);
+        let mut out: Vec<Neighbor> = best
+            .into_iter()
+            .map(|c| Neighbor { id: c.id, dist: self.metric.finish(c.pre) })
+            .collect();
+        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
+        out
+    }
+
+    fn range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        let pre_radius = self.metric.pre_of(radius);
+        let mut out = Vec::new();
+        let mut evals = 0u64;
+        for i in 0..self.dataset.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            let (lo, hi) = self.bounds(query, i, s);
+            if lo > pre_radius {
+                continue; // certainly outside
+            }
+            if hi <= pre_radius {
+                // Certainly inside — but the caller wants the exact
+                // distance, so one refinement read is still needed.
+            }
+            evals += 1;
+            let d = self.metric.dist_sub(query, self.dataset.row(i), s);
+            if d <= radius {
+                out.push(Neighbor { id: i, dist: d });
+            }
+        }
+        self.evals.fetch_add(evals, AtomicOrdering::Relaxed);
+        out
+    }
+
+    fn distance_evals(&self) -> u64 {
+        self.evals.load(AtomicOrdering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        Dataset::from_flat(flat, d).unwrap()
+    }
+
+    #[test]
+    fn quantisation_covers_extremes() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![0.5], vec![1.0]]).unwrap();
+        let va = VaFile::build(ds, Metric::L2, VaFileConfig { bits: 2 });
+        assert_eq!(va.cells(), 4);
+        assert_eq!(va.approx[0], 0);
+        assert_eq!(va.approx[2], 3); // max value in the top cell
+    }
+
+    #[test]
+    fn bounds_bracket_exact_distance() {
+        let ds = random_dataset(200, 5, 3);
+        let va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        let q: Vec<f64> = (0..5).map(|i| i as f64 * 7.0 - 20.0).collect();
+        for s in [Subspace::full(5), Subspace::from_dims(&[1, 3])] {
+            for i in 0..ds.len() {
+                let (lo, hi) = va.bounds(&q, i, s);
+                let exact = Metric::L2.pre_dist_sub(&q, ds.row(i), s);
+                assert!(lo <= exact + 1e-9, "lower bound violated: {lo} > {exact}");
+                assert!(hi >= exact - 1e-9, "upper bound violated: {hi} < {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+            let ds = random_dataset(300, 6, 7);
+            let va = VaFile::build(ds.clone(), metric, VaFileConfig::default());
+            let lin = LinearScan::new(ds.clone(), metric);
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..15 {
+                let q: Vec<f64> = (0..6).map(|_| rng.gen_range(-60.0..60.0)).collect();
+                let mask = rng.gen_range(1u64..(1 << 6));
+                let s = Subspace::from_mask(mask);
+                let a = va.knn(&q, 5, s, None);
+                let b = lin.knn(&q, 5, s, None);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x.dist - y.dist).abs() < 1e-9, "{metric:?} {s}: {x:?} vs {y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let ds = random_dataset(300, 4, 13);
+        let va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        let lin = LinearScan::new(ds, Metric::L2);
+        let q = [0.0, 0.0, 0.0, 0.0];
+        for radius in [10.0, 40.0, 120.0] {
+            let mut a: Vec<_> = va.range(&q, radius, Subspace::full(4), Some(5)).iter().map(|n| n.id).collect();
+            let mut b: Vec<_> = lin.range(&q, radius, Subspace::full(4), Some(5)).iter().map(|n| n.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn filter_skips_most_refinements() {
+        let ds = random_dataset(4000, 8, 17);
+        let va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        let q: Vec<f64> = ds.row(0).to_vec();
+        let before = va.distance_evals();
+        va.knn(&q, 5, Subspace::full(8), Some(0));
+        let used = va.distance_evals() - before;
+        assert!(used < 400, "VA filter refined {used} of 4000 points");
+    }
+
+    #[test]
+    fn exclusion_and_edge_cases() {
+        let ds = random_dataset(50, 3, 1);
+        let va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        let q: Vec<f64> = ds.row(10).to_vec();
+        let nn = va.knn(&q, 3, Subspace::full(3), Some(10));
+        assert!(nn.iter().all(|n| n.id != 10));
+        assert!(va.knn(&q, 0, Subspace::full(3), None).is_empty());
+        let empty = VaFile::build(Dataset::empty(), Metric::L2, VaFileConfig::default());
+        assert!(empty.knn(&[], 3, Subspace::empty(), None).is_empty());
+    }
+
+    #[test]
+    fn constant_column_does_not_panic() {
+        let ds = Dataset::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let va = VaFile::build(ds, Metric::L2, VaFileConfig::default());
+        let nn = va.knn(&[5.0, 2.1], 2, Subspace::full(2), None);
+        assert_eq!(nn[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bits_rejected() {
+        let ds = random_dataset(10, 2, 0);
+        let _ = VaFile::build(ds, Metric::L2, VaFileConfig { bits: 9 });
+    }
+}

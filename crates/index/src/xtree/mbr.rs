@@ -1,0 +1,278 @@
+//! Minimum bounding rectangles with subspace-aware MINDIST.
+
+use hos_data::{Metric, Subspace};
+
+/// An axis-aligned minimum bounding rectangle in `R^d`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// An "inverted" MBR that is the identity for [`Mbr::merge`]:
+    /// every `include_*` call shrinks it onto real data.
+    pub fn unset(d: usize) -> Self {
+        Mbr { lo: vec![f64::INFINITY; d], hi: vec![f64::NEG_INFINITY; d] }
+    }
+
+    /// The degenerate MBR of a single point.
+    pub fn of_point(row: &[f64]) -> Self {
+        Mbr { lo: row.to_vec(), hi: row.to_vec() }
+    }
+
+    /// Builds an MBR from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics (debug) if arities differ or any `lo > hi`.
+    pub fn from_bounds(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        debug_assert_eq!(lo.len(), hi.len());
+        debug_assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h));
+        Mbr { lo, hi }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether no point has been included yet.
+    pub fn is_unset(&self) -> bool {
+        self.dim() > 0 && self.lo[0] > self.hi[0]
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Centre along one dimension.
+    #[inline]
+    pub fn center(&self, dim: usize) -> f64 {
+        (self.lo[dim] + self.hi[dim]) / 2.0
+    }
+
+    /// Grows to cover a point.
+    pub fn include_point(&mut self, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.dim());
+        for ((l, h), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(row) {
+            if v < *l {
+                *l = v;
+            }
+            if v > *h {
+                *h = v;
+            }
+        }
+    }
+
+    /// Grows to cover another MBR.
+    pub fn merge(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.dim(), self.dim());
+        for i in 0..self.lo.len() {
+            if other.lo[i] < self.lo[i] {
+                self.lo[i] = other.lo[i];
+            }
+            if other.hi[i] > self.hi[i] {
+                self.hi[i] = other.hi[i];
+            }
+        }
+    }
+
+    /// Union of two MBRs as a new value.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut m = self.clone();
+        m.merge(other);
+        m
+    }
+
+    /// Volume (product of extents). High-dimensional volumes degrade
+    /// to 0/overflow quickly, so split heuristics prefer
+    /// [`Mbr::margin`]; area is used for enlargement comparisons where
+    /// relative order is all that matters.
+    pub fn area(&self) -> f64 {
+        if self.is_unset() {
+            return 0.0;
+        }
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .product()
+    }
+
+    /// Margin (sum of extents) — the R*-tree split goodness measure,
+    /// numerically robust in high dimensions.
+    pub fn margin(&self) -> f64 {
+        if self.is_unset() {
+            return 0.0;
+        }
+        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).sum()
+    }
+
+    /// Volume of the intersection with another MBR.
+    pub fn overlap(&self, other: &Mbr) -> f64 {
+        let mut acc = 1.0;
+        for i in 0..self.dim() {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            acc *= hi - lo;
+        }
+        acc
+    }
+
+    /// The X-tree overlap measure between two sibling MBRs:
+    /// `vol(a ∩ b) / vol(a ∪ b)` (0 when the union has no volume).
+    pub fn overlap_ratio(&self, other: &Mbr) -> f64 {
+        let inter = self.overlap(other);
+        if inter == 0.0 {
+            return 0.0;
+        }
+        let uni = self.union(other).area();
+        if uni <= 0.0 {
+            // Degenerate boxes that still intersect: treat as full overlap.
+            1.0
+        } else {
+            inter / uni
+        }
+    }
+
+    /// Area increase if this MBR had to cover `other` too.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether a point lies inside (inclusive).
+    pub fn contains_point(&self, row: &[f64]) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(row)
+            .all(|((l, h), v)| *l <= *v && *v <= *h)
+    }
+
+    /// MINDIST lower bound from a query point to this MBR in
+    /// *pre-metric* space, restricted to subspace `s`.
+    ///
+    /// Guarantee: for every point `p` inside the MBR,
+    /// `mindist_pre <= metric.pre_dist_sub(query, p, s)` — which is
+    /// what makes best-first pruning exact.
+    pub fn mindist_pre(&self, query: &[f64], s: Subspace, metric: Metric) -> f64 {
+        let mut acc = 0.0;
+        for d in s.dims() {
+            let q = query[d];
+            let gap = if q < self.lo[d] {
+                self.lo[d] - q
+            } else if q > self.hi[d] {
+                q - self.hi[d]
+            } else {
+                0.0
+            };
+            acc = metric.accumulate(acc, gap);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_growth() {
+        let mut m = Mbr::of_point(&[1.0, 2.0]);
+        assert_eq!(m.area(), 0.0);
+        m.include_point(&[3.0, 0.0]);
+        assert_eq!(m.lo(), &[1.0, 0.0]);
+        assert_eq!(m.hi(), &[3.0, 2.0]);
+        assert_eq!(m.area(), 4.0);
+        assert_eq!(m.margin(), 4.0);
+        assert_eq!(m.center(0), 2.0);
+    }
+
+    #[test]
+    fn unset_is_merge_identity() {
+        let mut u = Mbr::unset(2);
+        assert!(u.is_unset());
+        assert_eq!(u.area(), 0.0);
+        let m = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        u.merge(&m);
+        assert_eq!(u, m);
+        assert!(!u.is_unset());
+    }
+
+    #[test]
+    fn overlap_volumes() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = Mbr::from_bounds(vec![1.0, 1.0], vec![3.0, 3.0]);
+        assert_eq!(a.overlap(&b), 1.0);
+        let c = Mbr::from_bounds(vec![5.0, 5.0], vec![6.0, 6.0]);
+        assert_eq!(a.overlap(&c), 0.0);
+        assert_eq!(a.overlap_ratio(&c), 0.0);
+        let r = a.overlap_ratio(&b);
+        assert!((r - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_overlap_ratio() {
+        // Two identical zero-area boxes that coincide.
+        let a = Mbr::of_point(&[1.0, 1.0]);
+        let b = Mbr::of_point(&[1.0, 1.0]);
+        assert_eq!(a.overlap_ratio(&b), 0.0); // zero intersection volume
+    }
+
+    #[test]
+    fn enlargement() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = Mbr::of_point(&[2.0, 0.5]);
+        assert_eq!(a.enlargement(&b), 2.0 - 1.0);
+        assert_eq!(a.enlargement(&Mbr::of_point(&[0.5, 0.5])), 0.0);
+    }
+
+    #[test]
+    fn contains() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(a.contains_point(&[0.0, 1.0]));
+        assert!(a.contains_point(&[0.5, 0.5]));
+        assert!(!a.contains_point(&[1.1, 0.5]));
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let s = Subspace::full(2);
+        assert_eq!(a.mindist_pre(&[0.5, 0.5], s, Metric::L2), 0.0);
+    }
+
+    #[test]
+    fn mindist_is_lower_bound() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let q = [3.0, -1.0];
+        for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+            for s in [Subspace::full(2), Subspace::from_dims(&[0]), Subspace::from_dims(&[1])] {
+                let lb = a.mindist_pre(&q, s, metric);
+                // Check against the actual closest corner/edge point.
+                let closest = [q[0].clamp(0.0, 1.0), q[1].clamp(0.0, 2.0)];
+                let exact = metric.pre_dist_sub(&q, &closest, s);
+                assert!((lb - exact).abs() < 1e-12, "{metric:?} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mindist_respects_subspace() {
+        let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let q = [5.0, 0.5];
+        // Restricted to dim 1, the query is inside the projection.
+        assert_eq!(a.mindist_pre(&q, Subspace::from_dims(&[1]), Metric::L2), 0.0);
+        assert!(a.mindist_pre(&q, Subspace::from_dims(&[0]), Metric::L2) > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Arena-allocated X-tree nodes.
+//!
+//! The X-tree's defining feature over the R*-tree is the **supernode**:
+//! a directory node allowed to grow beyond one block when every
+//! candidate split would produce heavily overlapping siblings. Here a
+//! node is an enum in a flat arena (`Vec<Node>`), with supernode-ness
+//! expressed as a block multiplier on directory capacity.
+
+use super::mbr::Mbr;
+use hos_data::PointId;
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+/// An X-tree node.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A data node holding point ids; coordinates live in the dataset.
+    Leaf {
+        /// Member point ids.
+        points: Vec<PointId>,
+        /// Bounding box of the member points.
+        mbr: Mbr,
+    },
+    /// A directory node (possibly a supernode).
+    Dir {
+        /// Child node ids.
+        children: Vec<NodeId>,
+        /// Bounding box of all children.
+        mbr: Mbr,
+        /// Bitmask of dimensions this subtree has been split along —
+        /// the X-tree's split history, used to prefer axes that can
+        /// yield overlap-free splits.
+        split_history: u64,
+        /// Capacity multiplier; `> 1` makes this a supernode.
+        blocks: usize,
+    },
+}
+
+impl Node {
+    /// The node's bounding box.
+    pub fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Dir { mbr, .. } => mbr,
+        }
+    }
+
+    /// Mutable access to the bounding box.
+    pub fn mbr_mut(&mut self) -> &mut Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Dir { mbr, .. } => mbr,
+        }
+    }
+
+    /// Whether this is a leaf (data) node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Whether this is a supernode (multi-block directory).
+    pub fn is_supernode(&self) -> bool {
+        matches!(self, Node::Dir { blocks, .. } if *blocks > 1)
+    }
+
+    /// Number of entries (points or children).
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { points, .. } => points.len(),
+            Node::Dir { children, .. } => children.len(),
+        }
+    }
+
+    /// Whether the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let leaf = Node::Leaf { points: vec![1, 2], mbr: Mbr::of_point(&[0.0]) };
+        assert!(leaf.is_leaf());
+        assert!(!leaf.is_supernode());
+        assert_eq!(leaf.len(), 2);
+        assert!(!leaf.is_empty());
+
+        let dir = Node::Dir {
+            children: vec![0],
+            mbr: Mbr::of_point(&[0.0]),
+            split_history: 0b10,
+            blocks: 2,
+        };
+        assert!(!dir.is_leaf());
+        assert!(dir.is_supernode());
+        assert_eq!(dir.len(), 1);
+
+        let plain = Node::Dir {
+            children: vec![],
+            mbr: Mbr::unset(1),
+            split_history: 0,
+            blocks: 1,
+        };
+        assert!(!plain.is_supernode());
+        assert!(plain.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Topological (R*-style) node splitting.
+//!
+//! The X-tree first attempts the R*-tree topological split; only when
+//! the resulting sibling overlap is intolerable does it fall back to
+//! an overlap-minimal split or a supernode (decided by the caller in
+//! `mod.rs` — this module just finds the best geometric partition and
+//! reports its quality).
+
+use super::mbr::Mbr;
+
+/// Outcome of a topological split attempt over a set of entry MBRs.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// Indices (into the input slice) of the left group.
+    pub left: Vec<usize>,
+    /// Indices of the right group.
+    pub right: Vec<usize>,
+    /// The split axis that was chosen.
+    pub axis: usize,
+    /// X-tree overlap measure of the two group MBRs.
+    pub overlap_ratio: f64,
+    /// Bounding box of the left group.
+    pub left_mbr: Mbr,
+    /// Bounding box of the right group.
+    pub right_mbr: Mbr,
+}
+
+fn group_mbr(mbrs: &[Mbr], idxs: &[usize]) -> Mbr {
+    let mut m = Mbr::unset(mbrs[0].dim());
+    for &i in idxs {
+        m.merge(&mbrs[i]);
+    }
+    m
+}
+
+/// R*-tree topological split of `mbrs` into two groups, each holding
+/// at least `min_fill` entries.
+///
+/// Axis choice: minimal sum of group margins across all distributions
+/// (the R* goodness criterion). Distribution choice on the winning
+/// axis: minimal overlap volume, ties broken by minimal total area.
+///
+/// `preferred_axes` (a bitmask, the node's split history) biases the
+/// axis choice: if any history axis achieves a zero-overlap
+/// distribution it wins outright, matching the X-tree's preference for
+/// overlap-free splits along previously used dimensions.
+///
+/// # Panics
+/// Panics if `mbrs.len() < 2 * min_fill` or `min_fill == 0`.
+pub fn topological_split(mbrs: &[Mbr], min_fill: usize, preferred_axes: u64) -> SplitResult {
+    assert!(min_fill >= 1, "min_fill must be positive");
+    let n = mbrs.len();
+    assert!(n >= 2 * min_fill, "cannot split {n} entries with min_fill {min_fill}");
+    let d = mbrs[0].dim();
+
+    // Pre-sort index permutations per axis by (lo, hi).
+    let mut best_axis: Option<(usize, f64)> = None; // (axis, margin sum)
+    let mut per_axis_order: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for axis in 0..d {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            mbrs[a].lo()[axis]
+                .partial_cmp(&mbrs[b].lo()[axis])
+                .expect("finite")
+                .then(mbrs[a].hi()[axis].partial_cmp(&mbrs[b].hi()[axis]).expect("finite"))
+        });
+        // Margin sum over all legal distributions along this axis.
+        let mut margin_sum = 0.0;
+        for split_at in min_fill..=n - min_fill {
+            let left = group_mbr(mbrs, &order[..split_at]);
+            let right = group_mbr(mbrs, &order[split_at..]);
+            margin_sum += left.margin() + right.margin();
+        }
+        match best_axis {
+            Some((_, best)) if best <= margin_sum => {}
+            _ => best_axis = Some((axis, margin_sum)),
+        }
+        per_axis_order.push(order);
+    }
+
+    // Evaluate the distributions on the winning axis; also scan
+    // history axes for a zero-overlap distribution.
+    let choose_on_axis = |axis: usize| -> SplitResult {
+        let order = &per_axis_order[axis];
+        let mut best: Option<SplitResult> = None;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for split_at in min_fill..=n - min_fill {
+            let left_idx: Vec<usize> = order[..split_at].to_vec();
+            let right_idx: Vec<usize> = order[split_at..].to_vec();
+            let lm = group_mbr(mbrs, &left_idx);
+            let rm = group_mbr(mbrs, &right_idx);
+            let key = (lm.overlap(&rm), lm.area() + rm.area());
+            if key < best_key {
+                best_key = key;
+                best = Some(SplitResult {
+                    overlap_ratio: lm.overlap_ratio(&rm),
+                    left: left_idx,
+                    right: right_idx,
+                    axis,
+                    left_mbr: lm,
+                    right_mbr: rm,
+                });
+            }
+        }
+        best.expect("at least one distribution exists")
+    };
+
+    // X-tree bias: a history axis with an overlap-free distribution
+    // wins outright.
+    for axis in 0..d {
+        if preferred_axes >> axis & 1 == 1 {
+            let cand = choose_on_axis(axis);
+            if cand.overlap_ratio == 0.0 {
+                return cand;
+            }
+        }
+    }
+
+    let (axis, _) = best_axis.expect("d >= 1");
+    choose_on_axis(axis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(points: &[(f64, f64)]) -> Vec<Mbr> {
+        points.iter().map(|&(x, y)| Mbr::of_point(&[x, y])).collect()
+    }
+
+    #[test]
+    fn splits_two_obvious_clusters() {
+        let mbrs = boxes(&[
+            (0.0, 0.0),
+            (0.1, 0.2),
+            (0.2, 0.1),
+            (10.0, 10.0),
+            (10.1, 10.2),
+            (10.2, 10.1),
+        ]);
+        let r = topological_split(&mbrs, 2, 0);
+        assert_eq!(r.left.len() + r.right.len(), 6);
+        assert_eq!(r.overlap_ratio, 0.0);
+        // The two clusters must not be mixed.
+        let left_set: std::collections::HashSet<usize> = r.left.iter().copied().collect();
+        let cluster_a: std::collections::HashSet<usize> = [0, 1, 2].into_iter().collect();
+        let cluster_b: std::collections::HashSet<usize> = [3, 4, 5].into_iter().collect();
+        assert!(left_set == cluster_a || left_set == cluster_b);
+    }
+
+    #[test]
+    fn respects_min_fill() {
+        let mbrs = boxes(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)]);
+        let r = topological_split(&mbrs, 2, 0);
+        assert!(r.left.len() >= 2);
+        assert!(r.right.len() >= 2);
+    }
+
+    #[test]
+    fn partition_is_exact_cover() {
+        let mbrs = boxes(&[(3.0, 1.0), (1.0, 4.0), (2.0, 2.0), (8.0, 0.0), (0.0, 9.0), (5.0, 5.0)]);
+        let r = topological_split(&mbrs, 2, 0);
+        let mut all: Vec<usize> = r.left.iter().chain(r.right.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn group_mbrs_cover_groups() {
+        let mbrs = boxes(&[(0.0, 0.0), (1.0, 1.0), (9.0, 9.0), (10.0, 10.0)]);
+        let r = topological_split(&mbrs, 1, 0);
+        for &i in &r.left {
+            assert!(r.left_mbr.contains_point(mbrs[i].lo()));
+        }
+        for &i in &r.right {
+            assert!(r.right_mbr.contains_point(mbrs[i].lo()));
+        }
+    }
+
+    #[test]
+    fn history_axis_preferred_when_overlap_free() {
+        // Clusters separated along axis 1 only; history says axis 1.
+        let mbrs = boxes(&[(0.0, 0.0), (1.0, 0.1), (0.5, 10.0), (0.6, 10.1)]);
+        let r = topological_split(&mbrs, 1, 0b10);
+        assert_eq!(r.axis, 1);
+        assert_eq!(r.overlap_ratio, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_entries_panics() {
+        let mbrs = boxes(&[(0.0, 0.0), (1.0, 1.0)]);
+        let _ = topological_split(&mbrs, 2, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the X-tree must be indistinguishable from the
+//! brute-force oracle on arbitrary data, metrics, subspaces and k.
+
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::{KnnEngine, LinearScan, VaFile, VaFileConfig, XTree, XTreeConfig};
+use proptest::prelude::*;
+
+const D: usize = 5;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, D), 1..120)
+        .prop_map(|rows| Dataset::from_rows(&rows).unwrap())
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![Just(Metric::L1), Just(Metric::L2), Just(Metric::LInf)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xtree_knn_equals_linear(ds in arb_dataset(),
+                               q in prop::collection::vec(-60.0f64..60.0, D),
+                               k in 1usize..12,
+                               mask in 1u64..(1 << D),
+                               metric in arb_metric()) {
+        let s = Subspace::from_mask(mask);
+        let tree = XTree::build(ds.clone(), metric, XTreeConfig {
+            max_leaf: 8, max_dir: 4, ..XTreeConfig::default()
+        });
+        tree.check_invariants().unwrap();
+        let lin = LinearScan::new(ds, metric);
+        let a = tree.knn(&q, k, s, None);
+        let b = lin.knn(&q, k, s, None);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            // Distances must agree exactly (ids may differ on ties).
+            prop_assert!((x.dist - y.dist).abs() < 1e-9,
+                "{} vs {} in {}", x.dist, y.dist, s);
+        }
+    }
+
+    #[test]
+    fn xtree_range_equals_linear(ds in arb_dataset(),
+                                 q in prop::collection::vec(-60.0f64..60.0, D),
+                                 radius in 0.0f64..100.0,
+                                 mask in 1u64..(1 << D),
+                                 metric in arb_metric()) {
+        let s = Subspace::from_mask(mask);
+        let tree = XTree::build(ds.clone(), metric, XTreeConfig {
+            max_leaf: 8, max_dir: 4, ..XTreeConfig::default()
+        });
+        let lin = LinearScan::new(ds, metric);
+        let mut a: Vec<usize> = tree.range(&q, radius, s, None).iter().map(|n| n.id).collect();
+        let mut b: Vec<usize> = lin.range(&q, radius, s, None).iter().map(|n| n.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vafile_knn_equals_linear(ds in arb_dataset(),
+                                q in prop::collection::vec(-60.0f64..60.0, D),
+                                k in 1usize..12,
+                                mask in 1u64..(1 << D),
+                                bits in 1u32..8,
+                                metric in arb_metric()) {
+        let s = Subspace::from_mask(mask);
+        let va = VaFile::build(ds.clone(), metric, VaFileConfig { bits });
+        let lin = LinearScan::new(ds, metric);
+        let a = va.knn(&q, k, s, None);
+        let b = lin.knn(&q, k, s, None);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.dist - y.dist).abs() < 1e-9,
+                "bits={} {} vs {} in {}", bits, x.dist, y.dist, s);
+        }
+    }
+
+    /// OD is monotone under subspace inclusion regardless of engine —
+    /// the fact the whole paper rests on (Property 1/2).
+    #[test]
+    fn od_monotone_under_inclusion(ds in arb_dataset(),
+                                   q in prop::collection::vec(-60.0f64..60.0, D),
+                                   k in 1usize..8,
+                                   m1 in 1u64..(1 << D),
+                                   m2 in 1u64..(1 << D),
+                                   metric in arb_metric()) {
+        let sub = Subspace::from_mask(m1 & m2);
+        let sup = Subspace::from_mask(m1);
+        prop_assume!(!sub.is_empty());
+        let lin = LinearScan::new(ds, metric);
+        let od_sub = lin.od(&q, k, sub, None);
+        let od_sup = lin.od(&q, k, sup, None);
+        prop_assert!(od_sub <= od_sup + 1e-9,
+            "OD({sub}) = {od_sub} > OD({sup}) = {od_sup}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Binomial coefficients and the paper's saving factors.
+//!
+//! Saving-factor magnitudes grow like `m · 2^m`, so everything is
+//! computed in `f64`: relative comparisons (all TSF is used for) stay
+//! exact far beyond `d = 63`, and there is no overflow cliff.
+
+/// Binomial coefficient `C(n, k)` as `f64` (0 when `k > n`).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc.round()
+}
+
+/// Downward Saving Factor of an `m`-dimensional subspace
+/// (Definition 1): the work saved by pruning every proper subset,
+/// where evaluating an `i`-dimensional subspace costs `i`.
+///
+/// `DSF(m) = Σ_{i=1}^{m-1} C(m, i) · i`, with the closed form
+/// `m · 2^(m-1) - m`.
+///
+/// ```
+/// // The paper's §3.1 worked example in a 4-d space:
+/// assert_eq!(hos_lattice::dsf(3), 9.0);     // DSF([1,2,3])
+/// assert_eq!(hos_lattice::usf(2, 4), 10.0); // USF([1,4])
+/// ```
+pub fn dsf(m: usize) -> f64 {
+    if m <= 1 {
+        return 0.0;
+    }
+    let mf = m as f64;
+    mf * 2f64.powi(m as i32 - 1) - mf
+}
+
+/// Upward Saving Factor of an `m`-dimensional subspace in a
+/// `d`-dimensional space (Definition 2): the work saved by pruning
+/// every proper superset.
+///
+/// `USF(m, d) = Σ_{i=1}^{d-m} C(d-m, i) · (m + i)`.
+pub fn usf(m: usize, d: usize) -> f64 {
+    if m >= d {
+        return 0.0;
+    }
+    let r = d - m; // number of addable dimensions
+    // Σ C(r,i)(m+i) = m(2^r - 1) + r·2^(r-1)
+    let rf = r as f64;
+    let mf = m as f64;
+    mf * (2f64.powi(r as i32) - 1.0) + rf * 2f64.powi(r as i32 - 1)
+}
+
+/// Total OD-evaluation workload of all subspaces at levels `< m`:
+/// `C_down(m) = Σ_{i=1}^{m-1} C(d, i) · i` (the paper's denominator
+/// for `f_down`).
+pub fn c_down_total(m: usize, d: usize) -> f64 {
+    (1..m).map(|i| binomial(d, i) * i as f64).sum()
+}
+
+/// Total OD-evaluation workload of all subspaces at levels `> m`:
+/// `C_up(m) = Σ_{i=m+1}^{d} C(d, i) · i`.
+pub fn c_up_total(m: usize, d: usize) -> f64 {
+    (m + 1..=d).map(|i| binomial(d, i) * i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(10, 0), 1.0);
+        assert_eq!(binomial(10, 10), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn dsf_matches_paper_example() {
+        // Paper §3.1: in a 4-d space, DSF([1,2,3]) = C(3,1)·1 + C(3,2)·2 = 9.
+        assert_eq!(dsf(3), 9.0);
+    }
+
+    #[test]
+    fn usf_matches_paper_example() {
+        // Paper §3.1: USF([1,4]) in d=4: C(2,1)·(2+1) + C(2,2)·(2+2) = 10.
+        assert_eq!(usf(2, 4), 10.0);
+    }
+
+    #[test]
+    fn dsf_closed_form_equals_sum() {
+        for m in 0..=20 {
+            let direct: f64 = (1..m).map(|i| binomial(m, i) * i as f64).sum();
+            assert_eq!(dsf(m), direct, "m={m}");
+        }
+    }
+
+    #[test]
+    fn usf_closed_form_equals_sum() {
+        for d in 1..=16 {
+            for m in 0..=d {
+                let direct: f64 = (1..=d - m).map(|i| binomial(d - m, i) * (m + i) as f64).sum();
+                assert_eq!(usf(m, d), direct, "m={m} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(dsf(0), 0.0);
+        assert_eq!(dsf(1), 0.0); // 1-d subspaces have no non-empty subsets
+        assert_eq!(usf(4, 4), 0.0); // the full space has no supersets
+        assert_eq!(usf(5, 4), 0.0);
+    }
+
+    #[test]
+    fn totals_partition_the_lattice_workload() {
+        // C_down(m) + m·C(d,m) + C_up(m) = total workload Σ C(d,i)·i.
+        let d = 9;
+        let total: f64 = (1..=d).map(|i| binomial(d, i) * i as f64).sum();
+        for m in 1..=d {
+            let got = c_down_total(m, d) + binomial(d, m) * m as f64 + c_up_total(m, d);
+            assert!((got - total).abs() < 1e-6, "m={m}");
+        }
+    }
+
+    #[test]
+    fn totals_boundaries() {
+        assert_eq!(c_down_total(1, 8), 0.0);
+        assert_eq!(c_up_total(8, 8), 0.0);
+        assert!(c_down_total(8, 8) > 0.0);
+    }
+}

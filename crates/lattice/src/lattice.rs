@@ -1,0 +1,346 @@
+//! Materialised subspace-lattice state for the dynamic search.
+//!
+//! For `d` dimensions there are `2^d - 1` non-empty subspaces; the
+//! search must know, for each, whether it is still to be examined,
+//! already evaluated, pruned as a guaranteed non-outlier (downward
+//! closure of Property 1) or pruned as a guaranteed outlier (upward
+//! closure of Property 2). A flat `Vec<u8>` indexed by bitmask keeps
+//! every transition O(1) and the closures pure bit-enumeration.
+//!
+//! Memory is `2^d` bytes, practical to `d ≈ 26`; beyond that the
+//! dynamic search itself would be hopeless anyway (the paper's
+//! experiments live well below this).
+
+use crate::combinatorics;
+use hos_data::Subspace;
+
+/// Maximum dimensionality for a materialised lattice (`2^d` bytes).
+pub const MAX_LATTICE_DIM: usize = 26;
+
+/// Lifecycle state of one subspace during the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SubspaceState {
+    /// Not yet looked at.
+    Unevaluated = 0,
+    /// OD was computed directly.
+    Evaluated = 1,
+    /// Pruned by Property 1: a superset scored below `T`, so this
+    /// subspace cannot be outlying.
+    PrunedNonOutlier = 2,
+    /// Pruned by Property 2: a subset scored at least `T`, so this
+    /// subspace is certainly outlying (goes straight to the answer
+    /// set without an OD evaluation).
+    PrunedOutlier = 3,
+}
+
+impl SubspaceState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => SubspaceState::Unevaluated,
+            1 => SubspaceState::Evaluated,
+            2 => SubspaceState::PrunedNonOutlier,
+            3 => SubspaceState::PrunedOutlier,
+            _ => unreachable!("invalid state byte {v}"),
+        }
+    }
+}
+
+/// Counters of how the search disposed of subspaces, per level and
+/// overall — the raw material of the efficiency experiments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatticeCounters {
+    /// OD evaluations actually performed.
+    pub evaluated: u64,
+    /// Subspaces ruled out by downward pruning.
+    pub pruned_non_outlier: u64,
+    /// Subspaces ruled *in* by upward pruning.
+    pub pruned_outlier: u64,
+}
+
+/// The lattice state table.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    d: usize,
+    states: Vec<u8>,
+    /// Unevaluated count per level (index = dimensionality, 0..=d).
+    remaining: Vec<u64>,
+    counters: LatticeCounters,
+}
+
+impl Lattice {
+    /// Creates a fresh lattice over `d` dimensions with every
+    /// non-empty subspace unevaluated.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `d > MAX_LATTICE_DIM`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "lattice needs at least one dimension");
+        assert!(
+            d <= MAX_LATTICE_DIM,
+            "d = {d} exceeds materialised-lattice limit {MAX_LATTICE_DIM}"
+        );
+        let mut remaining = vec![0u64; d + 1];
+        for (m, slot) in remaining.iter_mut().enumerate().skip(1) {
+            *slot = combinatorics::binomial(d, m) as u64;
+        }
+        Lattice {
+            d,
+            states: vec![0u8; 1usize << d],
+            remaining,
+            counters: LatticeCounters::default(),
+        }
+    }
+
+    /// Dimensionality of the underlying space.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Current state of a subspace.
+    pub fn state(&self, s: Subspace) -> SubspaceState {
+        debug_assert!(!s.is_empty() && (s.mask() as usize) < self.states.len());
+        SubspaceState::from_u8(self.states[s.mask() as usize])
+    }
+
+    /// Disposal counters so far.
+    pub fn counters(&self) -> &LatticeCounters {
+        &self.counters
+    }
+
+    /// Unevaluated subspaces remaining at level `m`.
+    pub fn remaining_at(&self, m: usize) -> u64 {
+        self.remaining.get(m).copied().unwrap_or(0)
+    }
+
+    /// Total unevaluated subspaces remaining.
+    pub fn total_remaining(&self) -> u64 {
+        self.remaining.iter().sum()
+    }
+
+    /// Whether every subspace has been evaluated or pruned.
+    pub fn is_complete(&self) -> bool {
+        self.total_remaining() == 0
+    }
+
+    /// The paper's `C_down_left(m)`: summed dimensionality of
+    /// unpruned/unevaluated subspaces strictly below level `m`.
+    pub fn c_down_left(&self, m: usize) -> f64 {
+        (1..m.min(self.d + 1))
+            .map(|i| self.remaining[i] as f64 * i as f64)
+            .sum()
+    }
+
+    /// The paper's `C_up_left(m)`: summed dimensionality of
+    /// unpruned/unevaluated subspaces strictly above level `m`.
+    pub fn c_up_left(&self, m: usize) -> f64 {
+        (m + 1..=self.d)
+            .map(|i| self.remaining[i] as f64 * i as f64)
+            .sum()
+    }
+
+    fn set_state(&mut self, mask: u64, state: SubspaceState) {
+        let idx = mask as usize;
+        debug_assert_eq!(self.states[idx], 0, "state transition from non-unevaluated");
+        self.states[idx] = state as u8;
+        let level = mask.count_ones() as usize;
+        self.remaining[level] -= 1;
+        match state {
+            SubspaceState::Evaluated => self.counters.evaluated += 1,
+            SubspaceState::PrunedNonOutlier => self.counters.pruned_non_outlier += 1,
+            SubspaceState::PrunedOutlier => self.counters.pruned_outlier += 1,
+            SubspaceState::Unevaluated => unreachable!(),
+        }
+    }
+
+    /// Records a direct OD evaluation of `s`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `s` was already disposed of — the search must
+    /// never evaluate a subspace twice.
+    pub fn mark_evaluated(&mut self, s: Subspace) {
+        self.set_state(s.mask(), SubspaceState::Evaluated);
+    }
+
+    /// Downward-pruning closure (Property 1): marks every still-open
+    /// **strict subset** of `s` as a certain non-outlier. Returns how
+    /// many subspaces were newly pruned.
+    pub fn prune_down(&mut self, s: Subspace) -> u64 {
+        let mut pruned = 0;
+        for sub in s.strict_subsets() {
+            if self.states[sub.mask() as usize] == 0 {
+                self.set_state(sub.mask(), SubspaceState::PrunedNonOutlier);
+                pruned += 1;
+            }
+        }
+        pruned
+    }
+
+    /// Upward-pruning closure (Property 2): marks every still-open
+    /// **strict superset** of `s` as a certain outlier. Returns how
+    /// many subspaces were newly pruned.
+    pub fn prune_up(&mut self, s: Subspace) -> u64 {
+        let mut pruned = 0;
+        let comp = s.complement(self.d);
+        for extra in comp.subsets() {
+            let sup = s.union(extra);
+            if self.states[sup.mask() as usize] == 0 {
+                self.set_state(sup.mask(), SubspaceState::PrunedOutlier);
+                pruned += 1;
+            }
+        }
+        pruned
+    }
+
+    /// All still-unevaluated subspaces at level `m`, in mask order.
+    pub fn open_at_level(&self, m: usize) -> Vec<Subspace> {
+        if self.remaining_at(m) == 0 {
+            return Vec::new();
+        }
+        Subspace::all_of_dim(self.d, m)
+            .filter(|s| self.states[s.mask() as usize] == 0)
+            .collect()
+    }
+
+    /// Iterates every subspace currently in a given state (used by the
+    /// result assembly to collect `PrunedOutlier` members).
+    pub fn in_state(&self, state: SubspaceState) -> Vec<Subspace> {
+        (1..self.states.len())
+            .filter(|&i| self.states[i] == state as u8)
+            .map(|i| Subspace::from_mask(i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_lattice_counts() {
+        let l = Lattice::new(4);
+        assert_eq!(l.dim(), 4);
+        assert_eq!(l.total_remaining(), 15);
+        assert_eq!(l.remaining_at(1), 4);
+        assert_eq!(l.remaining_at(2), 6);
+        assert_eq!(l.remaining_at(3), 4);
+        assert_eq!(l.remaining_at(4), 1);
+        assert!(!l.is_complete());
+        assert_eq!(l.state(Subspace::from_dims(&[0, 1])), SubspaceState::Unevaluated);
+    }
+
+    #[test]
+    fn mark_evaluated_updates_counters() {
+        let mut l = Lattice::new(3);
+        l.mark_evaluated(Subspace::from_dims(&[0]));
+        assert_eq!(l.state(Subspace::from_dims(&[0])), SubspaceState::Evaluated);
+        assert_eq!(l.remaining_at(1), 2);
+        assert_eq!(l.counters().evaluated, 1);
+    }
+
+    #[test]
+    fn prune_down_closes_strict_subsets() {
+        let mut l = Lattice::new(4);
+        let s = Subspace::from_dims(&[0, 1, 2]);
+        let pruned = l.prune_down(s);
+        assert_eq!(pruned, 6); // 2^3 - 2 strict non-empty subsets
+        assert_eq!(l.state(Subspace::from_dims(&[0])), SubspaceState::PrunedNonOutlier);
+        assert_eq!(l.state(Subspace::from_dims(&[0, 2])), SubspaceState::PrunedNonOutlier);
+        // s itself untouched, unrelated subspaces untouched.
+        assert_eq!(l.state(s), SubspaceState::Unevaluated);
+        assert_eq!(l.state(Subspace::from_dims(&[3])), SubspaceState::Unevaluated);
+    }
+
+    #[test]
+    fn prune_up_closes_strict_supersets() {
+        let mut l = Lattice::new(4);
+        let s = Subspace::from_dims(&[1]);
+        let pruned = l.prune_up(s);
+        assert_eq!(pruned, 7); // supersets of {1} in 4 dims, minus s itself
+        assert_eq!(l.state(Subspace::from_dims(&[1, 3])), SubspaceState::PrunedOutlier);
+        assert_eq!(l.state(Subspace::full(4)), SubspaceState::PrunedOutlier);
+        assert_eq!(l.state(s), SubspaceState::Unevaluated);
+        assert_eq!(l.state(Subspace::from_dims(&[0])), SubspaceState::Unevaluated);
+    }
+
+    #[test]
+    fn pruning_is_idempotent_on_closed_subspaces() {
+        let mut l = Lattice::new(4);
+        l.prune_up(Subspace::from_dims(&[0]));
+        let first = l.counters().pruned_outlier;
+        let again = l.prune_up(Subspace::from_dims(&[0]));
+        assert_eq!(again, 0);
+        assert_eq!(l.counters().pruned_outlier, first);
+    }
+
+    #[test]
+    fn overlapping_prunes_account_each_subspace_once() {
+        let mut l = Lattice::new(3);
+        let a = l.prune_up(Subspace::from_dims(&[0])); // {01},{02},{012} → 3
+        let b = l.prune_up(Subspace::from_dims(&[1])); // {01} and {012} taken → only {12}
+        assert_eq!(a, 3);
+        assert_eq!(b, 1);
+        let c = l.counters();
+        assert_eq!(c.pruned_outlier, 4);
+        assert_eq!(l.total_remaining(), 7 - 4);
+    }
+
+    #[test]
+    fn completion() {
+        let mut l = Lattice::new(2);
+        l.mark_evaluated(Subspace::from_dims(&[0]));
+        l.mark_evaluated(Subspace::from_dims(&[1]));
+        l.mark_evaluated(Subspace::from_dims(&[0, 1]));
+        assert!(l.is_complete());
+        assert_eq!(l.counters().evaluated, 3);
+    }
+
+    #[test]
+    fn c_left_tracks_remaining_workload() {
+        let mut l = Lattice::new(4);
+        // Fresh: C_down_left(3) = 4·1 + 6·2 = 16, C_up_left(3) = 1·4.
+        assert_eq!(l.c_down_left(3), 16.0);
+        assert_eq!(l.c_up_left(3), 4.0);
+        // Evaluate one level-1 subspace: C_down_left(3) drops by 1.
+        l.mark_evaluated(Subspace::from_dims(&[0]));
+        assert_eq!(l.c_down_left(3), 15.0);
+        // Boundaries.
+        assert_eq!(l.c_down_left(1), 0.0);
+        assert_eq!(l.c_up_left(4), 0.0);
+    }
+
+    #[test]
+    fn open_at_level_lists_survivors() {
+        let mut l = Lattice::new(3);
+        l.prune_up(Subspace::from_dims(&[0]));
+        let open2 = l.open_at_level(2);
+        assert_eq!(open2, vec![Subspace::from_dims(&[1, 2])]);
+        let open1 = l.open_at_level(1);
+        assert_eq!(open1.len(), 3); // level 1 untouched by strict-superset pruning
+        assert!(l.open_at_level(3).is_empty());
+    }
+
+    #[test]
+    fn in_state_collects() {
+        let mut l = Lattice::new(3);
+        l.prune_up(Subspace::from_dims(&[2]));
+        let outliers = l.in_state(SubspaceState::PrunedOutlier);
+        assert_eq!(outliers.len(), 3);
+        for s in outliers {
+            assert!(s.is_superset_of(Subspace::from_dims(&[2])));
+        }
+        assert!(l.in_state(SubspaceState::Evaluated).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_dim_rejected() {
+        let _ = Lattice::new(MAX_LATTICE_DIM + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        let _ = Lattice::new(0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # hos-lattice
+//!
+//! Subspace-lattice machinery for HOS-Miner's dynamic search:
+//!
+//! * [`combinatorics`] — binomial coefficients and the closed-form
+//!   Downward/Upward Saving Factors of the paper's Definitions 1–2.
+//! * [`lattice`] — a materialised state table over all `2^d - 1`
+//!   non-empty subspaces with per-level remaining-work counters and
+//!   the two pruning closures (Property 1 and 2 of OD).
+//! * [`savings`] — the Total Saving Factor (Definition 3), combining
+//!   the static DSF/USF with the live `f_down`/`f_up` fractions and
+//!   the learned pruning probabilities.
+
+pub mod combinatorics;
+pub mod lattice;
+pub mod savings;
+
+pub use combinatorics::{binomial, dsf, usf};
+pub use lattice::{Lattice, SubspaceState};
+pub use savings::TsfComputer;

@@ -1,0 +1,197 @@
+//! The Total Saving Factor (paper Definition 3).
+//!
+//! `TSF(m, p)` estimates, for each lattice level `m`, how much future
+//! work evaluating that level is expected to save through the two
+//! pruning closures. The dynamic search always evaluates the level
+//! with the largest TSF next.
+//!
+//! ```text
+//! TSF(m,p) = p_up(m,p)·f_up(m)·USF(m)                      m = 1
+//!          = p_down(m,p)·f_down(m)·DSF(m)
+//!            + p_up(m,p)·f_up(m)·USF(m)                    1 < m < d
+//!          = p_down(m,p)·f_down(m)·DSF(m)                  m = d
+//! ```
+//!
+//! where `f_down(m) = C_down_left(m) / C_down(m)` (and mirrored for
+//! `f_up`) are the live fractions of below/above-level workload still
+//! open, and `p_up`/`p_down` come from the sampling-based learning
+//! process (or the fixed priors during learning itself).
+
+use crate::combinatorics::{c_down_total, c_up_total, dsf, usf};
+use crate::lattice::Lattice;
+
+/// Precomputed static factors for one dimensionality `d`.
+#[derive(Clone, Debug)]
+pub struct TsfComputer {
+    d: usize,
+    dsf: Vec<f64>,
+    usf: Vec<f64>,
+    c_down: Vec<f64>,
+    c_up: Vec<f64>,
+}
+
+impl TsfComputer {
+    /// Precomputes DSF/USF and total-workload denominators for every
+    /// level of a `d`-dimensional lattice.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1);
+        let mut dsf_v = vec![0.0; d + 1];
+        let mut usf_v = vec![0.0; d + 1];
+        let mut c_down = vec![0.0; d + 1];
+        let mut c_up = vec![0.0; d + 1];
+        for m in 1..=d {
+            dsf_v[m] = dsf(m);
+            usf_v[m] = usf(m, d);
+            c_down[m] = c_down_total(m, d);
+            c_up[m] = c_up_total(m, d);
+        }
+        TsfComputer { d, dsf: dsf_v, usf: usf_v, c_down, c_up }
+    }
+
+    /// Dimensionality this computer was built for.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Static DSF for level `m`.
+    pub fn dsf_at(&self, m: usize) -> f64 {
+        self.dsf[m]
+    }
+
+    /// Static USF for level `m`.
+    pub fn usf_at(&self, m: usize) -> f64 {
+        self.usf[m]
+    }
+
+    /// Live `f_down(m)`: fraction of the below-`m` workload still open.
+    pub fn f_down(&self, m: usize, lattice: &Lattice) -> f64 {
+        let denom = self.c_down[m];
+        if denom <= 0.0 {
+            0.0
+        } else {
+            lattice.c_down_left(m) / denom
+        }
+    }
+
+    /// Live `f_up(m)`: fraction of the above-`m` workload still open.
+    pub fn f_up(&self, m: usize, lattice: &Lattice) -> f64 {
+        let denom = self.c_up[m];
+        if denom <= 0.0 {
+            0.0
+        } else {
+            lattice.c_up_left(m) / denom
+        }
+    }
+
+    /// TSF of level `m` per Definition 3.
+    ///
+    /// `p_up` and `p_down` are the pruning probabilities for this
+    /// level (learned or prior). The boundary cases drop the term
+    /// that cannot apply (`m = 1` has no subsets worth pruning,
+    /// `m = d` no supersets).
+    pub fn tsf(&self, m: usize, p_up: f64, p_down: f64, lattice: &Lattice) -> f64 {
+        debug_assert!((1..=self.d).contains(&m));
+        debug_assert!((0.0..=1.0).contains(&p_up) && (0.0..=1.0).contains(&p_down));
+        let up_term = p_up * self.f_up(m, lattice) * self.usf[m];
+        let down_term = p_down * self.f_down(m, lattice) * self.dsf[m];
+        if self.d == 1 {
+            // Degenerate 1-dimensional space: single subspace, no savings.
+            0.0
+        } else if m == 1 {
+            up_term
+        } else if m == self.d {
+            down_term
+        } else {
+            down_term + up_term
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_data::Subspace;
+
+    #[test]
+    fn fresh_lattice_fractions_are_one() {
+        let d = 6;
+        let t = TsfComputer::new(d);
+        let l = Lattice::new(d);
+        for m in 2..=d {
+            assert!((t.f_down(m, &l) - 1.0).abs() < 1e-12, "m={m}");
+        }
+        for m in 1..d {
+            assert!((t.f_up(m, &l) - 1.0).abs() < 1e-12, "m={m}");
+        }
+        // Undefined denominators are clamped to zero.
+        assert_eq!(t.f_down(1, &l), 0.0);
+        assert_eq!(t.f_up(d, &l), 0.0);
+    }
+
+    #[test]
+    fn fractions_shrink_as_lattice_closes() {
+        let d = 5;
+        let t = TsfComputer::new(d);
+        let mut l = Lattice::new(d);
+        let before = t.f_up(1, &l);
+        l.prune_up(Subspace::from_dims(&[0]));
+        let after = t.f_up(1, &l);
+        assert!(after < before);
+        assert!(after >= 0.0);
+    }
+
+    #[test]
+    fn tsf_boundary_levels_use_single_terms() {
+        let d = 5;
+        let t = TsfComputer::new(d);
+        let l = Lattice::new(d);
+        // m = 1 ignores p_down entirely.
+        let a = t.tsf(1, 0.5, 0.0, &l);
+        let b = t.tsf(1, 0.5, 1.0, &l);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+        // m = d ignores p_up entirely.
+        let c = t.tsf(d, 0.0, 0.5, &l);
+        let e = t.tsf(d, 1.0, 0.5, &l);
+        assert_eq!(c, e);
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn tsf_zero_probabilities_zero_saving() {
+        let d = 4;
+        let t = TsfComputer::new(d);
+        let l = Lattice::new(d);
+        for m in 1..=d {
+            assert_eq!(t.tsf(m, 0.0, 0.0, &l), 0.0);
+        }
+    }
+
+    #[test]
+    fn middle_levels_combine_both_terms() {
+        let d = 6;
+        let t = TsfComputer::new(d);
+        let l = Lattice::new(d);
+        let m = 3;
+        let both = t.tsf(m, 0.5, 0.5, &l);
+        let up_only = t.tsf(m, 0.5, 0.0, &l);
+        let down_only = t.tsf(m, 0.0, 0.5, &l);
+        assert!((both - (up_only + down_only)).abs() < 1e-9);
+        assert!(up_only > 0.0 && down_only > 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_space_has_no_savings() {
+        let t = TsfComputer::new(1);
+        let l = Lattice::new(1);
+        assert_eq!(t.tsf(1, 1.0, 1.0, &l), 0.0);
+    }
+
+    #[test]
+    fn static_factor_accessors() {
+        let t = TsfComputer::new(4);
+        assert_eq!(t.dim(), 4);
+        assert_eq!(t.dsf_at(3), 9.0);
+        assert_eq!(t.usf_at(2), 10.0);
+    }
+}

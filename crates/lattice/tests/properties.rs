@@ -1,0 +1,192 @@
+//! Property tests for the lattice state machine: the pruning closures
+//! must agree with brute-force set enumeration, and the bookkeeping
+//! counters must stay consistent under arbitrary operation sequences.
+
+use hos_data::Subspace;
+use hos_lattice::{binomial, Lattice, SubspaceState, TsfComputer};
+use proptest::prelude::*;
+
+const D: usize = 7;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Evaluate(u64),
+    PruneUp(u64),
+    PruneDown(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (1u64..(1 << D), 0u8..3).prop_map(|(mask, kind)| match kind {
+        0 => Op::Evaluate(mask),
+        1 => Op::PruneUp(mask),
+        _ => Op::PruneDown(mask),
+    })
+}
+
+/// Reference model: plain per-subspace state vector updated by brute
+/// force enumeration of all 2^D masks.
+#[derive(Clone)]
+struct Model {
+    states: Vec<SubspaceState>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { states: vec![SubspaceState::Unevaluated; 1 << D] }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Evaluate(m) => {
+                if self.states[m as usize] == SubspaceState::Unevaluated {
+                    self.states[m as usize] = SubspaceState::Evaluated;
+                }
+            }
+            Op::PruneUp(m) => {
+                for x in 1..(1u64 << D) {
+                    if x != m
+                        && (x & m) == m
+                        && self.states[x as usize] == SubspaceState::Unevaluated
+                    {
+                        self.states[x as usize] = SubspaceState::PrunedOutlier;
+                    }
+                }
+            }
+            Op::PruneDown(m) => {
+                for x in 1..(1u64 << D) {
+                    if x != m
+                        && (x | m) == m
+                        && self.states[x as usize] == SubspaceState::Unevaluated
+                    {
+                        self.states[x as usize] = SubspaceState::PrunedNonOutlier;
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lattice_matches_brute_force_model(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut lattice = Lattice::new(D);
+        let mut model = Model::new();
+        for op in &ops {
+            match *op {
+                Op::Evaluate(m) => {
+                    let s = Subspace::from_mask(m);
+                    if lattice.state(s) == SubspaceState::Unevaluated {
+                        lattice.mark_evaluated(s);
+                    }
+                }
+                Op::PruneUp(m) => {
+                    lattice.prune_up(Subspace::from_mask(m));
+                }
+                Op::PruneDown(m) => {
+                    lattice.prune_down(Subspace::from_mask(m));
+                }
+            }
+            model.apply(op);
+        }
+        // Every subspace's state agrees with the model.
+        let mut remaining_per_level = [0u64; D + 1];
+        for mask in 1u64..(1 << D) {
+            let s = Subspace::from_mask(mask);
+            prop_assert_eq!(lattice.state(s), model.states[mask as usize], "mask {}", mask);
+            if model.states[mask as usize] == SubspaceState::Unevaluated {
+                remaining_per_level[s.dim()] += 1;
+            }
+        }
+        // Per-level counters agree with recounting.
+        for (m, &expected) in remaining_per_level.iter().enumerate().skip(1) {
+            prop_assert_eq!(lattice.remaining_at(m), expected);
+        }
+        // Counter totals partition the lattice.
+        let c = lattice.counters();
+        prop_assert_eq!(
+            c.evaluated + c.pruned_outlier + c.pruned_non_outlier + lattice.total_remaining(),
+            (1u64 << D) - 1
+        );
+    }
+
+    #[test]
+    fn c_left_matches_definition(ops in prop::collection::vec(arb_op(), 1..25),
+                                 level in 1usize..=D) {
+        let mut lattice = Lattice::new(D);
+        for op in &ops {
+            match *op {
+                Op::Evaluate(m) => {
+                    let s = Subspace::from_mask(m);
+                    if lattice.state(s) == SubspaceState::Unevaluated {
+                        lattice.mark_evaluated(s);
+                    }
+                }
+                Op::PruneUp(m) => { lattice.prune_up(Subspace::from_mask(m)); }
+                Op::PruneDown(m) => { lattice.prune_down(Subspace::from_mask(m)); }
+            }
+        }
+        // C_down_left(m) = Σ dim(s) over open subspaces below level m
+        // (paper §3.1), recomputed by brute force.
+        let mut down = 0.0;
+        let mut up = 0.0;
+        for mask in 1u64..(1 << D) {
+            let s = Subspace::from_mask(mask);
+            if lattice.state(s) == SubspaceState::Unevaluated {
+                if s.dim() < level {
+                    down += s.dim() as f64;
+                }
+                if s.dim() > level {
+                    up += s.dim() as f64;
+                }
+            }
+        }
+        prop_assert_eq!(lattice.c_down_left(level), down);
+        prop_assert_eq!(lattice.c_up_left(level), up);
+    }
+
+    #[test]
+    fn tsf_bounded_by_static_factors(ops in prop::collection::vec(arb_op(), 0..20),
+                                     p_up in 0.0f64..1.0, p_down in 0.0f64..1.0) {
+        let mut lattice = Lattice::new(D);
+        for op in &ops {
+            match *op {
+                Op::Evaluate(m) => {
+                    let s = Subspace::from_mask(m);
+                    if lattice.state(s) == SubspaceState::Unevaluated {
+                        lattice.mark_evaluated(s);
+                    }
+                }
+                Op::PruneUp(m) => { lattice.prune_up(Subspace::from_mask(m)); }
+                Op::PruneDown(m) => { lattice.prune_down(Subspace::from_mask(m)); }
+            }
+        }
+        let tsf = TsfComputer::new(D);
+        for m in 1..=D {
+            let v = tsf.tsf(m, p_up, p_down, &lattice);
+            // f_down, f_up ∈ [0,1] and probabilities ∈ [0,1], so TSF is
+            // bounded by DSF(m) + USF(m).
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= tsf.dsf_at(m) + tsf.usf_at(m) + 1e-9,
+                "TSF({m}) = {v} exceeds static bound");
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&tsf.f_down(m, &lattice)));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&tsf.f_up(m, &lattice)));
+        }
+    }
+
+    #[test]
+    fn open_at_level_consistent(masks in prop::collection::vec(1u64..(1 << D), 0..10),
+                                level in 1usize..=D) {
+        let mut lattice = Lattice::new(D);
+        for &m in &masks {
+            lattice.prune_up(Subspace::from_mask(m));
+        }
+        let open = lattice.open_at_level(level);
+        prop_assert_eq!(open.len() as u64, lattice.remaining_at(level));
+        for s in &open {
+            prop_assert_eq!(s.dim(), level);
+            prop_assert_eq!(lattice.state(*s), SubspaceState::Unevaluated);
+        }
+        // Total binomial sanity.
+        prop_assert!(open.len() as f64 <= binomial(D, level));
+    }
+}

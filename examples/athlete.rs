@@ -1,0 +1,105 @@
+//! The paper's motivating application (§1): "in the case of designing
+//! a training program for an athlete, it is critical to identify the
+//! specific subspace(s) in which an athlete deviates from his or her
+//! teammates in the daily training performances."
+//!
+//! We simulate a squad of athletes measured on six training metrics.
+//! One athlete has an unremarkable profile in every single metric but
+//! an anomalous *combination* of endurance vs. recovery — exactly the
+//! kind of weakness a per-metric report would miss.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example athlete
+//! ```
+
+use hos_miner::core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_miner::data::normalize::{normalize, NormKind};
+use hos_miner::data::synth::normal;
+use hos_miner::data::table::Table;
+use hos_miner::data::{Dataset, DatasetBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const METRICS: [&str; 6] =
+    ["sprint_s", "endurance_km", "strength_kg", "recovery_h", "agility", "accuracy"];
+
+fn squad(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new()
+        .with_names(METRICS.iter().map(|s| s.to_string()).collect());
+    for _ in 0..240 {
+        // Endurance and recovery are physiologically coupled: athletes
+        // with more endurance volume need proportionally more recovery.
+        let endurance = normal(&mut rng, 60.0, 8.0);
+        let recovery = 0.2 * endurance + normal(&mut rng, 0.0, 0.8);
+        let row = vec![
+            normal(&mut rng, 11.0, 0.5),  // sprint
+            endurance,                    // endurance
+            normal(&mut rng, 95.0, 12.0), // strength
+            recovery,                     // recovery
+            normal(&mut rng, 7.0, 1.0),   // agility
+            normal(&mut rng, 0.7, 0.08),  // accuracy
+        ];
+        b.push_row(&row).expect("valid row");
+    }
+    b.build().expect("valid squad")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data = squad(11);
+    // The athlete under review: every metric individually within the
+    // squad's normal range, but recovery is far too short for that
+    // endurance volume (broken coupling).
+    let athlete = vec![11.1, 76.0, 97.0, 8.0, 7.2, 0.71];
+    let athlete_id = data.push_row(&athlete)?;
+
+    // The metrics live on wildly different scales (seconds vs km vs
+    // kg), so distances must be computed on z-scores — otherwise the
+    // widest column drowns every other signal. This is standard
+    // preprocessing for any global-distance-threshold method.
+    let (zdata, _norm) = normalize(&data, NormKind::ZScore)?;
+
+    let miner = HosMiner::fit(
+        zdata,
+        HosMinerConfig {
+            k: 6,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 240 },
+            sample_size: 20,
+            ..HosMinerConfig::default()
+        },
+    )?;
+
+    println!("squad of {} athletes, metrics: {:?}\n", data.len() - 1, METRICS);
+    let mut profile = Table::new(vec!["metric", "athlete", "squad mean", "squad std"]);
+    for (c, name) in METRICS.iter().enumerate() {
+        let col: Vec<f64> = data.column(c).take(data.len() - 1).collect();
+        profile.push(vec![
+            name.to_string(),
+            format!("{:.2}", athlete[c]),
+            format!("{:.2}", hos_miner::data::stats::mean(&col)),
+            format!("{:.2}", hos_miner::data::stats::std_dev(&col)),
+        ]);
+    }
+    println!("{}", profile.render());
+
+    let out = miner.query_id(athlete_id)?;
+    if out.minimal.is_empty() {
+        println!("No deviating subspace found — profile consistent with the squad.");
+    } else {
+        println!("Deviating metric combinations (minimal outlying subspaces):");
+        for s in &out.minimal {
+            let names: Vec<&str> = s.dims().map(|d| METRICS[d]).collect();
+            println!("  {s}  ->  {}", names.join(" + "));
+        }
+        println!(
+            "\nTraining focus: the athlete's weakness is the *combination* above, \
+             not any single metric (each marginal is within the normal range)."
+        );
+    }
+    println!(
+        "\nsearch cost: {} OD evaluations over a lattice of {} subspaces",
+        out.stats.od_evals, out.stats.lattice_size
+    );
+    Ok(())
+}

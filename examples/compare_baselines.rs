@@ -1,0 +1,152 @@
+//! Side-by-side comparison of HOS-Miner against the baselines the
+//! paper positions itself against (demo part 3 and §1):
+//!
+//! * the Aggarwal–Yu evolutionary sparse-subspace search — the
+//!   "space → outliers" competitor;
+//! * exhaustive lattice evaluation — the no-pruning upper bound;
+//! * full-space detectors (LOF, top-n kNN distance) — what a
+//!   subspace-blind detector reports about the same points.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use hos_miner::baselines::evolutionary::EvolutionarySearch;
+use hos_miner::baselines::{exhaustive_search, lof, knn_outlier, EvoConfig, ExhaustiveMode};
+use hos_miner::core::od::OdMode;
+use hos_miner::core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_miner::data::synth::planted::{generate, PlantedSpec};
+use hos_miner::data::table::Table;
+use hos_miner::Subspace;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = PlantedSpec {
+        n_background: 1500,
+        d: 8,
+        n_clusters: 3,
+        cluster_sigma: 1.0,
+        extent: 80.0,
+        targets: vec![Subspace::from_dims(&[1, 4]), Subspace::from_dims(&[6])],
+        shift_sigmas: 12.0,
+        seed: 3,
+    };
+    let w = generate(&spec)?;
+    let query_id = w.outliers[0].id;
+    let target = w.outliers[0].subspace;
+    println!(
+        "workload: {} points, d=8; examining planted outlier #{query_id} (target {target})\n",
+        w.dataset.len()
+    );
+
+    // --- HOS-Miner -----------------------------------------------------
+    let t0 = Instant::now();
+    let miner = HosMiner::fit(
+        w.dataset.clone(),
+        HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            sample_size: 20,
+            ..HosMinerConfig::default()
+        },
+    )?;
+    let fit_time = t0.elapsed();
+    let t0 = Instant::now();
+    let hos = miner.query_id(query_id)?;
+    let hos_time = t0.elapsed();
+
+    // --- Exhaustive ground truth ---------------------------------------
+    let t0 = Instant::now();
+    let exact = exhaustive_search(
+        miner.engine(),
+        w.dataset.row(query_id),
+        Some(query_id),
+        5,
+        miner.threshold(),
+        ExhaustiveMode::Full,
+        OdMode::Raw,
+    );
+    let exact_time = t0.elapsed();
+
+    // --- Evolutionary search (Aggarwal–Yu) ------------------------------
+    let t0 = Instant::now();
+    let es = EvolutionarySearch::fit(
+        &w.dataset,
+        EvoConfig { phi: 8, cube_dim: 2, population: 80, generations: 50, best_m: 12, seed: 1, ..EvoConfig::default() },
+    );
+    let cubes = es.run();
+    let evo_spaces = es.outlying_subspaces_of(&cubes, w.dataset.row(query_id));
+    let evo_time = t0.elapsed();
+
+    // --- Full-space detectors -------------------------------------------
+    let full = w.dataset.full_space();
+    let lof_top = lof::top_lof(miner.engine(), 10, full, 5);
+    let knn_top = knn_outlier::top_knn_outliers(miner.engine(), 5, full, 5);
+
+    let fmt_spaces = |v: &[Subspace]| -> String {
+        if v.is_empty() {
+            "(none)".into()
+        } else {
+            v.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+        }
+    };
+
+    let mut table = Table::new(vec!["method", "answer about point", "OD/space evals", "time"]);
+    table.push(vec![
+        "HOS-Miner (dynamic)".to_string(),
+        format!("minimal outlying: {}", fmt_spaces(&hos.minimal)),
+        hos.stats.od_evals.to_string(),
+        format!("{:.1?}", hos_time),
+    ]);
+    table.push(vec![
+        "Exhaustive".to_string(),
+        format!(
+            "minimal outlying: {}",
+            fmt_spaces(&hos_miner::core::minimal_subspaces(&exact.subspaces()))
+        ),
+        exact.stats.od_evals.to_string(),
+        format!("{:.1?}", exact_time),
+    ]);
+    table.push(vec![
+        "Evolutionary (A-Y)".to_string(),
+        format!("sparse cubes containing point: {}", fmt_spaces(&evo_spaces)),
+        format!("{} cubes", cubes.len()),
+        format!("{:.1?}", evo_time),
+    ]);
+    table.push(vec![
+        "LOF (full space)".to_string(),
+        format!(
+            "point rank: {}",
+            lof_top
+                .iter()
+                .position(|&(id, _)| id == query_id)
+                .map(|p| format!("#{} of top-5", p + 1))
+                .unwrap_or_else(|| "not in top-5".into())
+        ),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.push(vec![
+        "kNN-dist (full space)".to_string(),
+        format!(
+            "point rank: {}",
+            knn_top
+                .iter()
+                .position(|&(id, _)| id == query_id)
+                .map(|p| format!("#{} of top-5", p + 1))
+                .unwrap_or_else(|| "not in top-5".into())
+        ),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("(HOS-Miner fit — indexing + threshold + learning — took {fit_time:.1?})");
+    println!(
+        "\nNote the contrast the paper draws: the full-space detectors can only say \
+         *whether* the point is an outlier; the evolutionary method finds sparse \
+         regions and only incidentally attributes subspaces to points; HOS-Miner \
+         answers the outlier → subspaces question directly and exactly."
+    );
+    Ok(())
+}

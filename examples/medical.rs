@@ -1,0 +1,117 @@
+//! The paper's second motivating application (§1): "In a medical
+//! system, it is useful for the Doctors to identify from voluminous
+//! medical data the subspaces in which a particular patient is found
+//! abnormal and therefore a corresponding medical treatment can be
+//! provided in a timely manner."
+//!
+//! We simulate a cohort of patients with eight routine lab values,
+//! including two physiologically coupled pairs, then run a full-cohort
+//! *scan*: rank patients by full-space outlying degree and report, for
+//! each flagged patient, exactly which lab combination is abnormal.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example medical
+//! ```
+
+use hos_miner::core::{scan_outliers, HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_miner::data::normalize::{normalize, NormKind};
+use hos_miner::data::synth::normal;
+use hos_miner::data::table::Table;
+use hos_miner::data::{Dataset, DatasetBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LABS: [&str; 8] = [
+    "hemoglobin", "hematocrit", // tightly coupled (~3:1 ratio)
+    "sodium", "chloride",       // coupled electrolytes
+    "glucose", "creatinine", "wbc", "platelets",
+];
+
+/// A cohort of healthy-ish patients with realistic couplings.
+fn cohort(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new().with_names(LABS.iter().map(|s| s.to_string()).collect());
+    for _ in 0..n {
+        let hgb = normal(&mut rng, 14.0, 1.2);
+        let hct = hgb * 3.0 + normal(&mut rng, 0.0, 0.6);
+        let na = normal(&mut rng, 140.0, 2.5);
+        let cl = na - 36.0 + normal(&mut rng, 0.0, 1.2);
+        let row = vec![
+            hgb,
+            hct,
+            na,
+            cl,
+            normal(&mut rng, 95.0, 12.0),  // glucose
+            normal(&mut rng, 0.9, 0.15),   // creatinine
+            normal(&mut rng, 7.0, 1.6),    // wbc
+            normal(&mut rng, 250.0, 50.0), // platelets
+        ];
+        b.push_row(&row).expect("valid row");
+    }
+    b.build().expect("valid cohort")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data = cohort(500, 23);
+
+    // Three patients with clinically distinct abnormalities:
+    // A: classic single-lab outlier (severe hyperglycemia).
+    let a = data.push_row(&[14.1, 42.5, 139.0, 103.5, 320.0, 0.9, 7.2, 240.0])?;
+    // B: every lab individually plausible, but hemoglobin/hematocrit
+    //    ratio broken (e.g. a lab error or recent transfusion).
+    let b = data.push_row(&[11.5, 52.5, 141.0, 104.8, 98.0, 0.85, 6.8, 260.0])?;
+    // C: sodium-chloride gap anomaly (acid-base disorder signature).
+    let c = data.push_row(&[14.5, 43.2, 136.5, 115.5, 92.0, 1.0, 7.5, 255.0])?;
+
+    // Lab values live on different scales: z-score first.
+    let (z, _) = normalize(&data, NormKind::ZScore)?;
+    let miner = HosMiner::fit(
+        z,
+        HosMinerConfig {
+            k: 6,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.99, sample: 300 },
+            sample_size: 20,
+            ..HosMinerConfig::default()
+        },
+    )?;
+
+    println!(
+        "cohort of {} patients, {} labs; scanning for abnormal patients...\n",
+        data.len(),
+        LABS.len()
+    );
+    let report = scan_outliers(&miner, 8)?;
+    let mut table = Table::new(vec!["patient", "full-space OD", "abnormal lab combination(s)"]);
+    for hit in &report.hits {
+        let label = match hit.id {
+            id if id == a => "A (planted: glucose)".to_string(),
+            id if id == b => "B (planted: hgb/hct)".to_string(),
+            id if id == c => "C (planted: na/cl)".to_string(),
+            id => format!("#{id}"),
+        };
+        let combos: Vec<String> = hit
+            .outcome
+            .minimal
+            .iter()
+            .map(|s| {
+                let names: Vec<&str> = s.dims().map(|d| LABS[d]).collect();
+                names.join("+")
+            })
+            .collect();
+        table.push(vec![label, format!("{:.2}", hit.full_od), combos.join("  ")]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} of {} patients needed no subspace search at all (full-space OD below T = {:.2}).",
+        report.skipped,
+        data.len(),
+        report.threshold
+    );
+    println!(
+        "\nThe clinical payoff is the third column: patient B's labs are all within\n\
+         reference ranges individually — only the hemoglobin+hematocrit *combination*\n\
+         is flagged, which is what directs the follow-up."
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # hos-miner — umbrella crate
+//!
+//! Re-exports the public API of the HOS-Miner workspace so examples,
+//! integration tests and downstream users need a single dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `README.md` for a
+//! quickstart. The heavy lifting lives in the member crates:
+//!
+//! * [`data`] — datasets, subspaces, metrics, synthetic workloads
+//! * [`index`] — k-NN engines (linear scan, X-tree)
+//! * [`lattice`] — subspace lattice bookkeeping and saving factors
+//! * [`core`] — outlying degree, learning, dynamic search, filtering
+//! * [`baselines`] — exhaustive search, evolutionary search, LOF & co.
+
+pub use hos_baselines as baselines;
+pub use hos_core as core;
+pub use hos_data as data;
+pub use hos_index as index;
+pub use hos_lattice as lattice;
+
+pub use hos_core::{HosMiner, HosMinerConfig, QueryOutcome};
+pub use hos_data::{Dataset, Metric, Subspace};

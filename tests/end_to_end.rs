@@ -1,0 +1,227 @@
+//! Cross-crate integration tests: the full HOS-Miner pipeline against
+//! the exhaustive oracle, across engines, metrics and workloads.
+
+use hos_miner::baselines::{exhaustive_search, ExhaustiveMode};
+use hos_miner::core::od::OdMode;
+use hos_miner::core::{minimal_subspaces, HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_miner::data::normalize::{normalize, NormKind};
+use hos_miner::data::synth::planted::{generate, PlantedSpec};
+use hos_miner::data::synth::uniform;
+use hos_miner::data::Metric;
+use hos_miner::index::Engine;
+use hos_miner::{Dataset, Subspace};
+
+fn planted(seed: u64, d: usize) -> hos_miner::data::synth::planted::PlantedWorkload {
+    generate(&PlantedSpec {
+        n_background: 600,
+        d,
+        n_clusters: 3,
+        cluster_sigma: 1.0,
+        extent: 80.0,
+        targets: vec![
+            Subspace::from_dims(&[0, 1]),
+            Subspace::from_dims(&[d - 1]),
+            Subspace::from_dims(&[2, 3, 4]),
+        ],
+        shift_sigmas: 11.0,
+        seed,
+    })
+    .expect("valid spec")
+}
+
+/// The headline correctness claim: the dynamic search returns exactly
+/// the subspaces the exhaustive oracle returns, for dataset members
+/// and external queries, on both engines.
+#[test]
+fn dynamic_search_equals_exhaustive_oracle() {
+    let w = planted(5, 7);
+    for engine in [Engine::Linear, Engine::XTree] {
+        let miner = HosMiner::fit(
+            w.dataset.clone(),
+            HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 150 },
+                engine,
+                sample_size: 8,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        for &(id, _) in w.outliers.iter().map(|o| (o.id, o.subspace)).collect::<Vec<_>>().iter() {
+            let got = miner.query_id(id).unwrap();
+            let row: Vec<f64> = w.dataset.row(id).to_vec();
+            let oracle = exhaustive_search(
+                miner.engine(),
+                &row,
+                Some(id),
+                5,
+                miner.threshold(),
+                ExhaustiveMode::Full,
+                OdMode::Raw,
+            );
+            let got_spaces: Vec<Subspace> = got.outlying.iter().map(|s| s.subspace).collect();
+            assert_eq!(got_spaces, oracle.subspaces(), "{engine} point {id}");
+            assert_eq!(got.minimal, minimal_subspaces(&oracle.subspaces()));
+        }
+    }
+}
+
+/// Planted outliers are detected; their target subspace is covered by
+/// the minimal frontier; most background points are clean.
+#[test]
+fn planted_targets_covered() {
+    let w = planted(9, 8);
+    let miner = HosMiner::fit(
+        w.dataset.clone(),
+        HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            sample_size: 12,
+            ..HosMinerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut targets_hit = 0;
+    for o in &w.outliers {
+        let out = miner.query_id(o.id).unwrap();
+        assert!(out.is_outlier(), "planted point {} undetected", o.id);
+        // The planting is *intended* ground truth: a target can be
+        // washed out when another background cluster happens to sit
+        // along the shifted axis. What must always hold is consistency
+        // with the measured OD (the answer set is exact).
+        let od = miner
+            .engine()
+            .od(w.dataset.row(o.id), 5, o.subspace, Some(o.id));
+        let in_answer = out.outlying.iter().any(|s| s.subspace == o.subspace);
+        assert_eq!(
+            in_answer,
+            od >= miner.threshold(),
+            "answer/OD inconsistency for target {} of point {}",
+            o.subspace,
+            o.id
+        );
+        if in_answer {
+            targets_hit += 1;
+        }
+    }
+    assert!(targets_hit >= 2, "only {targets_hit}/3 planted targets detected");
+    let clean = (0..50).filter(|&i| !miner.query_id(i).unwrap().is_outlier()).count();
+    assert!(clean >= 45, "only {clean}/50 background points clean");
+}
+
+/// Self-exclusion matters: querying a member by id must not let the
+/// point count itself as its own nearest neighbour.
+#[test]
+fn member_queries_exclude_self() {
+    let w = planted(13, 6);
+    let miner = HosMiner::fit(w.dataset.clone(), HosMinerConfig {
+        k: 3,
+        threshold: ThresholdPolicy::Fixed(5.0),
+        sample_size: 0,
+        ..HosMinerConfig::default()
+    })
+    .unwrap();
+    let o = &w.outliers[0];
+    // By id: detected (neighbours are real background points).
+    let by_id = miner.query_id(o.id).unwrap();
+    // By coordinates: the identical member is part of the dataset, so
+    // the first neighbour is itself at distance 0, deflating the OD.
+    let by_point = miner.query_point(w.dataset.row(o.id)).unwrap();
+    assert!(by_id.outlying.len() >= by_point.outlying.len());
+    assert!(by_id.is_outlier());
+}
+
+/// Normalisation pipeline: z-scored data flows end-to-end and external
+/// queries can be mapped through the same transform.
+#[test]
+fn normalized_pipeline_with_external_query() {
+    let ds = uniform(400, 5, 0.0, 100.0, 3).unwrap();
+    let (z, norm) = normalize(&ds, NormKind::ZScore).unwrap();
+    let miner = HosMiner::fit(z, HosMinerConfig {
+        k: 4,
+        threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 100 },
+        sample_size: 5,
+        ..HosMinerConfig::default()
+    })
+    .unwrap();
+    // A far-out raw-space query, mapped through the fitted transform.
+    let raw_query = vec![500.0, 50.0, 50.0, 50.0, 50.0];
+    let zq = norm.apply_row(&raw_query).unwrap();
+    let out = miner.query_point(&zq).unwrap();
+    assert!(out.is_outlier());
+    assert!(out.minimal.iter().any(|s| s.contains_dim(0)));
+}
+
+/// The Figure 1 workload end-to-end: minimal answer is the correlated
+/// view and nothing else.
+#[test]
+fn figure1_pipeline() {
+    use hos_miner::data::synth::correlated::{figure1_views, CorrelatedSpec};
+    let fig = figure1_views(&CorrelatedSpec {
+        n: 300,
+        pairs: 3,
+        correlated_pairs: vec![0],
+        band_noise: 0.03,
+        seed: 42,
+    })
+    .unwrap();
+    let miner = HosMiner::fit(fig.dataset.clone(), HosMinerConfig {
+        k: 5,
+        threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+        sample_size: 10,
+        ..HosMinerConfig::default()
+    })
+    .unwrap();
+    let out = miner.query_point(&fig.query).unwrap();
+    assert_eq!(out.minimal, fig.outlying_views, "minimal {:?}", out.minimal);
+}
+
+/// Different metrics all produce valid (oracle-matching) results.
+#[test]
+fn all_metrics_agree_with_their_own_oracle() {
+    let w = planted(21, 6);
+    for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+        let miner = HosMiner::fit(w.dataset.clone(), HosMinerConfig {
+            k: 4,
+            metric,
+            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 100 },
+            sample_size: 6,
+            ..HosMinerConfig::default()
+        })
+        .unwrap();
+        let id = w.outliers[0].id;
+        let got = miner.query_id(id).unwrap();
+        let oracle = exhaustive_search(
+            miner.engine(),
+            w.dataset.row(id),
+            Some(id),
+            4,
+            miner.threshold(),
+            ExhaustiveMode::Full,
+            OdMode::Raw,
+        );
+        let got_spaces: Vec<Subspace> = got.outlying.iter().map(|s| s.subspace).collect();
+        assert_eq!(got_spaces, oracle.subspaces(), "{metric:?}");
+    }
+}
+
+/// CSV round-trip feeds the miner: write a workload out, read it back,
+/// get identical results.
+#[test]
+fn csv_roundtrip_preserves_results() {
+    use hos_miner::data::csv::{read_csv, write_csv, CsvOptions};
+    let w = planted(30, 5);
+    let mut buf = Vec::new();
+    write_csv(&w.dataset, &mut buf, ',').unwrap();
+    let back: Dataset = read_csv(&buf[..], &CsvOptions::default()).unwrap();
+    let cfg = HosMinerConfig {
+        k: 4,
+        threshold: ThresholdPolicy::Fixed(8.0),
+        sample_size: 5,
+        ..HosMinerConfig::default()
+    };
+    let a = HosMiner::fit(w.dataset.clone(), cfg).unwrap();
+    let b = HosMiner::fit(back, cfg).unwrap();
+    let id = w.outliers[0].id;
+    assert_eq!(a.query_id(id).unwrap().minimal, b.query_id(id).unwrap().minimal);
+}
