@@ -78,8 +78,9 @@ mod tests {
     #[test]
     fn subspace_restriction() {
         // Outlying along dim 0 only.
-        let mut rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![(i % 10) as f64 * 0.02, (i % 7) as f64 * 0.1]).collect();
+        let mut rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64 * 0.02, (i % 7) as f64 * 0.1])
+            .collect();
         rows.push(vec![30.0, 0.3]);
         let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
         assert!(is_db_outlier(&e, 50, 0.95, 1.0, Subspace::from_dims(&[0])));

@@ -106,7 +106,10 @@ impl EvolutionarySearch {
     pub fn fit(ds: &Dataset, cfg: EvoConfig) -> Self {
         assert!(!ds.is_empty(), "dataset must be non-empty");
         assert!((2..=250).contains(&cfg.phi), "phi must be in 2..=250");
-        assert!(cfg.cube_dim >= 1 && cfg.cube_dim <= ds.dim(), "cube_dim out of range");
+        assert!(
+            cfg.cube_dim >= 1 && cfg.cube_dim <= ds.dim(),
+            "cube_dim out of range"
+        );
         assert!(cfg.population >= 4, "population too small");
         let d = ds.dim();
         let n = ds.len();
@@ -122,7 +125,13 @@ impl EvolutionarySearch {
                 buckets[i * d + c] = b as u8;
             }
         }
-        EvolutionarySearch { boundaries, buckets, n, d, cfg }
+        EvolutionarySearch {
+            boundaries,
+            buckets,
+            n,
+            d,
+            cfg,
+        }
     }
 
     /// Bucket index of an arbitrary value in a dimension.
@@ -176,8 +185,7 @@ impl EvolutionarySearch {
 
     /// Repairs a solution to have exactly `cube_dim` pinned positions.
     fn repair(&self, sol: &mut [u8], rng: &mut StdRng) {
-        let mut pinned: Vec<usize> =
-            (0..self.d).filter(|&c| sol[c] != STAR).collect();
+        let mut pinned: Vec<usize> = (0..self.d).filter(|&c| sol[c] != STAR).collect();
         while pinned.len() > self.cfg.cube_dim {
             let i = rng.gen_range(0..pinned.len());
             sol[pinned.swap_remove(i)] = STAR;
@@ -195,8 +203,11 @@ impl EvolutionarySearch {
         // Uniform crossover followed by cardinality repair — the
         // original's two-stage recombination has the same effect:
         // offspring inherit pinned positions from both parents.
-        let mut child: Vec<u8> =
-            a.iter().zip(b).map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y }).collect();
+        let mut child: Vec<u8> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+            .collect();
         self.repair(&mut child, rng);
         child
     }
@@ -209,8 +220,7 @@ impl EvolutionarySearch {
                     sol[c] = rng.gen_range(1..=self.cfg.phi) as u8;
                 } else {
                     // Move the pin to another attribute.
-                    let mut free: Vec<usize> =
-                        (0..self.d).filter(|&x| sol[x] == STAR).collect();
+                    let mut free: Vec<usize> = (0..self.d).filter(|&x| sol[x] == STAR).collect();
                     if !free.is_empty() {
                         let t = free.swap_remove(rng.gen_range(0..free.len()));
                         sol[t] = sol[c];
@@ -240,13 +250,13 @@ impl EvolutionarySearch {
             this.sparsity(count)
         };
 
-        let mut pop: Vec<Vec<u8>> =
-            (0..self.cfg.population).map(|_| self.random_solution(&mut rng)).collect();
+        let mut pop: Vec<Vec<u8>> = (0..self.cfg.population)
+            .map(|_| self.random_solution(&mut rng))
+            .collect();
         let mut best: Vec<(Vec<u8>, f64)> = Vec::new();
 
         for _gen in 0..self.cfg.generations {
-            let scores: Vec<f64> =
-                pop.iter().map(|s| fitness(s, self, &mut cache)).collect();
+            let scores: Vec<f64> = pop.iter().map(|s| fitness(s, self, &mut cache)).collect();
             // Track the global best set (inhabited cubes only — see
             // the method docs).
             for (sol, &sc) in pop.iter().zip(&scores) {
@@ -268,7 +278,11 @@ impl EvolutionarySearch {
                 let pick = |rng: &mut StdRng| {
                     let i = rng.gen_range(0..pop.len());
                     let j = rng.gen_range(0..pop.len());
-                    if scores[i] <= scores[j] { i } else { j }
+                    if scores[i] <= scores[j] {
+                        i
+                    } else {
+                        j
+                    }
                 };
                 let pa = pick(&mut rng);
                 let pb = pick(&mut rng);
@@ -295,14 +309,20 @@ impl EvolutionarySearch {
                     .filter(|(_, &v)| v != STAR)
                     .map(|(c, &v)| (c, (v - 1) as usize))
                     .collect();
-                SparseCube { dims, sparsity, count }
+                SparseCube {
+                    dims,
+                    sparsity,
+                    count,
+                }
             })
             .collect()
     }
 
     /// Whether a point (by coordinates) lies inside a cube.
     pub fn cube_contains(&self, cube: &SparseCube, row: &[f64]) -> bool {
-        cube.dims.iter().all(|&(dim, bucket)| self.bucket_of(dim, row[dim]) == bucket)
+        cube.dims
+            .iter()
+            .all(|&(dim, bucket)| self.bucket_of(dim, row[dim]) == bucket)
     }
 
     /// The "outlier → spaces" adapter used for the comparison: the
@@ -381,7 +401,11 @@ mod tests {
         let cubes = es.run();
         assert!(!cubes.is_empty());
         // The best cubes must be genuinely sparse.
-        assert!(cubes[0].sparsity < 0.0, "best sparsity {}", cubes[0].sparsity);
+        assert!(
+            cubes[0].sparsity < 0.0,
+            "best sparsity {}",
+            cubes[0].sparsity
+        );
         // Results are sorted ascending by sparsity.
         for w in cubes.windows(2) {
             assert!(w[0].sparsity <= w[1].sparsity);
@@ -402,7 +426,10 @@ mod tests {
         let (ds, outlier) = workload();
         let es = EvolutionarySearch::fit(&ds, small_cfg());
         let cube = SparseCube {
-            dims: vec![(0, es.bucket_of(0, outlier[0])), (1, es.bucket_of(1, outlier[1]))],
+            dims: vec![
+                (0, es.bucket_of(0, outlier[0])),
+                (1, es.bucket_of(1, outlier[1])),
+            ],
             sparsity: -1.0,
             count: 1,
         };
@@ -440,7 +467,10 @@ mod tests {
     #[should_panic]
     fn rejects_oversized_cube_dim() {
         let (ds, _) = workload();
-        let cfg = EvoConfig { cube_dim: 10, ..small_cfg() };
+        let cfg = EvoConfig {
+            cube_dim: 10,
+            ..small_cfg()
+        };
         let _ = EvolutionarySearch::fit(&ds, cfg);
     }
 
@@ -448,7 +478,10 @@ mod tests {
     #[should_panic]
     fn rejects_tiny_phi() {
         let (ds, _) = workload();
-        let cfg = EvoConfig { phi: 1, ..small_cfg() };
+        let cfg = EvoConfig {
+            phi: 1,
+            ..small_cfg()
+        };
         let _ = EvolutionarySearch::fit(&ds, cfg);
     }
 }

@@ -86,7 +86,10 @@ pub fn exhaustive_search(
             level_eval_stats[m].0 += 1;
             if od >= threshold {
                 level_eval_stats[m].1 += 1;
-                outlying.push(ScoredSubspace { subspace: s, od: Some(od) });
+                outlying.push(ScoredSubspace {
+                    subspace: s,
+                    od: Some(od),
+                });
                 match mode {
                     ExhaustiveMode::UpwardOnly | ExhaustiveMode::BothStatic => {
                         lattice.prune_up(s);
@@ -105,7 +108,10 @@ pub fn exhaustive_search(
     }
 
     for s in lattice.in_state(SubspaceState::PrunedOutlier) {
-        outlying.push(ScoredSubspace { subspace: s, od: None });
+        outlying.push(ScoredSubspace {
+            subspace: s,
+            od: None,
+        });
     }
     outlying.sort_by_key(|s| s.subspace.mask());
 
@@ -151,11 +157,16 @@ mod tests {
 
     fn random_engine(seed: u64, n: usize, d: usize) -> LinearScan {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         // A couple of heavy outliers to make answers non-trivial.
         rows.push((0..d).map(|i| if i % 2 == 0 { 8.0 } else { 0.5 }).collect());
-        rows.push((0..d).map(|i| if i == d - 1 { 11.0 } else { 0.4 }).collect());
+        rows.push(
+            (0..d)
+                .map(|i| if i == d - 1 { 11.0 } else { 0.4 })
+                .collect(),
+        );
         LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
     }
 
@@ -166,7 +177,8 @@ mod tests {
         for qid in [n - 2, n - 1, 0] {
             let q: Vec<f64> = e.dataset().row(qid).to_vec();
             let t = 3.0;
-            let full = exhaustive_search(&e, &q, Some(qid), 4, t, ExhaustiveMode::Full, OdMode::Raw);
+            let full =
+                exhaustive_search(&e, &q, Some(qid), 4, t, ExhaustiveMode::Full, OdMode::Raw);
             for mode in [
                 ExhaustiveMode::UpwardOnly,
                 ExhaustiveMode::DownwardOnly,
@@ -177,7 +189,11 @@ mod tests {
             }
             // And the dynamic search agrees too.
             let dynamic = dynamic_search(&e, &q, Some(qid), 4, t, &Priors::uniform(5), 1);
-            assert_eq!(dynamic.subspaces(), full.subspaces(), "dynamic on point {qid}");
+            assert_eq!(
+                dynamic.subspaces(),
+                full.subspaces(),
+                "dynamic on point {qid}"
+            );
         }
     }
 
@@ -197,8 +213,15 @@ mod tests {
         let q: Vec<f64> = e.dataset().row(n - 2).to_vec();
         let t = 3.0;
         let full = exhaustive_search(&e, &q, Some(n - 2), 4, t, ExhaustiveMode::Full, OdMode::Raw);
-        let both =
-            exhaustive_search(&e, &q, Some(n - 2), 4, t, ExhaustiveMode::BothStatic, OdMode::Raw);
+        let both = exhaustive_search(
+            &e,
+            &q,
+            Some(n - 2),
+            4,
+            t,
+            ExhaustiveMode::BothStatic,
+            OdMode::Raw,
+        );
         assert!(
             both.stats.od_evals < full.stats.od_evals,
             "static pruning saved nothing: {} vs {}",
@@ -226,7 +249,10 @@ mod tests {
             OdMode::DimNormalized,
         );
         let count_at = |out: &SearchOutcome, m: usize| {
-            out.outlying.iter().filter(|s| s.subspace.dim() == m).count()
+            out.outlying
+                .iter()
+                .filter(|s| s.subspace.dim() == m)
+                .count()
         };
         for m in 2..=5 {
             assert!(

@@ -60,15 +60,14 @@ impl IntensionalKnowledge {
 /// # Panics
 /// Panics if `pct` is outside `[0,1]`, `dmin < 0`, or `d > 20`
 /// (lattice-size guard).
-pub fn intensional_knowledge(
-    engine: &dyn KnnEngine,
-    pct: f64,
-    dmin: f64,
-) -> IntensionalKnowledge {
+pub fn intensional_knowledge(engine: &dyn KnnEngine, pct: f64, dmin: f64) -> IntensionalKnowledge {
     assert!((0.0..=1.0).contains(&pct), "pct must be in [0,1]");
     assert!(dmin >= 0.0, "dmin must be non-negative");
     let d = engine.dataset().dim();
-    assert!(d <= 20, "exhaustive lattice sweep limited to d <= 20 (got {d})");
+    assert!(
+        d <= 20,
+        "exhaustive lattice sweep limited to d <= 20 (got {d})"
+    );
 
     let mut outlying_spaces: BTreeMap<u64, Vec<PointId>> = BTreeMap::new();
     for s in Subspace::all_nonempty(d) {
@@ -98,12 +97,16 @@ pub fn intensional_knowledge(
     strongest.sort_unstable();
     strongest.dedup();
 
-    let mut all: Vec<PointId> =
-        outlying_spaces.values().flat_map(|v| v.iter().copied()).collect();
+    let mut all: Vec<PointId> = outlying_spaces
+        .values()
+        .flat_map(|v| v.iter().copied())
+        .collect();
     all.sort_unstable();
     all.dedup();
-    let weak: Vec<PointId> =
-        all.into_iter().filter(|p| strongest.binary_search(p).is_err()).collect();
+    let weak: Vec<PointId> = all
+        .into_iter()
+        .filter(|p| strongest.binary_search(p).is_err())
+        .collect();
 
     IntensionalKnowledge {
         outlying_spaces,
@@ -140,7 +143,11 @@ mod tests {
         // Dim {0} must be a strongest space (point 150 is an outlier
         // there and no smaller space exists).
         let s0 = Subspace::from_dims(&[0]);
-        assert!(ik.strongest_spaces.contains(&s0), "{:?}", ik.strongest_spaces);
+        assert!(
+            ik.strongest_spaces.contains(&s0),
+            "{:?}",
+            ik.strongest_spaces
+        );
         assert!(ik.outliers_in(s0).unwrap().contains(&150));
         // Strongest spaces are an antichain.
         for a in &ik.strongest_spaces {

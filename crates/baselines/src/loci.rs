@@ -36,7 +36,11 @@ pub struct LociConfig {
 
 impl Default for LociConfig {
     fn default() -> Self {
-        LociConfig { alpha: 0.5, k_sigma: 3.0, n_radii: 8 }
+        LociConfig {
+            alpha: 0.5,
+            k_sigma: 3.0,
+            n_radii: 8,
+        }
     }
 }
 
@@ -77,7 +81,13 @@ pub fn loci_scores(engine: &dyn KnnEngine, s: Subspace, cfg: LociConfig) -> Vec<
     sample_d.retain(|d| *d > 0.0);
     if sample_d.is_empty() {
         // All points coincide in this subspace: nothing is an outlier.
-        return vec![LociScore { excess: f64::NEG_INFINITY, radius: 0.0 }; n];
+        return vec![
+            LociScore {
+                excess: f64::NEG_INFINITY,
+                radius: 0.0
+            };
+            n
+        ];
     }
     sample_d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let lo = hos_data::stats::quantile_sorted(&sample_d, 0.05).expect("non-empty");
@@ -90,7 +100,13 @@ pub fn loci_scores(engine: &dyn KnnEngine, s: Subspace, cfg: LociConfig) -> Vec<
         .map(|i| lo * (hi / lo).powf(i as f64 / (cfg.n_radii - 1).max(1) as f64))
         .collect();
 
-    let mut best = vec![LociScore { excess: f64::NEG_INFINITY, radius: 0.0 }; n];
+    let mut best = vec![
+        LociScore {
+            excess: f64::NEG_INFINITY,
+            radius: 0.0
+        };
+        n
+    ];
     // Pre-compute counting-neighbourhood sizes n(p, αr) per radius.
     for &r in &radii {
         let alpha_r = cfg.alpha * r;
@@ -154,7 +170,10 @@ mod tests {
     fn flags_planted_outlier() {
         let e = engine_with_outlier();
         let out = loci_outliers(&e, Subspace::full(2), LociConfig::default());
-        assert!(out.contains(&200), "LOCI missed the planted outlier: {out:?}");
+        assert!(
+            out.contains(&200),
+            "LOCI missed the planted outlier: {out:?}"
+        );
         // Flagging should be selective: well under 10% of points.
         assert!(out.len() < 21, "LOCI flagged {} of 201 points", out.len());
     }
@@ -207,6 +226,13 @@ mod tests {
     #[should_panic]
     fn invalid_alpha_rejected() {
         let e = engine_with_outlier();
-        let _ = loci_scores(&e, Subspace::full(2), LociConfig { alpha: 1.5, ..LociConfig::default() });
+        let _ = loci_scores(
+            &e,
+            Subspace::full(2),
+            LociConfig {
+                alpha: 1.5,
+                ..LociConfig::default()
+            },
+        );
     }
 }

@@ -57,7 +57,13 @@ pub fn lof_scores(engine: &dyn KnnEngine, min_pts: usize, s: Subspace) -> Vec<f6
             }
             let sum: f64 = neighbors[i]
                 .iter()
-                .map(|&(j, _)| if lrd[j].is_infinite() { f64::INFINITY } else { lrd[j] / lrd[i] })
+                .map(|&(j, _)| {
+                    if lrd[j].is_infinite() {
+                        f64::INFINITY
+                    } else {
+                        lrd[j] / lrd[i]
+                    }
+                })
                 .sum();
             if sum.is_infinite() {
                 f64::INFINITY
@@ -69,10 +75,19 @@ pub fn lof_scores(engine: &dyn KnnEngine, min_pts: usize, s: Subspace) -> Vec<f6
 }
 
 /// Ids of the `top_n` highest-LOF points, descending by score.
-pub fn top_lof(engine: &dyn KnnEngine, min_pts: usize, s: Subspace, top_n: usize) -> Vec<(PointId, f64)> {
+pub fn top_lof(
+    engine: &dyn KnnEngine,
+    min_pts: usize,
+    s: Subspace,
+    top_n: usize,
+) -> Vec<(PointId, f64)> {
     let scores = lof_scores(engine, min_pts, s);
     let mut ranked: Vec<(PointId, f64)> = scores.into_iter().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite or inf").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite or inf")
+            .then(a.0.cmp(&b.0))
+    });
     ranked.truncate(top_n);
     ranked
 }
@@ -107,7 +122,10 @@ mod tests {
         let e = engine_with_outlier();
         let scores = lof_scores(&e, 10, Subspace::full(2));
         let inlier_avg: f64 = scores[..100].iter().sum::<f64>() / 100.0;
-        assert!((inlier_avg - 1.0).abs() < 0.25, "avg inlier LOF {inlier_avg}");
+        assert!(
+            (inlier_avg - 1.0).abs() < 0.25,
+            "avg inlier LOF {inlier_avg}"
+        );
     }
 
     #[test]
@@ -131,7 +149,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
         let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
         let scores = lof_scores(&e, 3, Subspace::full(2));
-        assert!(scores.iter().all(|&v| v == 1.0), "duplicate cluster LOF {scores:?}");
+        assert!(
+            scores.iter().all(|&v| v == 1.0),
+            "duplicate cluster LOF {scores:?}"
+        );
     }
 
     #[test]

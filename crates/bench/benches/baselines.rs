@@ -21,7 +21,11 @@ fn bench_evolutionary(c: &mut Criterion) {
         b.iter(|| {
             black_box(EvolutionarySearch::fit(
                 &ds,
-                EvoConfig { phi: 8, cube_dim: 2, ..EvoConfig::default() },
+                EvoConfig {
+                    phi: 8,
+                    cube_dim: 2,
+                    ..EvoConfig::default()
+                },
             ))
         });
     });

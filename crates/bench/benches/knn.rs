@@ -48,13 +48,7 @@ fn bench_build(c: &mut Criterion) {
     let ds = dataset(4000, 8);
     let mut group = c.benchmark_group("xtree_build_4k_8d");
     group.bench_function("insert", |b| {
-        b.iter(|| {
-            black_box(XTree::build(
-                ds.clone(),
-                Metric::L2,
-                XTreeConfig::default(),
-            ))
-        });
+        b.iter(|| black_box(XTree::build(ds.clone(), Metric::L2, XTreeConfig::default())));
     });
     group.bench_function("bulk_load", |b| {
         b.iter(|| {

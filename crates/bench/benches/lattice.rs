@@ -58,5 +58,10 @@ fn bench_open_at_level(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_prune_closures, bench_tsf_round, bench_open_at_level);
+criterion_group!(
+    benches,
+    bench_prune_closures,
+    bench_tsf_round,
+    bench_open_at_level
+);
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let ids: Vec<String> = std::env::args().skip(1).collect();
-    if ids.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+    if ids
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
         println!(
             "usage: harness [all | {}]",
             hos_bench::experiments::ALL.join(" | ")

@@ -16,7 +16,10 @@ fn fit(dataset: hos_data::Dataset, k: usize, samples: usize) -> HosMiner {
         dataset,
         HosMinerConfig {
             k,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 200,
+            },
             sample_size: samples,
             ..HosMinerConfig::default()
         },
@@ -52,11 +55,20 @@ pub fn f1_figure1(dir: &Path) {
             (od >= miner.threshold()).to_string(),
         ]);
     }
-    emit("f1_views", "Figure 1 — per-view outlying degree of p", &t, dir);
+    emit(
+        "f1_views",
+        "Figure 1 — per-view outlying degree of p",
+        &t,
+        dir,
+    );
     let out = miner.query_point(&fig.query).expect("query");
     println!(
         "HOS-Miner minimal answer for p: {}",
-        out.minimal.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+        out.minimal
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 }
 
@@ -128,7 +140,12 @@ pub fn e1_scale_n(dir: &Path) {
             format!("{:.1}x", ex_time / dyn_time.max(1e-12)),
         ]);
     }
-    emit("e1_scale_n", "efficiency vs dataset size (d=10, k=5, per-query averages)", &t, dir);
+    emit(
+        "e1_scale_n",
+        "efficiency vs dataset size (d=10, k=5, per-query averages)",
+        &t,
+        dir,
+    );
 }
 
 /// E2 + E3 — efficiency and pruning power vs dimensionality.
@@ -214,8 +231,18 @@ pub fn e2_e3_scale_d(dir: &Path) {
             fmt_f64(pruned_out / q / lattice as f64),
         ]);
     }
-    emit("e2_scale_d", "efficiency vs dimensionality (N=2000, k=5, per-query averages)", &e2, dir);
-    emit("e3_pruning", "pruning power vs dimensionality (fractions of the lattice)", &e3, dir);
+    emit(
+        "e2_scale_d",
+        "efficiency vs dimensionality (N=2000, k=5, per-query averages)",
+        &e2,
+        dir,
+    );
+    emit(
+        "e3_pruning",
+        "pruning power vs dimensionality (fractions of the lattice)",
+        &e3,
+        dir,
+    );
 }
 
 /// E4 — effect of the learning sample size S on query cost.
@@ -236,9 +263,12 @@ pub fn e4_sampling(dir: &Path) {
     use hos_index::LinearScan;
 
     let engine = LinearScan::new(w.dataset.clone(), hos_data::Metric::L2);
-    let threshold = hos_core::ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 }
-        .resolve(&engine, k, 0)
-        .expect("threshold");
+    let threshold = hos_core::ThresholdPolicy::FullSpaceQuantile {
+        q: 0.95,
+        sample: 200,
+    }
+    .resolve(&engine, k, 0)
+    .expect("threshold");
     let outlier_ids = w.outlier_ids();
     let inlier_ids: Vec<usize> = (0..outlier_ids.len()).collect();
 
@@ -280,7 +310,10 @@ pub fn e4_sampling(dir: &Path) {
     for s in [16usize, 64] {
         for (mode, label) in [
             (FractionMode::EvaluatedOnly, "learned, evaluated-only"),
-            (FractionMode::WholeLevel, "learned, whole-level (paper literal)"),
+            (
+                FractionMode::WholeLevel,
+                "learned, whole-level (paper literal)",
+            ),
         ] {
             let model = learn_full(&engine, k, threshold, s, 1, 1, 1.0, mode).expect("learn");
             row(label, s, &model.priors, model.total_stats.od_evals);

@@ -9,8 +9,9 @@ use crate::results_dir;
 use std::collections::BTreeSet;
 
 /// All experiment ids in execution order.
-pub const ALL: &[&str] =
-    &["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8b", "e9", "e10", "e11", "e12"];
+pub const ALL: &[&str] = &[
+    "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8b", "e9", "e10", "e11", "e12",
+];
 
 /// Runs a set of experiment ids (deduplicated, in canonical order).
 /// Returns an error message listing any unknown ids.
@@ -77,6 +78,8 @@ mod tests {
     fn all_ids_are_lowercase_and_unique() {
         let set: BTreeSet<&str> = ALL.iter().copied().collect();
         assert_eq!(set.len(), ALL.len());
-        assert!(ALL.iter().all(|id| id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+        assert!(ALL.iter().all(|id| id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
     }
 }

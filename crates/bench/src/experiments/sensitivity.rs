@@ -116,7 +116,15 @@ pub fn e8b_normalized_od(dir: &Path) {
     for (id, kind) in queries {
         let row: Vec<f64> = w.dataset.row(id).to_vec();
         let run = |mode: OdMode, threshold: f64| {
-            exhaustive_search(engine, &row, Some(id), k, threshold, ExhaustiveMode::Full, mode)
+            exhaustive_search(
+                engine,
+                &row,
+                Some(id),
+                k,
+                threshold,
+                ExhaustiveMode::Full,
+                mode,
+            )
         };
         let raw = run(OdMode::Raw, miner.threshold());
         // The normalised OD needs a comparably normalised threshold:
@@ -126,7 +134,13 @@ pub fn e8b_normalized_od(dir: &Path) {
         let norm = run(OdMode::DimNormalized, norm_threshold);
         let per_level = |out: &hos_core::SearchOutcome| -> String {
             (1..=d)
-                .map(|m| out.outlying.iter().filter(|s| s.subspace.dim() == m).count().to_string())
+                .map(|m| {
+                    out.outlying
+                        .iter()
+                        .filter(|s| s.subspace.dim() == m)
+                        .count()
+                        .to_string()
+                })
                 .collect::<Vec<_>>()
                 .join("/")
         };
@@ -137,7 +151,10 @@ pub fn e8b_normalized_od(dir: &Path) {
             } else if m.len() > 4 {
                 format!("{} sets, e.g. {}", m.len(), m[0])
             } else {
-                m.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+                m.iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             }
         };
         t.push(vec![
@@ -171,14 +188,26 @@ pub fn e9_filter(dir: &Path) {
             format!("#{}", o.id),
             raw.to_string(),
             min.to_string(),
-            if raw == 0 { "-".into() } else { format!("{:.1}x", raw as f64 / min.max(1) as f64) },
+            if raw == 0 {
+                "-".into()
+            } else {
+                format!("{:.1}x", raw as f64 / min.max(1) as f64)
+            },
         ]);
     }
     // The paper's §3.4 worked example as a sanity row.
-    let worked: Vec<Subspace> = ["[1,3]", "[2,4]", "[1,2,3]", "[1,2,4]", "[1,3,4]", "[2,3,4]", "[1,2,3,4]"]
-        .iter()
-        .map(|s| s.parse().expect("valid"))
-        .collect();
+    let worked: Vec<Subspace> = [
+        "[1,3]",
+        "[2,4]",
+        "[1,2,3]",
+        "[1,2,4]",
+        "[1,3,4]",
+        "[2,3,4]",
+        "[1,2,3,4]",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid"))
+    .collect();
     let minimal = minimal_subspaces(&worked);
     t.push(vec![
         "paper §3.4".into(),
@@ -214,10 +243,14 @@ pub fn e10_detectors(dir: &Path) {
     od_rank.truncate(top_n);
     let od_top: Vec<usize> = od_rank.iter().map(|x| x.0).collect();
 
-    let lof_top: Vec<usize> =
-        lof::top_lof(engine, 10, full, top_n).iter().map(|x| x.0).collect();
-    let knn_top: Vec<usize> =
-        knn_outlier::top_knn_outliers(engine, k, full, top_n).iter().map(|x| x.0).collect();
+    let lof_top: Vec<usize> = lof::top_lof(engine, 10, full, top_n)
+        .iter()
+        .map(|x| x.0)
+        .collect();
+    let knn_top: Vec<usize> = knn_outlier::top_knn_outliers(engine, k, full, top_n)
+        .iter()
+        .map(|x| x.0)
+        .collect();
     // DB outliers with dmin tied to the threshold scale.
     let dmin = miner.threshold() / k as f64;
     let db: Vec<usize> = db_outlier::db_outliers(engine, 0.995, dmin, full);
@@ -312,9 +345,12 @@ pub fn e12_frontier(dir: &Path) {
         })
         .expect("spec");
         let engine = LinearScan::new(w.dataset.clone(), Metric::L2);
-        let threshold = hos_core::ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 }
-            .resolve(&engine, 5, 0)
-            .expect("threshold");
+        let threshold = hos_core::ThresholdPolicy::FullSpaceQuantile {
+            q: 0.95,
+            sample: 200,
+        }
+        .resolve(&engine, 5, 0)
+        .expect("threshold");
         let qid = w.outlier_ids()[1];
         let q: Vec<f64> = w.dataset.row(qid).to_vec();
         for max_dim in [2usize, 3] {
@@ -380,7 +416,10 @@ pub fn e11_intensional(dir: &Path) {
         "strongest outliers".to_string(),
         format!("{:?}", ik.strongest_outliers),
     ]);
-    t.push(vec!["weak outliers".to_string(), format!("{:?}", ik.weak_outliers)]);
+    t.push(vec![
+        "weak outliers".to_string(),
+        format!("{:?}", ik.weak_outliers),
+    ]);
     for &id in ik.strongest_outliers.iter().take(4) {
         let out = miner.query_id(id).expect("query");
         t.push(vec![

@@ -17,11 +17,18 @@ use std::path::Path;
 /// Precision/recall of a detected set against a ground-truth set.
 fn precision_recall(detected: &[Subspace], truth: &[Subspace]) -> (f64, f64) {
     if detected.is_empty() {
-        return (if truth.is_empty() { 1.0 } else { 0.0 }, if truth.is_empty() { 1.0 } else { 0.0 });
+        return (
+            if truth.is_empty() { 1.0 } else { 0.0 },
+            if truth.is_empty() { 1.0 } else { 0.0 },
+        );
     }
     let hit = detected.iter().filter(|s| truth.contains(s)).count() as f64;
     let p = hit / detected.len() as f64;
-    let r = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
+    let r = if truth.is_empty() {
+        1.0
+    } else {
+        hit / truth.len() as f64
+    };
     (p, r)
 }
 
@@ -50,7 +57,10 @@ pub fn e5_effectiveness(dir: &Path) {
             w.dataset.clone(),
             HosMinerConfig {
                 k,
-                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.95,
+                    sample: 200,
+                },
                 sample_size: 12,
                 ..HosMinerConfig::default()
             },
@@ -96,7 +106,11 @@ pub fn e5_effectiveness(dir: &Path) {
             t.push(vec![
                 seed.to_string(),
                 format!("#{}", o.id),
-                truth.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" "),
+                truth
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
                 fmt_f64(hp),
                 fmt_f64(hr),
                 fmt_f64(ep),
@@ -141,7 +155,10 @@ pub fn e6_vs_evo_time(dir: &Path) {
                 w.dataset.clone(),
                 HosMinerConfig {
                     k,
-                    threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+                    threshold: ThresholdPolicy::FullSpaceQuantile {
+                        q: 0.95,
+                        sample: 200,
+                    },
                     sample_size: 12,
                     ..HosMinerConfig::default()
                 },
@@ -215,7 +232,10 @@ pub fn e7_index(dir: &Path) {
                         let j = rng.gen_range(i..d);
                         dims.swap(i, j);
                     }
-                    (w.dataset.row(id).to_vec(), Subspace::from_dims(&dims[..sub_dim]))
+                    (
+                        w.dataset.row(id).to_vec(),
+                        Subspace::from_dims(&dims[..sub_dim]),
+                    )
                 })
                 .collect();
             let run = |engine: &dyn KnnEngine| -> (f64, f64) {

@@ -60,7 +60,8 @@ impl Args {
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// A typed flag with a default.

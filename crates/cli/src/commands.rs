@@ -20,7 +20,7 @@ USAGE:
                      [--targets \"[1,2];[5]\"] [--shift 12] [--seed 0]
   hos-miner info     --data FILE [--header]
   hos-miner fit      --data FILE --save-model FILE [... tuning flags]
-  hos-miner query    --data FILE (--id N | --point \"x1,x2,...\")
+  hos-miner query    --data FILE (--id N | --ids N1,N2,... | --point \"x1,x2,...\")
                      [--model FILE]
                      [--k 5] [--threshold T | --quantile 0.95]
                      [--engine linear|xtree|vafile] [--samples 20]
@@ -31,6 +31,8 @@ USAGE:
 
 With --model, the threshold and learned priors come from a file written
 by `fit` and the per-dataset learning phase is skipped.
+With --ids, the queries are fanned out across --threads workers; the
+results are identical to running each --id query on its own.
 Subspaces are printed 1-based, e.g. [1,3] = first and third columns.";
 
 /// Dispatches an argv to a subcommand.
@@ -46,13 +48,18 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
             println!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}; try `hos-miner help`")),
+        Some(other) => Err(format!(
+            "unknown subcommand {other:?}; try `hos-miner help`"
+        )),
     }
 }
 
 fn load(args: &Args) -> Result<Dataset, String> {
     let path = args.require("data")?;
-    let opts = CsvOptions { delimiter: ',', has_header: args.switch("header") };
+    let opts = CsvOptions {
+        delimiter: ',',
+        has_header: args.switch("header"),
+    };
     read_csv_path(path, &opts).map_err(|e| format!("loading {path}: {e}"))
 }
 
@@ -85,14 +92,21 @@ fn parse_normalizer(args: &Args, ds: &Dataset) -> Result<(Dataset, Option<Normal
 fn build_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
     if let Some(path) = args.get("model") {
         let model = hos_core::ModelFile::load(path).map_err(|e| e.to_string())?;
-        return model.into_miner(ds).map_err(|e| e.to_string());
+        let mut miner = model.into_miner(ds).map_err(|e| e.to_string())?;
+        // Parallelism is machine-specific, not part of the fitted
+        // model: honour --threads here too, as the help promises.
+        miner.set_threads(args.get_or("threads", 1usize)?);
+        return Ok(miner);
     }
     fit_miner(args, ds)
 }
 
 fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
     let k = args.get_or("k", 5usize)?;
-    let threshold = match (args.get_opt::<f64>("threshold")?, args.get_opt::<f64>("quantile")?) {
+    let threshold = match (
+        args.get_opt::<f64>("threshold")?,
+        args.get_opt::<f64>("quantile")?,
+    ) {
         (Some(_), Some(_)) => {
             return Err("--threshold and --quantile are mutually exclusive".into())
         }
@@ -125,7 +139,10 @@ fn cmd_generate(args: &Args) -> CmdResult {
     let n = args.get_or("n", 2000usize)?;
     let d = args.get_or("d", 8usize)?;
     let targets: Vec<Subspace> = match args.get("targets") {
-        None => vec![Subspace::from_dims(&[0, 1]), Subspace::from_dims(&[d.saturating_sub(1)])],
+        None => vec![
+            Subspace::from_dims(&[0, 1]),
+            Subspace::from_dims(&[d.saturating_sub(1)]),
+        ],
         Some(spec) => spec
             .split(';')
             .map(|s| s.parse::<Subspace>())
@@ -145,7 +162,10 @@ fn cmd_generate(args: &Args) -> CmdResult {
     write_csv_path(&w.dataset, out, ',').map_err(|e| e.to_string())?;
     println!("wrote {} points x {} dims to {out}", w.dataset.len(), d);
     for o in &w.outliers {
-        println!("planted outlier: point #{} in subspace {}", o.id, o.subspace);
+        println!(
+            "planted outlier: point #{} in subspace {}",
+            o.id, o.subspace
+        );
     }
     Ok(())
 }
@@ -174,8 +194,7 @@ fn cmd_info(args: &Args) -> CmdResult {
     let mut t = Table::new(vec!["col", "name", "mean", "std", "min", "max"]);
     for c in 0..ds.dim() {
         let col = ds.column_vec(c);
-        let (mean, std, lo, hi) =
-            hos_data::stats::column_summary(&col).ok_or("empty dataset")?;
+        let (mean, std, lo, hi) = hos_data::stats::column_summary(&col).ok_or("empty dataset")?;
         let name = ds
             .names()
             .map(|n| n[c].clone())
@@ -195,7 +214,10 @@ fn cmd_info(args: &Args) -> CmdResult {
 
 fn print_outcome(out: &hos_core::QueryOutcome, threshold: f64) {
     if out.minimal.is_empty() {
-        println!("not an outlier in any subspace (threshold T = {})", fmt_f64(threshold));
+        println!(
+            "not an outlier in any subspace (threshold T = {})",
+            fmt_f64(threshold)
+        );
     } else {
         println!("minimal outlying subspaces (T = {}):", fmt_f64(threshold));
         let mut t = Table::new(vec!["subspace", "dims", "OD"]);
@@ -226,9 +248,44 @@ fn print_outcome(out: &hos_core::QueryOutcome, threshold: f64) {
 }
 
 fn cmd_query(args: &Args) -> CmdResult {
+    // Parse and validate the batch id list BEFORE the (expensive)
+    // fit: a typo in --ids must not cost a full learning phase.
+    let batch_ids = match args.get("ids") {
+        None => None,
+        Some(spec) => {
+            if args.get("id").is_some() || args.get("point").is_some() {
+                return Err("--ids is mutually exclusive with --id and --point".into());
+            }
+            let ids: Vec<usize> = spec
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad point id {v:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if ids.is_empty() {
+                return Err("--ids needs at least one point id".into());
+            }
+            Some(ids)
+        }
+    };
     let raw = load(args)?;
+    // Bounds-check batch ids as soon as the dataset size is known,
+    // still ahead of the expensive fit.
+    if let Some(ids) = &batch_ids {
+        if let Some(&bad) = ids.iter().find(|&&id| id >= raw.len()) {
+            return Err(format!(
+                "point id {bad} out of bounds for dataset of {} points",
+                raw.len()
+            ));
+        }
+    }
     let (ds, norm) = parse_normalizer(args, &raw)?;
     let miner = build_miner(args, ds)?;
+    if let Some(ids) = batch_ids {
+        return cmd_query_batch(&miner, &ids, args.switch("verbose"));
+    }
     let (out, query, exclude) = match (args.get_opt::<usize>("id")?, args.get("point")) {
         (Some(_), Some(_)) => return Err("--id and --point are mutually exclusive".into()),
         (Some(id), None) => {
@@ -244,7 +301,11 @@ fn cmd_query(args: &Args) -> CmdResult {
         (None, Some(spec)) => {
             let raw_point: Vec<f64> = spec
                 .split(',')
-                .map(|v| v.trim().parse::<f64>().map_err(|_| format!("bad coordinate {v:?}")))
+                .map(|v| {
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad coordinate {v:?}"))
+                })
                 .collect::<Result<Vec<_>, _>>()?;
             let point = match &norm {
                 Some(n) => n.apply_row(&raw_point).map_err(|e| e.to_string())?,
@@ -257,11 +318,38 @@ fn cmd_query(args: &Args) -> CmdResult {
     };
     print_outcome(&out, miner.threshold());
     if args.switch("verbose") {
-        let ex =
-            hos_core::explain(&miner, &query, exclude, &out).map_err(|e| e.to_string())?;
+        let ex = hos_core::explain(&miner, &query, exclude, &out).map_err(|e| e.to_string())?;
         let names = miner.engine().dataset().names().map(|n| n.to_vec());
         println!("{}", hos_core::explain::render(&ex, names.as_deref()));
     }
+    Ok(())
+}
+
+/// Multi-query front-end: `query --ids 3,17,256` runs every search in
+/// one batch, parallelised across the miner's configured threads.
+fn cmd_query_batch(miner: &HosMiner, ids: &[usize], verbose: bool) -> CmdResult {
+    let outcomes = miner.query_ids(ids).map_err(|e| e.to_string())?;
+    let mut outliers = 0usize;
+    for (id, out) in ids.iter().zip(&outcomes) {
+        println!("--- point #{id} ---");
+        print_outcome(out, miner.threshold());
+        if verbose {
+            let query: Vec<f64> = miner.engine().dataset().row(*id).to_vec();
+            let ex = hos_core::explain(miner, &query, Some(*id), out).map_err(|e| e.to_string())?;
+            let names = miner.engine().dataset().names().map(|n| n.to_vec());
+            println!("{}", hos_core::explain::render(&ex, names.as_deref()));
+        }
+        if out.is_outlier() {
+            outliers += 1;
+        }
+        println!();
+    }
+    println!(
+        "batch: {} queries, {} outlying in at least one subspace, {} total OD evals",
+        ids.len(),
+        outliers,
+        outcomes.iter().map(|o| o.stats.od_evals).sum::<u64>()
+    );
     Ok(())
 }
 
@@ -279,9 +367,12 @@ fn cmd_scan(args: &Args) -> CmdResult {
         println!("no point reaches the threshold in any subspace.");
     }
     for hit in &report.hits {
-        println!("point #{}: full-space OD = {}", hit.id, fmt_f64(hit.full_od));
-        let minimal: Vec<String> =
-            hit.outcome.minimal.iter().map(|s| s.to_string()).collect();
+        println!(
+            "point #{}: full-space OD = {}",
+            hit.id,
+            fmt_f64(hit.full_od)
+        );
+        let minimal: Vec<String> = hit.outcome.minimal.iter().map(|s| s.to_string()).collect();
         println!(
             "  minimal outlying subspaces: {}  ({} OD evals)\n",
             minimal.join(" "),
@@ -322,20 +413,106 @@ mod tests {
     fn generate_info_query_scan_pipeline() {
         let path = tmp("pipeline.csv");
         run(&[
-            "generate", "--out", &path, "--n", "300", "--d", "5", "--targets", "[1,2];[4]",
-            "--seed", "3",
+            "generate",
+            "--out",
+            &path,
+            "--n",
+            "300",
+            "--d",
+            "5",
+            "--targets",
+            "[1,2];[4]",
+            "--seed",
+            "3",
         ])
         .unwrap();
         run(&["info", "--data", &path]).unwrap();
         // Planted outliers are the last two rows: ids 300 and 301.
         run(&["query", "--data", &path, "--id", "300", "--samples", "5"]).unwrap();
-        run(&["query", "--data", &path, "--id", "300", "--samples", "5", "--verbose"]).unwrap();
         run(&[
-            "query", "--data", &path, "--point", "0,0,0,0,0", "--quantile", "0.9",
-            "--samples", "0",
+            "query",
+            "--data",
+            &path,
+            "--id",
+            "300",
+            "--samples",
+            "5",
+            "--verbose",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--data",
+            &path,
+            "--point",
+            "0,0,0,0,0",
+            "--quantile",
+            "0.9",
+            "--samples",
+            "0",
         ])
         .unwrap();
         run(&["scan", "--data", &path, "--top", "3", "--samples", "5"]).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_query_via_ids() {
+        let path = tmp("batch.csv");
+        run(&[
+            "generate",
+            "--out",
+            &path,
+            "--n",
+            "250",
+            "--d",
+            "5",
+            "--targets",
+            "[1,2];[4]",
+            "--seed",
+            "6",
+        ])
+        .unwrap();
+        // Planted outliers are rows 250 and 251; mix in inliers and
+        // fan out across threads.
+        run(&[
+            "query",
+            "--data",
+            &path,
+            "--ids",
+            "250,251,0,1,2",
+            "--samples",
+            "5",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        // --verbose renders per-point explanations in batch mode too.
+        run(&[
+            "query",
+            "--data",
+            &path,
+            "--ids",
+            "250,0",
+            "--samples",
+            "5",
+            "--verbose",
+        ])
+        .unwrap();
+        // Validation: bad ids, empty list, flag exclusivity.
+        assert!(run(&["query", "--data", &path, "--ids", "0,99999"]).is_err());
+        assert!(run(&["query", "--data", &path, "--ids", "0,oops"]).is_err());
+        assert!(run(&["query", "--data", &path, "--ids", "0", "--id", "1"]).is_err());
+        assert!(run(&[
+            "query",
+            "--data",
+            &path,
+            "--ids",
+            "0",
+            "--point",
+            "1,2,3,4,5"
+        ])
+        .is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -346,7 +523,15 @@ mod tests {
         assert!(run(&["query", "--data", &path]).is_err());
         assert!(run(&["query", "--data", &path, "--id", "0", "--point", "1,2,3,4"]).is_err());
         assert!(run(&[
-            "query", "--data", &path, "--id", "0", "--threshold", "5", "--quantile", "0.9"
+            "query",
+            "--data",
+            &path,
+            "--id",
+            "0",
+            "--threshold",
+            "5",
+            "--quantile",
+            "0.9"
         ])
         .is_err());
         assert!(run(&["query", "--data", &path, "--id", "0", "--metric", "cosine"]).is_err());
@@ -358,17 +543,25 @@ mod tests {
     #[test]
     fn normalization_options() {
         let path = tmp("norm.csv");
-        run(&["generate", "--out", &path, "--n", "200", "--d", "4", "--seed", "9"]).unwrap();
+        run(&[
+            "generate", "--out", &path, "--n", "200", "--d", "4", "--seed", "9",
+        ])
+        .unwrap();
         for mode in ["none", "minmax", "zscore"] {
             run(&[
-                "query", "--data", &path, "--id", "0", "--normalize", mode, "--samples", "0",
+                "query",
+                "--data",
+                &path,
+                "--id",
+                "0",
+                "--normalize",
+                mode,
+                "--samples",
+                "0",
             ])
             .unwrap();
         }
-        assert!(run(&[
-            "query", "--data", &path, "--id", "0", "--normalize", "log"
-        ])
-        .is_err());
+        assert!(run(&["query", "--data", &path, "--id", "0", "--normalize", "log"]).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -376,10 +569,22 @@ mod tests {
     fn fit_then_query_with_saved_model() {
         let data = tmp("model_data.csv");
         let model = tmp("fitted.model");
-        run(&["generate", "--out", &data, "--n", "300", "--d", "5", "--seed", "8"]).unwrap();
         run(&[
-            "fit", "--data", &data, "--save-model", &model, "--k", "4", "--quantile",
-            "0.9", "--samples", "8",
+            "generate", "--out", &data, "--n", "300", "--d", "5", "--seed", "8",
+        ])
+        .unwrap();
+        run(&[
+            "fit",
+            "--data",
+            &data,
+            "--save-model",
+            &model,
+            "--k",
+            "4",
+            "--quantile",
+            "0.9",
+            "--samples",
+            "8",
         ])
         .unwrap();
         run(&["query", "--data", &data, "--id", "300", "--model", &model]).unwrap();
@@ -395,9 +600,20 @@ mod tests {
     #[test]
     fn xtree_engine_via_cli() {
         let path = tmp("xtree.csv");
-        run(&["generate", "--out", &path, "--n", "400", "--d", "5", "--seed", "2"]).unwrap();
         run(&[
-            "query", "--data", &path, "--id", "400", "--engine", "xtree", "--samples", "3",
+            "generate", "--out", &path, "--n", "400", "--d", "5", "--seed", "2",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--data",
+            &path,
+            "--id",
+            "400",
+            "--engine",
+            "xtree",
+            "--samples",
+            "3",
         ])
         .unwrap();
         std::fs::remove_file(&path).ok();

@@ -9,7 +9,10 @@ fn bin() -> &'static str {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("spawn hos-miner")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn hos-miner")
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -41,20 +44,46 @@ fn full_pipeline_via_binary() {
     let csv = tmp("pipeline.csv");
     let csv_s = csv.to_str().unwrap();
     let out = run(&[
-        "generate", "--out", csv_s, "--n", "400", "--d", "6", "--targets", "[1,2]", "--seed",
+        "generate",
+        "--out",
+        csv_s,
+        "--n",
+        "400",
+        "--d",
+        "6",
+        "--targets",
+        "[1,2]",
+        "--seed",
         "5",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("planted outlier: point #400 in subspace [1,2]"));
 
     // Query the planted outlier: must report at least one subspace and
     // print the search statistics line.
     let out = run(&[
-        "query", "--data", csv_s, "--id", "400", "--k", "5", "--quantile", "0.95",
-        "--samples", "5",
+        "query",
+        "--data",
+        csv_s,
+        "--id",
+        "400",
+        "--k",
+        "5",
+        "--quantile",
+        "0.95",
+        "--samples",
+        "5",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
         text.contains("minimal outlying subspaces"),
@@ -83,8 +112,61 @@ fn full_pipeline_via_binary() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("top 2 points by full-space OD"));
-    assert!(text.contains("#400"), "planted outlier should rank top:\n{text}");
+    assert!(
+        text.contains("#400"),
+        "planted outlier should rank top:\n{text}"
+    );
 
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn batch_query_reports_each_point_and_totals() {
+    let csv = tmp("batch.csv");
+    let csv_s = csv.to_str().unwrap();
+    let out = run(&[
+        "generate",
+        "--out",
+        csv_s,
+        "--n",
+        "300",
+        "--d",
+        "5",
+        "--targets",
+        "[1,2]",
+        "--seed",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run(&[
+        "query",
+        "--data",
+        csv_s,
+        "--ids",
+        "300,0,1",
+        "--samples",
+        "3",
+        "--threads",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for header in ["--- point #300 ---", "--- point #0 ---", "--- point #1 ---"] {
+        assert!(text.contains(header), "missing {header}:\n{text}");
+    }
+    assert!(
+        text.contains("batch: 3 queries"),
+        "missing batch summary:\n{text}"
+    );
     std::fs::remove_file(csv).ok();
 }
 
@@ -100,12 +182,22 @@ fn missing_file_reports_error() {
 fn engine_flag_accepts_all_engines() {
     let csv = tmp("engines.csv");
     let csv_s = csv.to_str().unwrap();
-    assert!(run(&["generate", "--out", csv_s, "--n", "300", "--d", "5", "--seed", "1"])
-        .status
-        .success());
+    assert!(
+        run(&["generate", "--out", csv_s, "--n", "300", "--d", "5", "--seed", "1"])
+            .status
+            .success()
+    );
     for engine in ["linear", "xtree", "vafile"] {
         let out = run(&[
-            "query", "--data", csv_s, "--id", "300", "--engine", engine, "--samples", "0",
+            "query",
+            "--data",
+            csv_s,
+            "--id",
+            "300",
+            "--engine",
+            engine,
+            "--samples",
+            "0",
         ]);
         assert!(out.status.success(), "engine {engine}");
     }

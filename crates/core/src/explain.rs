@@ -110,8 +110,17 @@ pub fn explain(
             let col = ds.column_vec(dim);
             let (median, mad) = median_mad(&col);
             let scale = 1.4826 * mad;
-            let robust_z = if scale > 0.0 { (query[dim] - median) / scale } else { 0.0 };
-            DimDeviation { dim, value: query[dim], median, robust_z }
+            let robust_z = if scale > 0.0 {
+                (query[dim] - median) / scale
+            } else {
+                0.0
+            };
+            DimDeviation {
+                dim,
+                value: query[dim],
+                median,
+                robust_z,
+            }
         })
         .collect();
     deviations.sort_by(|a, b| {
@@ -156,7 +165,11 @@ pub fn explain(
         });
     }
 
-    Ok(Explanation { deviations, subspaces, threshold: miner.threshold() })
+    Ok(Explanation {
+        deviations,
+        subspaces,
+        threshold: miner.threshold(),
+    })
 }
 
 /// Renders an explanation as indented plain text (used by the CLI's
@@ -195,7 +208,12 @@ pub fn render(explanation: &Explanation, names: Option<&[String]>) -> String {
             s.subspace, s.od, s.margin
         );
         for &(dim, share) in &s.dim_shares {
-            let _ = writeln!(out, "  {:<12} {:>5.1}% of the distance mass", name(dim), share * 100.0);
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>5.1}% of the distance mass",
+                name(dim),
+                share * 100.0
+            );
         }
     }
     let combo = explanation.combination_only_dims();
@@ -223,7 +241,10 @@ mod tests {
             fig.dataset,
             HosMinerConfig {
                 k: 5,
-                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.98,
+                    sample: 200,
+                },
                 sample_size: 5,
                 ..HosMinerConfig::default()
             },
@@ -265,7 +286,14 @@ mod tests {
         assert!(text.contains("x1"));
         let named = render(
             &ex,
-            Some(&["a".into(), "b".into(), "c".into(), "d".into(), "e".into(), "f".into()]),
+            Some(&[
+                "a".into(),
+                "b".into(),
+                "c".into(),
+                "d".into(),
+                "e".into(),
+                "f".into(),
+            ]),
         );
         assert!(named.contains('a'));
     }

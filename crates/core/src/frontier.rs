@@ -30,7 +30,8 @@
 
 use crate::search::SearchStats;
 use hos_data::{PointId, Subspace};
-use hos_index::{batch::batch_od, KnnEngine};
+use hos_index::batch::{batch_od, batch_od_with_context};
+use hos_index::KnnEngine;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -91,13 +92,29 @@ pub fn frontier_search(
         };
     }
 
+    // Per-query distance cache, built lazily once the cumulative
+    // evaluated dimensionality clears the ~2d breakeven and then
+    // shared by every later level (mirrors `dynamic_search`;
+    // `batch_od` would otherwise rebuild the n x d matrix per round).
+    let mut ctx = None;
+    let mut ctx_pending = true;
+    let mut dims_evaluated = 0usize;
+
     // Level 1.
     let mut open: Vec<Subspace> = (0..d).map(Subspace::single).collect();
     let mut level = 1usize;
     let exhausted_frontier;
     loop {
         rounds += 1;
-        let ods = batch_od(engine, query, k, &open, exclude, threads);
+        dims_evaluated += level * open.len();
+        if ctx_pending && dims_evaluated > 2 * d {
+            ctx = engine.query_context(query);
+            ctx_pending = false;
+        }
+        let ods = match &ctx {
+            Some(ctx) => batch_od_with_context(ctx, k, &open, exclude, threads),
+            None => batch_od(engine, query, k, &open, exclude, threads),
+        };
         evals += open.len() as u64;
         let mut survivors: Vec<Subspace> = Vec::new();
         for (&s, &od) in open.iter().zip(&ods) {
@@ -177,10 +194,15 @@ mod tests {
 
     fn engine(seed: u64, n: usize, d: usize) -> LinearScan {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         rows.push((0..d).map(|i| if i == 0 { 9.0 } else { 0.5 }).collect());
-        rows.push((0..d).map(|i| if i == 1 || i == 2 { 4.0 } else { 0.4 }).collect());
+        rows.push(
+            (0..d)
+                .map(|i| if i == 1 || i == 2 { 4.0 } else { 0.4 })
+                .collect(),
+        );
         LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2)
     }
 
@@ -194,8 +216,7 @@ mod tests {
             for t in [1.5, 3.0, 8.0] {
                 let frontier = frontier_search(&e, &q, Some(qid), 4, t, d, 1);
                 assert!(frontier.complete);
-                let dynamic =
-                    dynamic_search(&e, &q, Some(qid), 4, t, &Priors::uniform(d), 1);
+                let dynamic = dynamic_search(&e, &q, Some(qid), 4, t, &Priors::uniform(d), 1);
                 let expected = minimal_subspaces(&dynamic.subspaces());
                 assert_eq!(frontier.minimal, expected, "point {qid} T {t}");
             }
@@ -218,8 +239,9 @@ mod tests {
         // handles it directly.
         let d = 40;
         let mut rng = StdRng::seed_from_u64(11);
-        let mut rows: Vec<Vec<f64>> =
-            (0..300).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let mut rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let mut outlier: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
         outlier[7] = 30.0;
         outlier[23] = 30.0;

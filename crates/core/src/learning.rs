@@ -130,7 +130,9 @@ pub fn learn_full(
         return Err(HosError::Config("k must be positive".into()));
     }
     if !(0.0..=1e6).contains(&alpha) {
-        return Err(HosError::Config(format!("smoothing alpha {alpha} out of range")));
+        return Err(HosError::Config(format!(
+            "smoothing alpha {alpha} out of range"
+        )));
     }
     let uniform = Priors::uniform(d);
     if sample_size == 0 {
@@ -179,11 +181,19 @@ pub fn learn_full(
     }
 
     let s = ids.len() as f64;
-    let p_up: Vec<f64> = sum_up.iter().map(|v| (v + alpha * 0.5) / (s + alpha)).collect();
+    let p_up: Vec<f64> = sum_up
+        .iter()
+        .map(|v| (v + alpha * 0.5) / (s + alpha))
+        .collect();
     let p_down: Vec<f64> = p_up.iter().map(|v| 1.0 - v).collect();
     let priors = Priors::from_values(p_up, p_down)?;
 
-    Ok(LearnedModel { priors, samples: ids.len(), threshold, total_stats })
+    Ok(LearnedModel {
+        priors,
+        samples: ids.len(),
+        threshold,
+        total_stats,
+    })
 }
 
 /// Convenience: resolve a threshold policy and learn in one step.
@@ -211,7 +221,11 @@ mod tests {
         let d = 4;
         let mut rows = Vec::new();
         for _ in 0..150 {
-            rows.push((0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<f64>>());
+            rows.push(
+                (0..d)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect::<Vec<f64>>(),
+            );
         }
         // A few extreme points so some subspaces are outlying.
         rows.push(vec![10.0, 0.5, 0.5, 0.5]);
@@ -255,7 +269,11 @@ mod tests {
         let e = clustered_engine(9);
         let m = learn_with_smoothing(&e, 3, 1e12, 6, 3, 1, 0.0).unwrap();
         for lvl in 2..4 {
-            assert!((m.priors.up(lvl) - 0.5).abs() < 1e-12, "level {lvl}: {}", m.priors.up(lvl));
+            assert!(
+                (m.priors.up(lvl) - 0.5).abs() < 1e-12,
+                "level {lvl}: {}",
+                m.priors.up(lvl)
+            );
         }
         // And the evaluated top level observed only sub-threshold ODs.
         assert_eq!(m.priors.up(4), 0.0);

@@ -5,6 +5,7 @@
 //! learning — and `query_*` runs the dynamic subspace search followed
 //! by the refinement filter.
 
+use crate::batch::{batch_search, BatchQuery};
 use crate::error::HosError;
 use crate::filter::minimal_subspaces;
 use crate::learning::LearnedModel;
@@ -143,7 +144,9 @@ impl HosMiner {
             )));
         }
         let engine = build_engine(config.engine, dataset, config.metric);
-        let threshold = config.threshold.resolve(engine.as_ref(), config.k, config.seed)?;
+        let threshold = config
+            .threshold
+            .resolve(engine.as_ref(), config.k, config.seed)?;
         let model = crate::learning::learn_with_smoothing(
             engine.as_ref(),
             config.k,
@@ -153,7 +156,11 @@ impl HosMiner {
             config.threads,
             config.prior_smoothing,
         )?;
-        Ok(HosMiner { engine, config, model })
+        Ok(HosMiner {
+            engine,
+            config,
+            model,
+        })
     }
 
     /// Assembles a miner from pre-fitted parts — used by model
@@ -189,7 +196,19 @@ impl HosMiner {
             )));
         }
         let engine = build_engine(config.engine, dataset, config.metric);
-        Ok(HosMiner { engine, config, model })
+        Ok(HosMiner {
+            engine,
+            config,
+            model,
+        })
+    }
+
+    /// Sets the worker-thread count for subsequent queries (per-level
+    /// OD batches and the batch front-ends). Used by callers that
+    /// assemble a miner from a saved model, where the persisted file
+    /// carries no machine-specific parallelism setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
     }
 
     /// The resolved global threshold `T`.
@@ -256,6 +275,74 @@ impl HosMiner {
             self.config.threads,
         )))
     }
+
+    /// Finds the outlying subspaces of many dataset members at once,
+    /// fanned out across `config.threads` workers. Results are in
+    /// input order and identical to calling [`HosMiner::query_id`]
+    /// per id (up to wall-clock stats); all ids are validated before
+    /// any search runs.
+    pub fn query_ids(&self, ids: &[PointId]) -> Result<Vec<QueryOutcome>> {
+        let ds = self.engine.dataset();
+        for &id in ids {
+            if id >= ds.len() {
+                return Err(HosError::Query(format!(
+                    "point id {id} out of bounds for dataset of {} points",
+                    ds.len()
+                )));
+            }
+        }
+        let queries: Vec<BatchQuery<'_>> = ids
+            .iter()
+            .map(|&id| BatchQuery {
+                point: ds.row(id),
+                exclude: Some(id),
+            })
+            .collect();
+        Ok(self.run_batch(&queries))
+    }
+
+    /// Finds the outlying subspaces of many arbitrary query points at
+    /// once, fanned out across `config.threads` workers. Results are
+    /// in input order; all points are validated before any search
+    /// runs.
+    pub fn query_points(&self, points: &[Vec<f64>]) -> Result<Vec<QueryOutcome>> {
+        let d = self.engine.dataset().dim();
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != d {
+                return Err(HosError::Query(format!(
+                    "query {i} has {} coordinates, dataset has {d} dimensions",
+                    p.len()
+                )));
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(HosError::Query(format!(
+                    "query {i} contains non-finite values"
+                )));
+            }
+        }
+        let queries: Vec<BatchQuery<'_>> = points
+            .iter()
+            .map(|p| BatchQuery {
+                point: p,
+                exclude: None,
+            })
+            .collect();
+        Ok(self.run_batch(&queries))
+    }
+
+    fn run_batch(&self, queries: &[BatchQuery<'_>]) -> Vec<QueryOutcome> {
+        batch_search(
+            self.engine.as_ref(),
+            queries,
+            self.config.k,
+            self.model.threshold,
+            &self.model.priors,
+            self.config.threads,
+        )
+        .into_iter()
+        .map(QueryOutcome::from_search)
+        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +359,7 @@ mod tests {
             extent: 60.0,
             targets: vec![Subspace::from_dims(&[0, 1]), Subspace::from_dims(&[3])],
             shift_sigmas: 12.0,
-            seed: 17,
+            seed: 18,
         };
         let w = generate(&spec).unwrap();
         let truth = w.outliers.iter().map(|o| (o.id, o.subspace)).collect();
@@ -283,7 +370,10 @@ mod tests {
         let (ds, truth) = planted();
         let config = HosMinerConfig {
             k: 5,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 150 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 150,
+            },
             engine,
             sample_size: 10,
             ..HosMinerConfig::default()
@@ -362,11 +452,17 @@ mod tests {
     #[test]
     fn config_validation() {
         let (ds, _) = planted();
-        let bad_k = HosMinerConfig { k: 0, ..HosMinerConfig::default() };
+        let bad_k = HosMinerConfig {
+            k: 0,
+            ..HosMinerConfig::default()
+        };
         assert!(HosMiner::fit(ds.clone(), bad_k).is_err());
         assert!(HosMiner::fit(Dataset::empty(), HosMinerConfig::default()).is_err());
         let tiny = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
-        let cfg = HosMinerConfig { k: 5, ..HosMinerConfig::default() };
+        let cfg = HosMinerConfig {
+            k: 5,
+            ..HosMinerConfig::default()
+        };
         assert!(HosMiner::fit(tiny, cfg).is_err());
     }
 
@@ -376,6 +472,51 @@ mod tests {
         assert!(miner.query_point(&[1.0]).is_err());
         assert!(miner.query_point(&[f64::NAN; 5]).is_err());
         assert!(miner.query_id(10_000).is_err());
+    }
+
+    #[test]
+    fn query_ids_matches_individual_queries() {
+        let (miner, truth) = fitted(Engine::Linear);
+        let ids: Vec<PointId> = truth.iter().map(|(id, _)| *id).chain(0..6).collect();
+        let batch = miner.query_ids(&ids).unwrap();
+        assert_eq!(batch.len(), ids.len());
+        for (&id, got) in ids.iter().zip(&batch) {
+            let solo = miner.query_id(id).unwrap();
+            assert_eq!(got.outlying, solo.outlying, "point {id}");
+            assert_eq!(got.minimal, solo.minimal, "point {id}");
+            assert_eq!(got.stats.od_evals, solo.stats.od_evals, "point {id}");
+        }
+        assert!(miner.query_ids(&[0, 10_000]).is_err());
+        assert!(miner.query_ids(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_points_matches_individual_queries() {
+        let (miner, _) = fitted(Engine::Linear);
+        let points = vec![vec![1e4; 5], vec![0.0; 5]];
+        let batch = miner.query_points(&points).unwrap();
+        for (p, got) in points.iter().zip(&batch) {
+            let solo = miner.query_point(p).unwrap();
+            assert_eq!(got.outlying, solo.outlying);
+            assert_eq!(got.minimal, solo.minimal);
+        }
+        // Validation happens before any search.
+        assert!(miner.query_points(&[vec![0.0; 5], vec![1.0]]).is_err());
+        assert!(miner.query_points(&[vec![f64::NAN; 5]]).is_err());
+    }
+
+    #[test]
+    fn set_threads_overrides_config() {
+        let (mut miner, truth) = fitted(Engine::Linear);
+        let baseline = miner.query_id(truth[0].0).unwrap();
+        miner.set_threads(4);
+        assert_eq!(miner.config().threads, 4);
+        // Parallelism must not change any answer.
+        let parallel = miner.query_id(truth[0].0).unwrap();
+        assert_eq!(parallel.outlying, baseline.outlying);
+        assert_eq!(parallel.minimal, baseline.minimal);
+        miner.set_threads(0); // clamped to 1
+        assert_eq!(miner.config().threads, 1);
     }
 
     #[test]

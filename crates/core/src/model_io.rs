@@ -67,7 +67,10 @@ impl ModelFile {
         let _ = writeln!(out, "threshold {:?}", self.threshold);
         let _ = writeln!(out, "samples {}", self.samples);
         let join = |v: &[f64]| {
-            v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(",")
+            v.iter()
+                .map(|x| format!("{x:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
         };
         let _ = writeln!(out, "p_up {}", join(self.priors.up_all()));
         let _ = writeln!(out, "p_down {}", join(self.priors.down_all()));
@@ -101,17 +104,19 @@ impl ModelFile {
             let parse_vec = |v: &str| -> Result<Vec<f64>> {
                 v.split(',')
                     .map(|x| {
-                        x.trim().parse::<f64>().map_err(|_| {
-                            HosError::Config(format!("bad float {x:?} in model"))
-                        })
+                        x.trim()
+                            .parse::<f64>()
+                            .map_err(|_| HosError::Config(format!("bad float {x:?} in model")))
                     })
                     .collect()
             };
             match key {
                 "k" => {
-                    k = Some(value.parse::<usize>().map_err(|_| {
-                        HosError::Config(format!("bad k {value:?}"))
-                    })?)
+                    k = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| HosError::Config(format!("bad k {value:?}")))?,
+                    )
                 }
                 "metric" => {
                     metric = Some(match value {
@@ -124,31 +129,29 @@ impl ModelFile {
                                     HosError::Config(format!("bad metric {other:?}"))
                                 })?)
                             } else {
-                                return Err(HosError::Config(format!(
-                                    "bad metric {other:?}"
-                                )));
+                                return Err(HosError::Config(format!("bad metric {other:?}")));
                             }
                         }
                     })
                 }
-                "engine" => {
-                    engine = Some(value.parse::<Engine>().map_err(HosError::Config)?)
-                }
+                "engine" => engine = Some(value.parse::<Engine>().map_err(HosError::Config)?),
                 "threshold" => {
-                    threshold = Some(value.parse::<f64>().map_err(|_| {
-                        HosError::Config(format!("bad threshold {value:?}"))
-                    })?)
+                    threshold = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|_| HosError::Config(format!("bad threshold {value:?}")))?,
+                    )
                 }
                 "samples" => {
-                    samples = Some(value.parse::<usize>().map_err(|_| {
-                        HosError::Config(format!("bad samples {value:?}"))
-                    })?)
+                    samples = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| HosError::Config(format!("bad samples {value:?}")))?,
+                    )
                 }
                 "p_up" => p_up = Some(parse_vec(value)?),
                 "p_down" => p_down = Some(parse_vec(value)?),
-                other => {
-                    return Err(HosError::Config(format!("unknown model key {other:?}")))
-                }
+                other => return Err(HosError::Config(format!("unknown model key {other:?}"))),
             }
         }
         let priors = Priors::from_values(
@@ -222,7 +225,10 @@ mod tests {
             ds.clone(),
             HosMinerConfig {
                 k: 4,
-                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 100 },
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.95,
+                    sample: 100,
+                },
                 sample_size: 10,
                 ..HosMinerConfig::default()
             },
@@ -275,8 +281,11 @@ mod tests {
         let (miner, _) = fitted();
         let good = ModelFile::from_miner(&miner).to_text();
         // Drop a required line.
-        let missing: String =
-            good.lines().filter(|l| !l.starts_with("p_up")).collect::<Vec<_>>().join("\n");
+        let missing: String = good
+            .lines()
+            .filter(|l| !l.starts_with("p_up"))
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(ModelFile::from_text(&missing).is_err());
         // Corrupt a float.
         let corrupt = good.replace("threshold ", "threshold oops");

@@ -82,7 +82,10 @@ pub enum ThresholdPolicy {
 
 impl Default for ThresholdPolicy {
     fn default() -> Self {
-        ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 }
+        ThresholdPolicy::FullSpaceQuantile {
+            q: 0.95,
+            sample: 200,
+        }
     }
 }
 
@@ -179,9 +182,12 @@ mod tests {
     #[test]
     fn quantile_threshold_separates_planted_outlier() {
         let e = engine();
-        let t = ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 100 }
-            .resolve(&e, 3, 7)
-            .unwrap();
+        let t = ThresholdPolicy::FullSpaceQuantile {
+            q: 0.9,
+            sample: 100,
+        }
+        .resolve(&e, 3, 7)
+        .unwrap();
         // The far point's full-space OD must exceed the threshold; the
         // cluster core must fall below it.
         let ds = e.dataset();

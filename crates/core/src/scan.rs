@@ -75,10 +75,22 @@ pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
             continue;
         }
         let outcome = miner.query_id(*id)?;
-        debug_assert!(outcome.is_outlier(), "full OD >= T implies non-empty answer");
-        hits.push(ScanHit { id: *id, full_od: *full_od, outcome });
+        debug_assert!(
+            outcome.is_outlier(),
+            "full OD >= T implies non-empty answer"
+        );
+        hits.push(ScanHit {
+            id: *id,
+            full_od: *full_od,
+            outcome,
+        });
     }
-    Ok(ScanReport { hits, truncated, skipped, threshold: t })
+    Ok(ScanReport {
+        hits,
+        truncated,
+        skipped,
+        threshold: t,
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +118,10 @@ mod tests {
             w.dataset,
             HosMinerConfig {
                 k: 5,
-                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.98,
+                    sample: 200,
+                },
                 sample_size: 5,
                 ..HosMinerConfig::default()
             },
@@ -141,7 +156,10 @@ mod tests {
         let (m, _) = miner();
         let report = scan_outliers(&m, usize::MAX).unwrap();
         let ds_len = m.engine().dataset().len();
-        assert_eq!(report.hits.len() + report.truncated + report.skipped, ds_len);
+        assert_eq!(
+            report.hits.len() + report.truncated + report.skipped,
+            ds_len
+        );
         assert_eq!(report.truncated, 0);
         // With a 0.98-quantile threshold, the vast majority is skipped
         // without a search.

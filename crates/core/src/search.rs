@@ -18,7 +18,8 @@
 
 use crate::priors::Priors;
 use hos_data::{PointId, Subspace};
-use hos_index::{batch::batch_od, KnnEngine};
+use hos_index::batch::{batch_od, batch_od_with_context};
+use hos_index::KnnEngine;
 use hos_lattice::{Lattice, SubspaceState, TsfComputer};
 use std::time::Instant;
 
@@ -127,6 +128,17 @@ pub fn dynamic_search(
     let mut level_eval_stats = vec![(0u64, 0u64); d + 1];
     let mut rounds = 0u32;
 
+    // Per-query distance cache, built lazily and reused for every
+    // later level: engines that support it (linear scan) turn each
+    // subspace OD into a subset-combine over cached per-dimension
+    // columns. Built only once the cumulative evaluated dimensionality
+    // clears the ~2d breakeven (see `batch_od`'s cost model), so
+    // shallow searches that close after one cheap level never pay the
+    // n x d build.
+    let mut ctx = None;
+    let mut ctx_pending = true;
+    let mut dims_evaluated = 0usize;
+
     while !lattice.is_complete() {
         // Pick the open level with the highest TSF; ties break toward
         // the lower level (cheaper OD evaluations, matching the
@@ -144,7 +156,15 @@ pub fn dynamic_search(
 
         let open = lattice.open_at_level(m);
         debug_assert!(!open.is_empty());
-        let ods = batch_od(engine, query, k, &open, exclude, threads);
+        dims_evaluated += m * open.len();
+        if ctx_pending && dims_evaluated > 2 * d {
+            ctx = engine.query_context(query);
+            ctx_pending = false;
+        }
+        let ods = match &ctx {
+            Some(ctx) => batch_od_with_context(ctx, k, &open, exclude, threads),
+            None => batch_od(engine, query, k, &open, exclude, threads),
+        };
         for (&s, &od) in open.iter().zip(&ods) {
             // A subspace may have been pruned by an earlier evaluation
             // in this same batch — its OD was computed wastefully but
@@ -156,7 +176,10 @@ pub fn dynamic_search(
             level_eval_stats[m].0 += 1;
             if od >= threshold {
                 level_eval_stats[m].1 += 1;
-                evaluated_outliers.push(ScoredSubspace { subspace: s, od: Some(od) });
+                evaluated_outliers.push(ScoredSubspace {
+                    subspace: s,
+                    od: Some(od),
+                });
                 lattice.prune_up(s);
             } else {
                 lattice.prune_down(s);
@@ -169,7 +192,10 @@ pub fn dynamic_search(
     // everything pruned in by Property 2.
     let mut outlying = evaluated_outliers;
     for s in lattice.in_state(SubspaceState::PrunedOutlier) {
-        outlying.push(ScoredSubspace { subspace: s, od: None });
+        outlying.push(ScoredSubspace {
+            subspace: s,
+            od: None,
+        });
     }
     outlying.sort_by_key(|s| s.subspace.mask());
 
@@ -199,7 +225,12 @@ pub fn dynamic_search(
         seconds: start.elapsed().as_secs_f64(),
     };
 
-    SearchOutcome { outlying, stats, level_outlier_fraction, level_eval_stats }
+    SearchOutcome {
+        outlying,
+        stats,
+        level_outlier_fraction,
+        level_eval_stats,
+    }
 }
 
 #[cfg(test)]

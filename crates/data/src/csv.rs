@@ -23,7 +23,10 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { delimiter: ',', has_header: false }
+        CsvOptions {
+            delimiter: ',',
+            has_header: false,
+        }
     }
 }
 
@@ -134,7 +137,10 @@ mod tests {
             .unwrap();
         let mut buf = Vec::new();
         write_csv(&ds, &mut buf, ';').unwrap();
-        let opts = CsvOptions { delimiter: ';', has_header: true };
+        let opts = CsvOptions {
+            delimiter: ';',
+            has_header: true,
+        };
         let back = read_csv(&buf[..], &opts).unwrap();
         assert_eq!(back.names().unwrap(), &["x".to_string(), "y".to_string()]);
         assert_eq!(back.row(0), ds.row(0));

@@ -32,24 +32,46 @@ impl Dataset {
     /// * [`DataError::NonFinite`] if any value is NaN or infinite.
     pub fn from_flat(data: Vec<f64>, d: usize) -> Result<Self> {
         if d > MAX_DIM {
-            return Err(DataError::DimTooLarge { dim: d, max: MAX_DIM });
+            return Err(DataError::DimTooLarge {
+                dim: d,
+                max: MAX_DIM,
+            });
         }
         if d == 0 {
             if data.is_empty() {
-                return Ok(Dataset { n: 0, d: 0, data, names: None });
+                return Ok(Dataset {
+                    n: 0,
+                    d: 0,
+                    data,
+                    names: None,
+                });
             }
-            return Err(DataError::Shape { expected: 0, got: data.len() });
+            return Err(DataError::Shape {
+                expected: 0,
+                got: data.len(),
+            });
         }
         if !data.len().is_multiple_of(d) {
-            return Err(DataError::Shape { expected: d, got: data.len() % d });
+            return Err(DataError::Shape {
+                expected: d,
+                got: data.len() % d,
+            });
         }
         let n = data.len() / d;
         for (idx, v) in data.iter().enumerate() {
             if !v.is_finite() {
-                return Err(DataError::NonFinite { row: idx / d, col: idx % d });
+                return Err(DataError::NonFinite {
+                    row: idx / d,
+                    col: idx % d,
+                });
             }
         }
-        Ok(Dataset { n, d, data, names: None })
+        Ok(Dataset {
+            n,
+            d,
+            data,
+            names: None,
+        })
     }
 
     /// Creates a dataset from rows.
@@ -97,7 +119,11 @@ impl Dataset {
     /// Checked row access.
     pub fn try_row(&self, i: PointId) -> Result<&[f64]> {
         if i >= self.n {
-            return Err(DataError::OutOfBounds { what: "row", index: i, len: self.n });
+            return Err(DataError::OutOfBounds {
+                what: "row",
+                index: i,
+                len: self.n,
+            });
         }
         Ok(self.row(i))
     }
@@ -117,7 +143,11 @@ impl Dataset {
 
     /// Iterates the values of one column.
     pub fn column(&self, col: usize) -> impl Iterator<Item = f64> + '_ {
-        assert!(col < self.d, "column {col} out of bounds for dim {}", self.d);
+        assert!(
+            col < self.d,
+            "column {col} out of bounds for dim {}",
+            self.d
+        );
         self.data.iter().skip(col).step_by(self.d).copied()
     }
 
@@ -140,7 +170,10 @@ impl Dataset {
     /// Attaches column names (must match dimensionality).
     pub fn with_names(mut self, names: Vec<String>) -> Result<Self> {
         if names.len() != self.d {
-            return Err(DataError::Shape { expected: self.d, got: names.len() });
+            return Err(DataError::Shape {
+                expected: self.d,
+                got: names.len(),
+            });
         }
         self.names = Some(names);
         Ok(self)
@@ -156,7 +189,11 @@ impl Dataset {
         let dims = s.dim_vec();
         if let Some(&max) = dims.last() {
             if max >= self.d {
-                return Err(DataError::OutOfBounds { what: "column", index: max, len: self.d });
+                return Err(DataError::OutOfBounds {
+                    what: "column",
+                    index: max,
+                    len: self.d,
+                });
             }
         }
         let mut data = Vec::with_capacity(self.n * dims.len());
@@ -166,9 +203,10 @@ impl Dataset {
                 data.push(row[c]);
             }
         }
-        let names = self.names.as_ref().map(|ns| {
-            dims.iter().map(|&c| ns[c].clone()).collect::<Vec<_>>()
-        });
+        let names = self
+            .names
+            .as_ref()
+            .map(|ns| dims.iter().map(|&c| ns[c].clone()).collect::<Vec<_>>());
         let mut out = Dataset::from_flat(data, dims.len())?;
         if let Some(ns) = names {
             out = out.with_names(ns)?;
@@ -181,16 +219,25 @@ impl Dataset {
         if self.n == 0 && self.d == 0 {
             // First row fixes the dimensionality.
             if row.is_empty() || row.len() > MAX_DIM {
-                return Err(DataError::DimTooLarge { dim: row.len(), max: MAX_DIM });
+                return Err(DataError::DimTooLarge {
+                    dim: row.len(),
+                    max: MAX_DIM,
+                });
             }
             self.d = row.len();
         }
         if row.len() != self.d {
-            return Err(DataError::Shape { expected: self.d, got: row.len() });
+            return Err(DataError::Shape {
+                expected: self.d,
+                got: row.len(),
+            });
         }
         for (c, v) in row.iter().enumerate() {
             if !v.is_finite() {
-                return Err(DataError::NonFinite { row: self.n, col: c });
+                return Err(DataError::NonFinite {
+                    row: self.n,
+                    col: c,
+                });
             }
         }
         self.data.extend_from_slice(row);
@@ -201,7 +248,12 @@ impl Dataset {
     /// Creates an empty dataset whose dimensionality is fixed by the
     /// first pushed row.
     pub fn empty() -> Self {
-        Dataset { n: 0, d: 0, data: Vec::new(), names: None }
+        Dataset {
+            n: 0,
+            d: 0,
+            data: Vec::new(),
+            names: None,
+        }
     }
 }
 
@@ -236,14 +288,23 @@ impl DatasetBuilder {
     pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
         let d = *self.d.get_or_insert(row.len());
         if row.len() != d {
-            return Err(DataError::Shape { expected: d, got: row.len() });
+            return Err(DataError::Shape {
+                expected: d,
+                got: row.len(),
+            });
         }
         if d == 0 || d > MAX_DIM {
-            return Err(DataError::DimTooLarge { dim: d, max: MAX_DIM });
+            return Err(DataError::DimTooLarge {
+                dim: d,
+                max: MAX_DIM,
+            });
         }
         for (c, v) in row.iter().enumerate() {
             if !v.is_finite() {
-                return Err(DataError::NonFinite { row: self.rows, col: c });
+                return Err(DataError::NonFinite {
+                    row: self.rows,
+                    col: c,
+                });
             }
         }
         self.data.extend_from_slice(row);

@@ -56,11 +56,17 @@ impl fmt::Display for DataError {
             DataError::Io(e) => write!(f, "i/o error: {e}"),
             DataError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             DataError::Shape { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} columns, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} columns, got {got}"
+                )
             }
             DataError::Empty => write!(f, "operation requires a non-empty dataset"),
             DataError::DimTooLarge { dim, max } => {
-                write!(f, "dimensionality {dim} exceeds the supported maximum {max}")
+                write!(
+                    f,
+                    "dimensionality {dim} exceeds the supported maximum {max}"
+                )
             }
             DataError::NonFinite { row, col } => {
                 write!(f, "non-finite value at row {row}, column {col}")
@@ -96,12 +102,22 @@ mod tests {
     fn display_covers_all_variants() {
         let cases: Vec<DataError> = vec![
             DataError::Io(std::io::Error::other("boom")),
-            DataError::Parse { line: 3, msg: "bad float".into() },
-            DataError::Shape { expected: 4, got: 2 },
+            DataError::Parse {
+                line: 3,
+                msg: "bad float".into(),
+            },
+            DataError::Shape {
+                expected: 4,
+                got: 2,
+            },
             DataError::Empty,
             DataError::DimTooLarge { dim: 100, max: 63 },
             DataError::NonFinite { row: 1, col: 2 },
-            DataError::OutOfBounds { what: "row", index: 9, len: 3 },
+            DataError::OutOfBounds {
+                what: "row",
+                index: 9,
+                len: 3,
+            },
             DataError::InvalidParam("k must be positive".into()),
         ];
         for c in cases {

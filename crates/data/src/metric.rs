@@ -28,8 +28,7 @@ use crate::subspace::Subspace;
 /// assert_eq!(Metric::L2.dist_sub(&a, &b, s), 4.0);
 /// assert!(Metric::L2.is_projection_monotone());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Metric {
     /// Manhattan distance: `Σ |a_i - b_i|`.
     L1,
@@ -41,7 +40,6 @@ pub enum Metric {
     /// General Minkowski distance with exponent `p >= 1`.
     Lp(f64),
 }
-
 
 impl Metric {
     /// Human-readable name.

@@ -69,7 +69,10 @@ impl Normalizer {
     /// Applies the transform to a dataset, producing a new one.
     pub fn apply(&self, ds: &Dataset) -> Result<Dataset> {
         if ds.dim() != self.dim() {
-            return Err(DataError::Shape { expected: self.dim(), got: ds.dim() });
+            return Err(DataError::Shape {
+                expected: self.dim(),
+                got: ds.dim(),
+            });
         }
         let mut flat = Vec::with_capacity(ds.len() * ds.dim());
         for (_, row) in ds.iter() {
@@ -87,7 +90,10 @@ impl Normalizer {
     /// Transforms a single row (e.g. an external query point).
     pub fn apply_row(&self, row: &[f64]) -> Result<Vec<f64>> {
         if row.len() != self.dim() {
-            return Err(DataError::Shape { expected: self.dim(), got: row.len() });
+            return Err(DataError::Shape {
+                expected: self.dim(),
+                got: row.len(),
+            });
         }
         Ok(row
             .iter()
@@ -99,7 +105,10 @@ impl Normalizer {
     /// Inverts the transform on a single row.
     pub fn invert_row(&self, row: &[f64]) -> Result<Vec<f64>> {
         if row.len() != self.dim() {
-            return Err(DataError::Shape { expected: self.dim(), got: row.len() });
+            return Err(DataError::Shape {
+                expected: self.dim(),
+                got: row.len(),
+            });
         }
         Ok(row
             .iter()
@@ -123,12 +132,7 @@ mod tests {
     use super::*;
 
     fn ds() -> Dataset {
-        Dataset::from_rows(&[
-            vec![0.0, 10.0],
-            vec![5.0, 20.0],
-            vec![10.0, 30.0],
-        ])
-        .unwrap()
+        Dataset::from_rows(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]).unwrap()
     }
 
     #[test]

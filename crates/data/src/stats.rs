@@ -52,7 +52,9 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64> {
         return Err(DataError::Empty);
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(DataError::InvalidParam(format!("quantile {q} outside [0,1]")));
+        return Err(DataError::InvalidParam(format!(
+            "quantile {q} outside [0,1]"
+        )));
     }
     let n = sorted.len();
     if n == 1 {

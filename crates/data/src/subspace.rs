@@ -167,7 +167,11 @@ impl Subspace {
 
     /// Iterates every non-empty subset of `self` (including `self`).
     pub fn subsets(self) -> SubsetIter {
-        SubsetIter { mask: self.0, sub: self.0, done: self.0 == 0 }
+        SubsetIter {
+            mask: self.0,
+            sub: self.0,
+            done: self.0 == 0,
+        }
     }
 
     /// Iterates every strict, non-empty subset of `self`.
@@ -191,7 +195,11 @@ impl Subspace {
     pub fn all_of_dim(d: usize, m: usize) -> CardinalityIter {
         assert!(d <= MAX_DIM);
         if m == 0 || m > d {
-            return CardinalityIter { cur: 0, limit: 0, done: true };
+            return CardinalityIter {
+                cur: 0,
+                limit: 0,
+                done: true,
+            };
         }
         CardinalityIter {
             cur: (1u64 << m) - 1,

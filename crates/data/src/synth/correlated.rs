@@ -82,7 +82,10 @@ pub fn figure1_views(spec: &CorrelatedSpec) -> Result<Figure1Data> {
     }
     let d = spec.pairs * 2;
     if d > crate::subspace::MAX_DIM {
-        return Err(DataError::DimTooLarge { dim: d, max: crate::subspace::MAX_DIM });
+        return Err(DataError::DimTooLarge {
+            dim: d,
+            max: crate::subspace::MAX_DIM,
+        });
     }
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut flat = Vec::with_capacity(spec.n * d);
@@ -118,7 +121,12 @@ pub fn figure1_views(spec: &CorrelatedSpec) -> Result<Figure1Data> {
         }
     }
 
-    Ok(Figure1Data { dataset, query, outlying_views, inlying_views })
+    Ok(Figure1Data {
+        dataset,
+        query,
+        outlying_views,
+        inlying_views,
+    })
 }
 
 #[cfg(test)]
@@ -175,14 +183,26 @@ mod tests {
 
     #[test]
     fn validation() {
-        let s = CorrelatedSpec { pairs: 0, ..CorrelatedSpec::default() };
+        let s = CorrelatedSpec {
+            pairs: 0,
+            ..CorrelatedSpec::default()
+        };
         assert!(figure1_views(&s).is_err());
-        let s = CorrelatedSpec { correlated_pairs: vec![9], ..CorrelatedSpec::default() };
+        let s = CorrelatedSpec {
+            correlated_pairs: vec![9],
+            ..CorrelatedSpec::default()
+        };
         assert!(figure1_views(&s).is_err());
-        let s = CorrelatedSpec { n: 0, ..CorrelatedSpec::default() };
+        let s = CorrelatedSpec {
+            n: 0,
+            ..CorrelatedSpec::default()
+        };
         assert!(figure1_views(&s).is_err());
         // 80 dims > MAX_DIM
-        let s = CorrelatedSpec { pairs: 40, ..CorrelatedSpec::default() };
+        let s = CorrelatedSpec {
+            pairs: 40,
+            ..CorrelatedSpec::default()
+        };
         assert!(figure1_views(&s).is_err());
     }
 

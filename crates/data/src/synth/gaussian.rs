@@ -34,7 +34,10 @@ impl GaussianMixture {
         let d = first.center.len();
         for c in &clusters {
             if c.center.len() != d {
-                return Err(DataError::Shape { expected: d, got: c.center.len() });
+                return Err(DataError::Shape {
+                    expected: d,
+                    got: c.center.len(),
+                });
             }
             if c.sigma <= 0.0 {
                 return Err(DataError::InvalidParam(format!("sigma {} <= 0", c.sigma)));
@@ -121,13 +124,29 @@ mod tests {
     fn validation() {
         assert!(GaussianMixture::new(vec![]).is_err());
         let bad_dim = vec![
-            ClusterSpec { center: vec![0.0], sigma: 1.0, weight: 1.0 },
-            ClusterSpec { center: vec![0.0, 1.0], sigma: 1.0, weight: 1.0 },
+            ClusterSpec {
+                center: vec![0.0],
+                sigma: 1.0,
+                weight: 1.0,
+            },
+            ClusterSpec {
+                center: vec![0.0, 1.0],
+                sigma: 1.0,
+                weight: 1.0,
+            },
         ];
         assert!(GaussianMixture::new(bad_dim).is_err());
-        let bad_sigma = vec![ClusterSpec { center: vec![0.0], sigma: 0.0, weight: 1.0 }];
+        let bad_sigma = vec![ClusterSpec {
+            center: vec![0.0],
+            sigma: 0.0,
+            weight: 1.0,
+        }];
         assert!(GaussianMixture::new(bad_sigma).is_err());
-        let bad_weight = vec![ClusterSpec { center: vec![0.0], sigma: 1.0, weight: -1.0 }];
+        let bad_weight = vec![ClusterSpec {
+            center: vec![0.0],
+            sigma: 1.0,
+            weight: -1.0,
+        }];
         assert!(GaussianMixture::new(bad_weight).is_err());
     }
 
@@ -150,8 +169,16 @@ mod tests {
     #[test]
     fn weights_drive_component_frequencies() {
         let gm = GaussianMixture::new(vec![
-            ClusterSpec { center: vec![0.0], sigma: 0.1, weight: 3.0 },
-            ClusterSpec { center: vec![100.0], sigma: 0.1, weight: 1.0 },
+            ClusterSpec {
+                center: vec![0.0],
+                sigma: 0.1,
+                weight: 3.0,
+            },
+            ClusterSpec {
+                center: vec![100.0],
+                sigma: 0.1,
+                weight: 1.0,
+            },
         ])
         .unwrap();
         let (_, assign) = gm.generate(4000, 5).unwrap();

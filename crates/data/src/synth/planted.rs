@@ -90,7 +90,10 @@ impl PlantedWorkload {
 
     /// The target subspace planted for a given point, if any.
     pub fn target_of(&self, id: PointId) -> Option<Subspace> {
-        self.outliers.iter().find(|o| o.id == id).map(|o| o.subspace)
+        self.outliers
+            .iter()
+            .find(|o| o.id == id)
+            .map(|o| o.subspace)
     }
 }
 
@@ -101,7 +104,9 @@ pub fn generate(spec: &PlantedSpec) -> Result<PlantedWorkload> {
     }
     for t in &spec.targets {
         if t.is_empty() {
-            return Err(DataError::InvalidParam("target subspace must be non-empty".into()));
+            return Err(DataError::InvalidParam(
+                "target subspace must be non-empty".into(),
+            ));
         }
         if let Some(max) = t.dim_vec().last() {
             if *max >= spec.d {
@@ -113,7 +118,9 @@ pub fn generate(spec: &PlantedSpec) -> Result<PlantedWorkload> {
         }
     }
     if spec.shift_sigmas <= 0.0 {
-        return Err(DataError::InvalidParam("shift_sigmas must be positive".into()));
+        return Err(DataError::InvalidParam(
+            "shift_sigmas must be positive".into(),
+        ));
     }
 
     let mixture = GaussianMixture::random(
@@ -148,10 +155,17 @@ pub fn generate(spec: &PlantedSpec) -> Result<PlantedWorkload> {
             row[dim] += sign * per_dim;
         }
         let id = dataset.push_row(&row)?;
-        outliers.push(PlantedOutlier { id, subspace: target });
+        outliers.push(PlantedOutlier {
+            id,
+            subspace: target,
+        });
     }
 
-    Ok(PlantedWorkload { dataset, outliers, mixture })
+    Ok(PlantedWorkload {
+        dataset,
+        outliers,
+        mixture,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +225,10 @@ mod tests {
         // measurement below from being confounded by other modes.
         let mut s = spec();
         s.n_clusters = 1;
-        s.targets = vec![Subspace::from_dims(&[0, 1, 2, 3]), Subspace::from_dims(&[4])];
+        s.targets = vec![
+            Subspace::from_dims(&[0, 1, 2, 3]),
+            Subspace::from_dims(&[4]),
+        ];
         let w = generate(&s).unwrap();
         let wide = &w.outliers[0];
         let narrow = &w.outliers[1];

@@ -56,7 +56,9 @@ impl ColumnDist {
         if ok {
             Ok(())
         } else {
-            Err(DataError::InvalidParam(format!("invalid column distribution {self:?}")))
+            Err(DataError::InvalidParam(format!(
+                "invalid column distribution {self:?}"
+            )))
         }
     }
 
@@ -119,19 +121,29 @@ mod tests {
 
     #[test]
     fn lognormal_moments() {
-        let cols = [ColumnDist::LogNormal { mu: 0.0, sigma: 0.5 }];
+        let cols = [ColumnDist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        }];
         let ds = mixed_marginals(20_000, &cols, 7).unwrap();
         let col = ds.column_vec(0);
         // E[lognormal] = exp(mu + sigma^2/2).
         let expected = (0.125f64).exp();
-        assert!((stats::mean(&col) - expected).abs() < 0.03, "mean {}", stats::mean(&col));
+        assert!(
+            (stats::mean(&col) - expected).abs() < 0.03,
+            "mean {}",
+            stats::mean(&col)
+        );
         assert!(col.iter().all(|&v| v > 0.0));
     }
 
     #[test]
     fn mixed_columns_are_independent_shapes() {
         let cols = [
-            ColumnDist::Normal { mean: 10.0, sd: 1.0 },
+            ColumnDist::Normal {
+                mean: 10.0,
+                sd: 1.0,
+            },
             ColumnDist::Exponential { lambda: 1.0 },
             ColumnDist::Uniform { lo: -1.0, hi: 1.0 },
         ];
@@ -148,9 +160,15 @@ mod tests {
         assert!(mixed_marginals(10, &[ColumnDist::Normal { mean: 0.0, sd: 0.0 }], 0).is_err());
         assert!(mixed_marginals(10, &[ColumnDist::Exponential { lambda: -1.0 }], 0).is_err());
         assert!(mixed_marginals(10, &[ColumnDist::Uniform { lo: 1.0, hi: 1.0 }], 0).is_err());
-        assert!(
-            mixed_marginals(10, &[ColumnDist::LogNormal { mu: 0.0, sigma: 0.0 }], 0).is_err()
-        );
+        assert!(mixed_marginals(
+            10,
+            &[ColumnDist::LogNormal {
+                mu: 0.0,
+                sigma: 0.0
+            }],
+            0
+        )
+        .is_err());
     }
 
     #[test]

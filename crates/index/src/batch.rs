@@ -6,15 +6,26 @@
 //! k-NN query is independent. Crossbeam scoped threads split the
 //! subspace list across `threads` workers.
 
+use crate::context::QueryContext;
 use crate::knn::KnnEngine;
 use hos_data::{PointId, Subspace};
 
 /// Evaluates `OD(query, s)` for every subspace in `subspaces`,
 /// returning results in input order.
 ///
+/// When the engine provides a [`QueryContext`] (linear scan does) and
+/// the batch is large enough to amortise the `n x d` build (summed
+/// subspace dimensionality exceeds `2d`), the pre-distance matrix is
+/// computed once and every subspace OD becomes a cached
+/// subset-combine; otherwise each OD is an independent engine query.
+/// Callers that evaluate several batches for the *same* query point —
+/// `dynamic_search` and `frontier_search` do, level by level — should
+/// build the context themselves once and call
+/// [`batch_od_with_context`] per batch (they only fall back to this
+/// function for engines without a context, i.e. X-tree/VA-file).
+///
 /// `threads == 1` (or a single subspace) short-circuits to a serial
-/// loop — important because the search calls this with small batches
-/// where thread spawn overhead would dominate.
+/// loop, where thread spawn overhead would dominate small batches.
 pub fn batch_od(
     engine: &dyn KnnEngine,
     query: &[f64],
@@ -26,26 +37,65 @@ pub fn batch_od(
     if subspaces.is_empty() {
         return Vec::new();
     }
-    let threads = threads.max(1).min(subspaces.len());
-    if threads == 1 {
-        return subspaces
-            .iter()
-            .map(|&s| engine.od(query, k, s, exclude))
-            .collect();
+    // Cost model: uncached ≈ n·Σ|s| full-strength terms; cached ≈
+    // n·d build + n·Σ|s| cheap combines (~half a term each, per the
+    // context bench). Breakeven is therefore near Σ|s| ≈ 2d — only
+    // take the cached path when the batch clearly outweighs it.
+    let batch_dims: usize = subspaces.iter().map(|s| s.dim()).sum();
+    if batch_dims > 2 * engine.dataset().dim() {
+        if let Some(ctx) = engine.query_context(query) {
+            return batch_od_with_context(&ctx, k, subspaces, exclude, threads);
+        }
     }
-    let mut out = vec![0.0f64; subspaces.len()];
-    let chunk = subspaces.len().div_ceil(threads);
+    parallel_map(subspaces, threads, |&s| engine.od(query, k, s, exclude))
+}
+
+/// [`batch_od`] over an already-built [`QueryContext`]: every OD is a
+/// subset-combine over cached columns. Results are in input order and
+/// identical to the uncached path bit for bit.
+pub fn batch_od_with_context(
+    ctx: &QueryContext<'_>,
+    k: usize,
+    subspaces: &[Subspace],
+    exclude: Option<PointId>,
+    threads: usize,
+) -> Vec<f64> {
+    parallel_map(subspaces, threads, |&s| ctx.od(k, s, exclude))
+}
+
+/// Applies `f` to every item, fanned out across up to `threads`
+/// crossbeam scoped workers with static chunking; results are in
+/// input order. `threads <= 1` (or a single item) short-circuits to
+/// a serial loop, where thread spawn overhead would dominate small
+/// batches. The shared scatter behind [`batch_od`],
+/// [`batch_od_with_context`] and `hos-core`'s `batch_search`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
     crossbeam::scope(|scope| {
-        for (slice_in, slice_out) in subspaces.chunks(chunk).zip(out.chunks_mut(chunk)) {
+        for (slice_in, slice_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(move |_| {
-                for (s, o) in slice_in.iter().zip(slice_out.iter_mut()) {
-                    *o = engine.od(query, k, *s, exclude);
+                for (i, o) in slice_in.iter().zip(slice_out.iter_mut()) {
+                    *o = Some(f(i));
                 }
             });
         }
     })
     .expect("worker thread panicked");
-    out
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,5 +146,47 @@ mod tests {
         let (engine, q, subspaces) = setup();
         let r = batch_od(&engine, &q, 3, &subspaces[..3], None, 0);
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn cached_batch_identical_to_per_subspace_engine_queries() {
+        // batch_od takes the QueryContext fast path for LinearScan;
+        // it must agree bit for bit with one engine.od call per
+        // subspace (the uncached reference), serial and parallel.
+        let (engine, q, subspaces) = setup();
+        let reference: Vec<f64> = subspaces
+            .iter()
+            .map(|&s| engine.od(&q, 5, s, Some(17)))
+            .collect();
+        for threads in [1, 4] {
+            let cached = batch_od(&engine, &q, 5, &subspaces, Some(17), threads);
+            assert_eq!(cached, reference, "threads={threads}");
+        }
+        let ctx = engine.query_context(&q).expect("linear scan caches");
+        let direct = batch_od_with_context(&ctx, 5, &subspaces, Some(17), 2);
+        assert_eq!(direct, reference);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..101).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [0, 1, 2, 7, 64, 1000] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x * 3),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert!(parallel_map(&[] as &[u64], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn cached_batch_counts_distance_evals() {
+        let (engine, q, subspaces) = setup();
+        let before = engine.distance_evals();
+        batch_od(&engine, &q, 5, &subspaces[..4], Some(17), 1);
+        // 4 subspace ODs over 499 non-excluded points each.
+        assert_eq!(engine.distance_evals() - before, 4 * 499);
     }
 }

@@ -1,0 +1,271 @@
+//! Per-query distance cache: the `n x d` pre-distance matrix.
+//!
+//! The dynamic subspace search (paper §3.3) evaluates the OD of one
+//! query point in up to `2^d - 1` subspaces. An uncached engine
+//! re-reads every raw coordinate and recomputes every per-dimension
+//! delta for each of those evaluations, so the same `|q_j - p_j|` is
+//! computed up to `2^(d-1)` times. [`QueryContext`] computes each
+//! per-dimension *pre-distance term* (`|q_j - p_j|` for L1/L∞, the
+//! squared delta for L2, the `p`-th power for Lp) exactly once per
+//! `(point, dimension)` pair; every subsequent subspace OD is then a
+//! subset-combine over cached columns plus bounded top-k selection —
+//! no raw coordinate is touched again.
+//!
+//! Exactness: the cached terms are precisely what
+//! [`Metric::pre_dist_sub`] folds over, combined in the same ascending
+//! dimension order with the same floating-point operations, so cached
+//! ODs are **bit-identical** to uncached [`LinearScan`] ODs — not just
+//! close. The equivalence property test in `tests/properties.rs` pins
+//! this across all metrics and entire lattices.
+//!
+//! Engines opt in through [`crate::knn::KnnEngine::query_context`];
+//! [`crate::batch::batch_od`] and `hos-core`'s `dynamic_search` use
+//! the cache transparently whenever the engine provides one.
+//!
+//! [`LinearScan`]: crate::linear::LinearScan
+
+use crate::knn::Neighbor;
+use crate::topk::TopK;
+use hos_data::{Dataset, Metric, PointId, Subspace};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// The cached `n x d` pre-distance matrix of one query point.
+///
+/// Column-major: all `n` per-point terms of one dimension are
+/// contiguous, so a subspace combine streams `|s|` cache-friendly
+/// columns instead of `n` strided rows.
+///
+/// ```
+/// use hos_data::{Dataset, Metric, Subspace};
+/// use hos_index::{KnnEngine, LinearScan, QueryContext};
+///
+/// let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![9.0, 9.0]]).unwrap();
+/// let engine = LinearScan::new(ds, Metric::L2);
+/// let query = [0.0, 0.0];
+/// let ctx = engine.query_context(&query).expect("linear scan caches");
+/// let s = Subspace::full(2);
+/// // Cached OD is exactly the engine's OD:
+/// assert_eq!(ctx.od(2, s, None), engine.od(&query, 2, s, None));
+/// ```
+pub struct QueryContext<'a> {
+    metric: Metric,
+    n: usize,
+    /// `cols[j * n + i]` = pre-distance term of point `i` in dim `j`.
+    cols: Vec<f64>,
+    /// The owning engine's distance-evaluation counter, so cached OD
+    /// work stays visible to the efficiency experiments.
+    evals: Option<&'a AtomicU64>,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Computes the pre-distance matrix for `query` against `dataset`:
+    /// one pass over the raw coordinates, `n * d` stored terms.
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from `dataset.dim()`.
+    pub fn build(dataset: &Dataset, metric: Metric, query: &[f64]) -> QueryContext<'a> {
+        let n = dataset.len();
+        let d = dataset.dim();
+        assert_eq!(query.len(), d, "query arity mismatch");
+        let flat = dataset.as_flat();
+        let mut cols = vec![0.0f64; n * d];
+        for (j, &q) in query.iter().enumerate() {
+            let col = &mut cols[j * n..(j + 1) * n];
+            for (i, slot) in col.iter_mut().enumerate() {
+                let gap = (q - flat[i * d + j]).abs();
+                *slot = metric.accumulate(0.0, gap);
+            }
+        }
+        QueryContext {
+            metric,
+            n,
+            cols,
+            evals: None,
+        }
+    }
+
+    /// Attaches an engine's distance counter: every subsequent OD /
+    /// k-NN call adds its logical point-distance count there.
+    pub(crate) fn with_counter(mut self, evals: &'a AtomicU64) -> QueryContext<'a> {
+        self.evals = Some(evals);
+        self
+    }
+
+    /// Number of points in the cached matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cached dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The metric the terms were computed under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Folds one cached column term into a running accumulator —
+    /// the cached analogue of [`Metric::accumulate`].
+    #[inline]
+    fn combine(&self, acc: f64, term: f64) -> f64 {
+        match self.metric {
+            Metric::LInf => acc.max(term),
+            _ => acc + term,
+        }
+    }
+
+    /// Pre-metric distance of point `i` in subspace `s`, from cache.
+    #[inline]
+    pub fn pre_dist(&self, i: PointId, s: Subspace) -> f64 {
+        let mut acc = 0.0f64;
+        for j in s.dims() {
+            acc = self.combine(acc, self.cols[j * self.n + i]);
+        }
+        acc
+    }
+
+    /// The `k` nearest neighbours of the query in subspace `s`,
+    /// ascending by distance, ties broken on ascending id — the same
+    /// contract (and the same values) as the uncached engine.
+    pub fn knn(&self, k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor> {
+        let mut top = self.select(k, s, exclude);
+        top.drain(..)
+            .map(|c| Neighbor {
+                id: c.id,
+                dist: self.metric.finish(c.pre),
+            })
+            .collect()
+    }
+
+    /// The outlying degree of the query in `s`: the sum of distances
+    /// to its `k` nearest neighbours (paper §2), entirely from cache.
+    pub fn od(&self, k: usize, s: Subspace, exclude: Option<PointId>) -> f64 {
+        self.select(k, s, exclude)
+            .iter()
+            .map(|c| self.metric.finish(c.pre))
+            .sum()
+    }
+
+    fn select(
+        &self,
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<crate::topk::Candidate> {
+        if k == 0 || self.n == 0 {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k);
+        let mut count = 0u64;
+        for i in 0..self.n {
+            if Some(i) == exclude {
+                continue;
+            }
+            count += 1;
+            top.offer(self.pre_dist(i, s), i);
+        }
+        if let Some(evals) = self.evals {
+            evals.fetch_add(count, AtomicOrdering::Relaxed);
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnEngine;
+    use crate::linear::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        Dataset::from_flat(flat, d).unwrap()
+    }
+
+    #[test]
+    fn od_bit_identical_to_linear_scan_across_lattice() {
+        let d = 5;
+        let ds = random_dataset(80, d, 3);
+        for metric in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            let engine = LinearScan::new(ds.clone(), metric);
+            let q: Vec<f64> = ds.row(7).to_vec();
+            let ctx = QueryContext::build(&ds, metric, &q);
+            for s in Subspace::all_nonempty(d) {
+                let cached = ctx.od(4, s, Some(7));
+                let direct = engine.od(&q, 4, s, Some(7));
+                assert_eq!(cached, direct, "{metric:?} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan_exactly() {
+        let d = 4;
+        let ds = random_dataset(60, d, 9);
+        let engine = LinearScan::new(ds.clone(), Metric::L2);
+        let q: Vec<f64> = ds.row(0).to_vec();
+        let ctx = QueryContext::build(&ds, Metric::L2, &q);
+        for s in Subspace::all_nonempty(d) {
+            let a = ctx.knn(5, s, None);
+            let b = engine.knn(&q, 5, s, None);
+            assert_eq!(a, b, "{s}");
+        }
+    }
+
+    #[test]
+    fn empty_subspace_gives_zero_od() {
+        let ds = random_dataset(10, 3, 1);
+        let ctx = QueryContext::build(&ds, Metric::L2, &[0.0, 0.0, 0.0]);
+        assert_eq!(ctx.od(3, Subspace::empty(), None), 0.0);
+    }
+
+    #[test]
+    fn exclusion_and_k_edge_cases() {
+        let ds = random_dataset(5, 2, 2);
+        let q: Vec<f64> = ds.row(1).to_vec();
+        let ctx = QueryContext::build(&ds, Metric::L1, &q);
+        let s = Subspace::full(2);
+        assert!(ctx.knn(0, s, None).is_empty());
+        let nn = ctx.knn(99, s, Some(1));
+        assert_eq!(nn.len(), 4);
+        assert!(nn.iter().all(|n| n.id != 1));
+        // Self-inclusion: distance zero to itself, id 1 first.
+        let with_self = ctx.knn(1, s, None);
+        assert_eq!(with_self[0].id, 1);
+        assert_eq!(with_self[0].dist, 0.0);
+    }
+
+    #[test]
+    fn counter_attribution() {
+        let ds = random_dataset(10, 3, 4);
+        let q: Vec<f64> = ds.row(0).to_vec();
+        let evals = AtomicU64::new(0);
+        let ctx = QueryContext::build(&ds, Metric::L2, &q).with_counter(&evals);
+        ctx.od(3, Subspace::full(3), None);
+        assert_eq!(evals.load(AtomicOrdering::Relaxed), 10);
+        ctx.od(3, Subspace::full(3), Some(0));
+        assert_eq!(evals.load(AtomicOrdering::Relaxed), 19);
+    }
+
+    #[test]
+    fn engine_hands_out_contexts_that_count() {
+        let ds = random_dataset(12, 3, 5);
+        let engine = LinearScan::new(ds.clone(), Metric::L2);
+        let q: Vec<f64> = ds.row(2).to_vec();
+        let ctx = engine.query_context(&q).expect("linear scan caches");
+        ctx.od(3, Subspace::full(3), Some(2));
+        assert_eq!(engine.distance_evals(), 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let ds = random_dataset(4, 3, 6);
+        let _ = QueryContext::build(&ds, Metric::L2, &[0.0, 0.0]);
+    }
+}

@@ -1,5 +1,6 @@
 //! The k-NN engine abstraction used by every search layer.
 
+use crate::context::QueryContext;
 use hos_data::{Dataset, Metric, PointId, Subspace};
 
 /// One neighbour returned by a query: the point and its distance to
@@ -31,13 +32,17 @@ pub trait KnnEngine: Send + Sync {
     /// Returns fewer than `k` neighbours only when the dataset (minus
     /// the exclusion) holds fewer than `k` points. An empty subspace
     /// yields distance `0` to every point.
-    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>)
-        -> Vec<Neighbor>;
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor>;
 
     /// Every point within `radius` of `query` in subspace `s`
     /// (inclusive), in arbitrary order.
-    fn range(&self, query: &[f64], radius: f64, s: Subspace, exclude: Option<PointId>)
-        -> Vec<Neighbor>;
+    fn range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor>;
 
     /// The outlying degree of `query` in `s`: the sum of distances to
     /// its `k` nearest neighbours (paper §2).
@@ -49,6 +54,21 @@ pub trait KnnEngine: Send + Sync {
     /// engine counts them (used by the efficiency experiments).
     fn distance_evals(&self) -> u64 {
         0
+    }
+
+    /// A per-query distance cache over this engine's dataset, when the
+    /// engine supports one (see [`QueryContext`]). Batch evaluators
+    /// ([`crate::batch::batch_od`], `hos-core`'s `dynamic_search`) use
+    /// it transparently: one `n x d` pre-distance pass per query point
+    /// replaces per-subspace raw-coordinate scans.
+    ///
+    /// The default is `None`: engines with their own pruning structure
+    /// (X-tree, VA-file) answer each query through that structure, and
+    /// a full-matrix cache would bypass exactly what makes them worth
+    /// benchmarking.
+    fn query_context<'a>(&'a self, query: &[f64]) -> Option<QueryContext<'a>> {
+        let _ = query;
+        None
     }
 }
 
@@ -72,7 +92,9 @@ impl std::str::FromStr for Engine {
             "linear" | "scan" => Ok(Engine::Linear),
             "xtree" | "x-tree" => Ok(Engine::XTree),
             "vafile" | "va-file" | "va" => Ok(Engine::VaFile),
-            other => Err(format!("unknown engine {other:?} (expected linear|xtree|vafile)")),
+            other => Err(format!(
+                "unknown engine {other:?} (expected linear|xtree|vafile)"
+            )),
         }
     }
 }
@@ -88,11 +110,7 @@ impl std::fmt::Display for Engine {
 }
 
 /// Builds the chosen engine over a dataset.
-pub fn build_engine(
-    engine: Engine,
-    dataset: Dataset,
-    metric: Metric,
-) -> Box<dyn KnnEngine> {
+pub fn build_engine(engine: Engine, dataset: Dataset, metric: Metric) -> Box<dyn KnnEngine> {
     match engine {
         Engine::Linear => Box::new(crate::linear::LinearScan::new(dataset, metric)),
         Engine::XTree => Box::new(crate::xtree::XTree::build(

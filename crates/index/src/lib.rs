@@ -21,15 +21,22 @@
 //!   the classic scan-based competitor to hierarchical indexes in
 //!   high dimensionality, included so experiment E7 covers both index
 //!   philosophies.
+//! * [`context`] — the per-query distance cache: one `n x d`
+//!   pre-distance matrix per query point turns every subspace OD into
+//!   a subset-combine over cached columns (no raw coordinate reads).
 //! * [`batch`] — multi-threaded batch OD evaluation over subspaces
-//!   (crossbeam scoped threads).
+//!   (crossbeam scoped threads), cache-accelerated when the engine
+//!   provides a [`context::QueryContext`].
 
 pub mod batch;
+pub mod context;
 pub mod knn;
 pub mod linear;
+mod topk;
 pub mod vafile;
 pub mod xtree;
 
+pub use context::QueryContext;
 pub use knn::{Engine, KnnEngine, Neighbor};
 pub use linear::LinearScan;
 pub use vafile::{VaFile, VaFileConfig};

@@ -6,43 +6,11 @@
 //! crossover), and it doubles as the correctness oracle for the
 //! X-tree.
 
+use crate::context::QueryContext;
 use crate::knn::{KnnEngine, Neighbor};
+use crate::topk::TopK;
 use hos_data::{Dataset, Metric, PointId, Subspace};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-
-/// Heap entry ordered by pre-metric distance (max-heap: the worst
-/// current neighbour sits on top, ready to be evicted).
-#[derive(Clone, Copy, Debug)]
-struct HeapEntry {
-    pre: f64,
-    id: PointId,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.pre == other.pre && self.id == other.id
-    }
-}
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Distances are finite by Dataset validation; tie-break on id
-        // for determinism.
-        self.pre
-            .partial_cmp(&other.pre)
-            .expect("finite distances")
-            .then_with(|| self.id.cmp(&other.id))
-    }
-}
 
 /// Brute-force exact k-NN engine.
 ///
@@ -67,7 +35,11 @@ pub struct LinearScan {
 impl LinearScan {
     /// Wraps a dataset; no preprocessing needed.
     pub fn new(dataset: Dataset, metric: Metric) -> Self {
-        LinearScan { dataset, metric, evals: AtomicU64::new(0) }
+        LinearScan {
+            dataset,
+            metric,
+            evals: AtomicU64::new(0),
+        }
     }
 }
 
@@ -80,43 +52,30 @@ impl KnnEngine for LinearScan {
         self.metric
     }
 
-    fn knn(
-        &self,
-        query: &[f64],
-        k: usize,
-        s: Subspace,
-        exclude: Option<PointId>,
-    ) -> Vec<Neighbor> {
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor> {
         if k == 0 || self.dataset.is_empty() {
             return Vec::new();
         }
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut top = TopK::new(k);
         let mut count = 0u64;
         for (id, row) in self.dataset.iter() {
             if Some(id) == exclude {
                 continue;
             }
-            let pre = self.metric.pre_dist_sub(query, row, s);
             count += 1;
-            if heap.len() < k {
-                heap.push(HeapEntry { pre, id });
-            } else if let Some(top) = heap.peek() {
-                if pre < top.pre {
-                    heap.pop();
-                    heap.push(HeapEntry { pre, id });
-                }
-            }
+            top.offer(self.metric.pre_dist_sub(query, row, s), id);
         }
         self.evals.fetch_add(count, AtomicOrdering::Relaxed);
-        let mut out: Vec<Neighbor> = heap
-            .into_sorted_vec()
+        // TopK::into_sorted is already ascending by (pre, id), and
+        // Metric::finish is monotone, so the result needs no re-sort;
+        // `knn_result_is_sorted_by_distance_then_id` pins the contract.
+        top.into_sorted()
             .into_iter()
-            .map(|e| Neighbor { id: e.id, dist: self.metric.finish(e.pre) })
-            .collect();
-        // into_sorted_vec gives ascending order already; keep explicit
-        // sort semantics stable against future heap changes.
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
-        out
+            .map(|c| Neighbor {
+                id: c.id,
+                dist: self.metric.finish(c.pre),
+            })
+            .collect()
     }
 
     fn range(
@@ -144,6 +103,10 @@ impl KnnEngine for LinearScan {
 
     fn distance_evals(&self) -> u64 {
         self.evals.load(AtomicOrdering::Relaxed)
+    }
+
+    fn query_context<'a>(&'a self, query: &[f64]) -> Option<QueryContext<'a>> {
+        Some(QueryContext::build(&self.dataset, self.metric, query).with_counter(&self.evals))
     }
 }
 
@@ -246,14 +209,44 @@ mod tests {
     }
 
     #[test]
+    fn knn_result_is_sorted_by_distance_then_id() {
+        // Regression test for the sorted-order contract: the heap's
+        // into_sorted output is returned directly (the old redundant
+        // re-sort is gone), so pin that the result really is ascending
+        // by distance with ties broken on ascending id — across
+        // metrics, subspaces and exclusions on adversarial tie-heavy
+        // data.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 4) as f64, (i % 3) as f64, (i % 5) as f64])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+            let e = LinearScan::new(ds.clone(), metric);
+            for s in [
+                Subspace::full(3),
+                Subspace::from_dims(&[0]),
+                Subspace::from_dims(&[1, 2]),
+            ] {
+                for exclude in [None, Some(0)] {
+                    let nn = e.knn(&[1.0, 1.0, 1.0], 15, s, exclude);
+                    assert_eq!(nn.len(), 15);
+                    for w in nn.windows(2) {
+                        assert!(
+                            w[0].dist < w[1].dist || (w[0].dist == w[1].dist && w[0].id < w[1].id),
+                            "unsorted pair {:?} then {:?} ({metric:?}, {s})",
+                            w[0],
+                            w[1]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_ties_break_by_id() {
         // Points 1 and 2 are equidistant from the query under L1.
-        let ds = Dataset::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![-1.0],
-        ])
-        .unwrap();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![-1.0]]).unwrap();
         let e = LinearScan::new(ds, Metric::L1);
         let nn = e.knn(&[0.0], 3, Subspace::full(1), None);
         assert_eq!(nn[0].id, 0);

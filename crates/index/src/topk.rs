@@ -1,0 +1,157 @@
+//! Bounded top-k selection over pre-metric distances, shared by the
+//! engines ([`crate::linear::LinearScan`]) and the query-context cache
+//! ([`crate::context::QueryContext`]).
+//!
+//! A max-heap of capacity `k` keeps the *worst* current candidate on
+//! top, ready to be evicted; ties break on ascending point id so every
+//! consumer is deterministic. `into_sorted` returns candidates in
+//! ascending `(pre, id)` order — `BinaryHeap::into_sorted_vec` already
+//! yields exactly that, so no re-sort is ever needed.
+
+use hos_data::PointId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One candidate: pre-metric distance plus point id.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Candidate {
+    pub pre: f64,
+    pub id: PointId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.pre == other.pre && self.id == other.id
+    }
+}
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Distances are finite by Dataset validation; tie-break on id
+        // for determinism.
+        self.pre
+            .partial_cmp(&other.pre)
+            .expect("finite distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Keeps the `k` smallest `(pre, id)` candidates seen so far.
+pub(crate) struct TopK {
+    k: usize,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one candidate; keeps it only if it beats the current
+    /// worst (or the heap is not yet full). Eviction compares the
+    /// full `(pre, id)` order, so the kept set — and the tie-break —
+    /// is independent of the order candidates are offered in (VaFile
+    /// offers in lower-bound order, not id order).
+    #[inline]
+    pub fn offer(&mut self, pre: f64, id: PointId) {
+        let cand = Candidate { pre, id };
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(top) = self.heap.peek() {
+            if cand < *top {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// Whether the heap holds its full `k` candidates.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The worst kept pre-distance (the current kth best), if any —
+    /// the filter bound for engines that can skip candidates.
+    #[inline]
+    pub fn worst(&self) -> Option<f64> {
+        self.heap.peek().map(|c| c.pre)
+    }
+
+    /// The kept candidates in ascending `(pre, id)` order.
+    ///
+    /// `BinaryHeap::into_sorted_vec` returns ascending order under the
+    /// heap's own `Ord`, which is exactly `(pre, id)`: no further sort
+    /// is needed, and [`crate::linear`]'s regression test pins this.
+    pub fn into_sorted(self) -> Vec<Candidate> {
+        self.heap.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_in_ascending_order() {
+        let mut t = TopK::new(3);
+        for (pre, id) in [(5.0, 0), (1.0, 1), (4.0, 2), (0.5, 3), (2.0, 4)] {
+            t.offer(pre, id);
+        }
+        let out = t.into_sorted();
+        let pairs: Vec<(f64, usize)> = out.iter().map(|c| (c.pre, c.id)).collect();
+        assert_eq!(pairs, vec![(0.5, 3), (1.0, 1), (2.0, 4)]);
+    }
+
+    #[test]
+    fn ties_break_on_ascending_id() {
+        let mut t = TopK::new(4);
+        for id in [3usize, 0, 2, 1] {
+            t.offer(7.0, id);
+        }
+        let ids: Vec<usize> = t.into_sorted().iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut t = TopK::new(10);
+        t.offer(2.0, 0);
+        t.offer(1.0, 1);
+        assert_eq!(t.into_sorted().len(), 2);
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut t = TopK::new(0);
+        t.offer(1.0, 0);
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn equal_pre_keeps_smaller_id_regardless_of_offer_order() {
+        // Ties resolve to the smaller id whether it arrives first
+        // (LinearScan/QueryContext offer in id order) or last (VaFile
+        // offers in lower-bound order): the kept set depends only on
+        // the candidates, not their sequence.
+        for ids in [[0usize, 1], [1, 0]] {
+            let mut t = TopK::new(1);
+            for id in ids {
+                t.offer(3.0, id);
+            }
+            let out = t.into_sorted();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].id, 0, "offer order {ids:?}");
+        }
+    }
+}

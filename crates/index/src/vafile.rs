@@ -20,9 +20,8 @@
 //! accumulated only over the masked dimensions.
 
 use crate::knn::{KnnEngine, Neighbor};
+use crate::topk::TopK;
 use hos_data::{Dataset, Metric, PointId, Subspace};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// VA-file construction parameters.
@@ -67,8 +66,9 @@ impl VaFile {
             let span = (hi - lo).max(f64::MIN_POSITIVE);
             // Equi-width marks; the last mark is nudged up so the max
             // value falls in the top cell, not past it.
-            let mut m: Vec<f64> =
-                (0..=cells).map(|i| lo + span * i as f64 / cells as f64).collect();
+            let mut m: Vec<f64> = (0..=cells)
+                .map(|i| lo + span * i as f64 / cells as f64)
+                .collect();
             let last = m.len() - 1;
             m[last] = hi + span * 1e-9;
             marks.push(m);
@@ -79,7 +79,14 @@ impl VaFile {
                 approx[i * d + c] = cell_of(&marks[c], v, cells) as u8;
             }
         }
-        VaFile { dataset, metric, marks, approx, cells, evals: AtomicU64::new(0) }
+        VaFile {
+            dataset,
+            metric,
+            marks,
+            approx,
+            cells,
+            evals: AtomicU64::new(0),
+        }
     }
 
     /// Number of quantisation cells per dimension.
@@ -121,27 +128,6 @@ fn cell_of(marks: &[f64], v: f64, cells: usize) -> usize {
     }
 }
 
-/// Max-heap entry for the k-best candidate set.
-#[derive(PartialEq)]
-struct Cand {
-    pre: f64,
-    id: PointId,
-}
-impl Eq for Cand {}
-impl PartialOrd for Cand {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Cand {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.pre
-            .partial_cmp(&other.pre)
-            .expect("finite")
-            .then(self.id.cmp(&other.id))
-    }
-}
-
 impl KnnEngine for VaFile {
     fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -151,13 +137,7 @@ impl KnnEngine for VaFile {
         self.metric
     }
 
-    fn knn(
-        &self,
-        query: &[f64],
-        k: usize,
-        s: Subspace,
-        exclude: Option<PointId>,
-    ) -> Vec<Neighbor> {
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor> {
         let n = self.dataset.len();
         if k == 0 || n == 0 {
             return Vec::new();
@@ -165,47 +145,38 @@ impl KnnEngine for VaFile {
         // Phase 1: filter on approximation bounds. Track the kth
         // smallest *upper* bound seen; anything with a lower bound
         // beyond it is out.
-        let mut upper_heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        let mut upper = TopK::new(k);
         let mut survivors: Vec<(f64, PointId)> = Vec::new();
         for i in 0..n {
             if Some(i) == exclude {
                 continue;
             }
             let (lo, hi) = self.bounds(query, i, s);
-            if upper_heap.len() < k {
-                upper_heap.push(Cand { pre: hi, id: i });
-            } else if hi < upper_heap.peek().expect("k > 0").pre {
-                upper_heap.pop();
-                upper_heap.push(Cand { pre: hi, id: i });
-            }
+            upper.offer(hi, i);
             survivors.push((lo, i));
         }
-        let kth_upper = upper_heap.peek().map(|c| c.pre).unwrap_or(f64::INFINITY);
+        let kth_upper = upper.worst().unwrap_or(f64::INFINITY);
         survivors.retain(|&(lo, _)| lo <= kth_upper);
         // Phase 2: refine in ascending lower-bound order.
         survivors.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
-        let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        let mut best = TopK::new(k);
         let mut evals = 0u64;
         for &(lo, i) in &survivors {
-            if best.len() == k && lo > best.peek().expect("k > 0").pre {
+            if best.is_full() && best.worst().is_some_and(|w| lo > w) {
                 break;
             }
             let pre = self.metric.pre_dist_sub(query, self.dataset.row(i), s);
             evals += 1;
-            if best.len() < k {
-                best.push(Cand { pre, id: i });
-            } else if pre < best.peek().expect("k > 0").pre {
-                best.pop();
-                best.push(Cand { pre, id: i });
-            }
+            best.offer(pre, i);
         }
         self.evals.fetch_add(evals, AtomicOrdering::Relaxed);
-        let mut out: Vec<Neighbor> = best
+        best.into_sorted()
             .into_iter()
-            .map(|c| Neighbor { id: c.id, dist: self.metric.finish(c.pre) })
-            .collect();
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
-        out
+            .map(|c| Neighbor {
+                id: c.id,
+                dist: self.metric.finish(c.pre),
+            })
+            .collect()
     }
 
     fn range(
@@ -297,7 +268,10 @@ mod tests {
                 let b = lin.knn(&q, 5, s, None);
                 assert_eq!(a.len(), b.len());
                 for (x, y) in a.iter().zip(&b) {
-                    assert!((x.dist - y.dist).abs() < 1e-9, "{metric:?} {s}: {x:?} vs {y:?}");
+                    assert!(
+                        (x.dist - y.dist).abs() < 1e-9,
+                        "{metric:?} {s}: {x:?} vs {y:?}"
+                    );
                 }
             }
         }
@@ -310,8 +284,16 @@ mod tests {
         let lin = LinearScan::new(ds, Metric::L2);
         let q = [0.0, 0.0, 0.0, 0.0];
         for radius in [10.0, 40.0, 120.0] {
-            let mut a: Vec<_> = va.range(&q, radius, Subspace::full(4), Some(5)).iter().map(|n| n.id).collect();
-            let mut b: Vec<_> = lin.range(&q, radius, Subspace::full(4), Some(5)).iter().map(|n| n.id).collect();
+            let mut a: Vec<_> = va
+                .range(&q, radius, Subspace::full(4), Some(5))
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let mut b: Vec<_> = lin
+                .range(&q, radius, Subspace::full(4), Some(5))
+                .iter()
+                .map(|n| n.id)
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "radius {radius}");

@@ -13,12 +13,18 @@ impl Mbr {
     /// An "inverted" MBR that is the identity for [`Mbr::merge`]:
     /// every `include_*` call shrinks it onto real data.
     pub fn unset(d: usize) -> Self {
-        Mbr { lo: vec![f64::INFINITY; d], hi: vec![f64::NEG_INFINITY; d] }
+        Mbr {
+            lo: vec![f64::INFINITY; d],
+            hi: vec![f64::NEG_INFINITY; d],
+        }
     }
 
     /// The degenerate MBR of a single point.
     pub fn of_point(row: &[f64]) -> Self {
-        Mbr { lo: row.to_vec(), hi: row.to_vec() }
+        Mbr {
+            lo: row.to_vec(),
+            hi: row.to_vec(),
+        }
     }
 
     /// Builds an MBR from explicit bounds.
@@ -112,7 +118,11 @@ impl Mbr {
         if self.is_unset() {
             return 0.0;
         }
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).sum()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .sum()
     }
 
     /// Volume of the intersection with another MBR.
@@ -257,7 +267,11 @@ mod tests {
         let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 2.0]);
         let q = [3.0, -1.0];
         for metric in [Metric::L1, Metric::L2, Metric::LInf] {
-            for s in [Subspace::full(2), Subspace::from_dims(&[0]), Subspace::from_dims(&[1])] {
+            for s in [
+                Subspace::full(2),
+                Subspace::from_dims(&[0]),
+                Subspace::from_dims(&[1]),
+            ] {
                 let lb = a.mindist_pre(&q, s, metric);
                 // Check against the actual closest corner/edge point.
                 let closest = [q[0].clamp(0.0, 1.0), q[1].clamp(0.0, 2.0)];
@@ -272,7 +286,10 @@ mod tests {
         let a = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
         let q = [5.0, 0.5];
         // Restricted to dim 1, the query is inside the projection.
-        assert_eq!(a.mindist_pre(&q, Subspace::from_dims(&[1]), Metric::L2), 0.0);
+        assert_eq!(
+            a.mindist_pre(&q, Subspace::from_dims(&[1]), Metric::L2),
+            0.0
+        );
         assert!(a.mindist_pre(&q, Subspace::from_dims(&[0]), Metric::L2) > 0.0);
     }
 }

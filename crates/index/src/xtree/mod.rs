@@ -102,7 +102,10 @@ impl XTree {
             "min_fill_frac must be in [0.1, 0.5]"
         );
         let d = dataset.dim();
-        let root_node = Node::Leaf { points: Vec::new(), mbr: Mbr::unset(d.max(1)) };
+        let root_node = Node::Leaf {
+            points: Vec::new(),
+            mbr: Mbr::unset(d.max(1)),
+        };
         let mut tree = XTree {
             dataset,
             metric,
@@ -137,7 +140,10 @@ impl XTree {
         };
         let n = tree.dataset.len();
         if n == 0 {
-            tree.nodes.push(Node::Leaf { points: Vec::new(), mbr: Mbr::unset(d.max(1)) });
+            tree.nodes.push(Node::Leaf {
+                points: Vec::new(),
+                mbr: Mbr::unset(d.max(1)),
+            });
             tree.root = 0;
             return tree;
         }
@@ -168,12 +174,14 @@ impl XTree {
                 }
             }
             let id = self.nodes.len();
-            self.nodes.push(Node::Leaf { points: ids.to_vec(), mbr });
+            self.nodes.push(Node::Leaf {
+                points: ids.to_vec(),
+                mbr,
+            });
             return id;
         }
         // Capacity of one child subtree.
-        let child_capacity =
-            self.cfg.max_leaf * self.cfg.max_dir.pow(height as u32 - 2);
+        let child_capacity = self.cfg.max_leaf * self.cfg.max_dir.pow(height as u32 - 2);
         // Split along the dimension of widest spread.
         let mut best_dim = 0;
         let mut best_span = -1.0f64;
@@ -226,7 +234,10 @@ impl XTree {
 
     /// Structural statistics of the built tree.
     pub fn stats(&self) -> XTreeStats {
-        let mut s = XTreeStats { nodes: self.nodes.len(), ..Default::default() };
+        let mut s = XTreeStats {
+            nodes: self.nodes.len(),
+            ..Default::default()
+        };
         for n in &self.nodes {
             match n {
                 Node::Leaf { .. } => s.leaves += 1,
@@ -246,7 +257,11 @@ impl XTree {
         match &self.nodes[id] {
             Node::Leaf { .. } => 1,
             Node::Dir { children, .. } => {
-                1 + children.iter().map(|&c| self.height_of(c)).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(|&c| self.height_of(c))
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -312,9 +327,9 @@ impl XTree {
                         children.push(new_right);
                     }
                     let (len, capacity) = match &self.nodes[id] {
-                        Node::Dir { children, blocks, .. } => {
-                            (children.len(), blocks * self.cfg.max_dir)
-                        }
+                        Node::Dir {
+                            children, blocks, ..
+                        } => (children.len(), blocks * self.cfg.max_dir),
                         _ => unreachable!(),
                     };
                     if len > capacity {
@@ -331,16 +346,25 @@ impl XTree {
             Node::Leaf { points, mbr } => (points.clone(), mbr.dim()),
             _ => unreachable!("split_leaf on a directory node"),
         };
-        let mbrs: Vec<Mbr> = points.iter().map(|&p| Mbr::of_point(self.dataset.row(p))).collect();
+        let mbrs: Vec<Mbr> = points
+            .iter()
+            .map(|&p| Mbr::of_point(self.dataset.row(p)))
+            .collect();
         let min_fill = self.min_fill(self.cfg.max_leaf);
         let r = split::topological_split(&mbrs, min_fill, 0);
         let left_pts: Vec<PointId> = r.left.iter().map(|&i| points[i]).collect();
         let right_pts: Vec<PointId> = r.right.iter().map(|&i| points[i]).collect();
         debug_assert_eq!(left_pts.len() + right_pts.len(), points.len());
         let _ = d;
-        self.nodes[id] = Node::Leaf { points: left_pts, mbr: r.left_mbr };
+        self.nodes[id] = Node::Leaf {
+            points: left_pts,
+            mbr: r.left_mbr,
+        };
         let right_id = self.nodes.len();
-        self.nodes.push(Node::Leaf { points: right_pts, mbr: r.right_mbr });
+        self.nodes.push(Node::Leaf {
+            points: right_pts,
+            mbr: r.right_mbr,
+        });
         right_id
     }
 
@@ -348,12 +372,18 @@ impl XTree {
     /// much, upgrades it to a supernode (returns `None`).
     fn split_dir(&mut self, id: NodeId) -> Option<NodeId> {
         let (children, history, blocks) = match &self.nodes[id] {
-            Node::Dir { children, split_history, blocks, .. } => {
-                (children.clone(), *split_history, *blocks)
-            }
+            Node::Dir {
+                children,
+                split_history,
+                blocks,
+                ..
+            } => (children.clone(), *split_history, *blocks),
             _ => unreachable!("split_dir on a leaf"),
         };
-        let mbrs: Vec<Mbr> = children.iter().map(|&c| self.nodes[c].mbr().clone()).collect();
+        let mbrs: Vec<Mbr> = children
+            .iter()
+            .map(|&c| self.nodes[c].mbr().clone())
+            .collect();
         let min_fill = self.min_fill(self.cfg.max_dir);
         let r = split::topological_split(&mbrs, min_fill, history);
         if r.overlap_ratio > self.cfg.max_overlap && blocks < self.cfg.max_blocks {
@@ -453,13 +483,7 @@ impl KnnEngine for XTree {
         self.metric
     }
 
-    fn knn(
-        &self,
-        query: &[f64],
-        k: usize,
-        s: Subspace,
-        exclude: Option<PointId>,
-    ) -> Vec<Neighbor> {
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor> {
         if k == 0 || self.dataset.is_empty() {
             return Vec::new();
         }
@@ -469,7 +493,11 @@ impl KnnEngine for XTree {
         // Min-heap of frontier nodes by MINDIST.
         let mut frontier: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
         frontier.push(Reverse((
-            OrdF64(self.nodes[self.root].mbr().mindist_pre(query, s, self.metric)),
+            OrdF64(
+                self.nodes[self.root]
+                    .mbr()
+                    .mindist_pre(query, s, self.metric),
+            ),
             self.root,
         )));
         while let Some(Reverse((OrdF64(mind), id))) = frontier.pop() {
@@ -512,9 +540,17 @@ impl KnnEngine for XTree {
         self.evals.fetch_add(evals, AtomicOrdering::Relaxed);
         let mut out: Vec<Neighbor> = best
             .into_iter()
-            .map(|(OrdF64(pre), id)| Neighbor { id, dist: self.metric.finish(pre) })
+            .map(|(OrdF64(pre), id)| Neighbor {
+                id,
+                dist: self.metric.finish(pre),
+            })
             .collect();
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
+        out.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
+        });
         out
     }
 
@@ -664,7 +700,11 @@ mod tests {
         for s in [Subspace::full(4), Subspace::from_dims(&[1, 3])] {
             for radius in [5.0, 20.0, 60.0] {
                 let mut a: Vec<_> = t.range(&q, radius, s, None).iter().map(|n| n.id).collect();
-                let mut b: Vec<_> = lin.range(&q, radius, s, None).iter().map(|n| n.id).collect();
+                let mut b: Vec<_> = lin
+                    .range(&q, radius, s, None)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "radius {radius} subspace {s}");
@@ -757,7 +797,10 @@ mod tests {
         let _ = XTree::build(
             Dataset::empty(),
             Metric::L2,
-            XTreeConfig { max_leaf: 1, ..XTreeConfig::default() },
+            XTreeConfig {
+                max_leaf: 1,
+                ..XTreeConfig::default()
+            },
         );
     }
 }

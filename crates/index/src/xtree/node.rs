@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let leaf = Node::Leaf { points: vec![1, 2], mbr: Mbr::of_point(&[0.0]) };
+        let leaf = Node::Leaf {
+            points: vec![1, 2],
+            mbr: Mbr::of_point(&[0.0]),
+        };
         assert!(leaf.is_leaf());
         assert!(!leaf.is_supernode());
         assert_eq!(leaf.len(), 2);

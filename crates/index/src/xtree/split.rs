@@ -50,7 +50,10 @@ fn group_mbr(mbrs: &[Mbr], idxs: &[usize]) -> Mbr {
 pub fn topological_split(mbrs: &[Mbr], min_fill: usize, preferred_axes: u64) -> SplitResult {
     assert!(min_fill >= 1, "min_fill must be positive");
     let n = mbrs.len();
-    assert!(n >= 2 * min_fill, "cannot split {n} entries with min_fill {min_fill}");
+    assert!(
+        n >= 2 * min_fill,
+        "cannot split {n} entries with min_fill {min_fill}"
+    );
     let d = mbrs[0].dim();
 
     // Pre-sort index permutations per axis by (lo, hi).
@@ -62,7 +65,11 @@ pub fn topological_split(mbrs: &[Mbr], min_fill: usize, preferred_axes: u64) -> 
             mbrs[a].lo()[axis]
                 .partial_cmp(&mbrs[b].lo()[axis])
                 .expect("finite")
-                .then(mbrs[a].hi()[axis].partial_cmp(&mbrs[b].hi()[axis]).expect("finite"))
+                .then(
+                    mbrs[a].hi()[axis]
+                        .partial_cmp(&mbrs[b].hi()[axis])
+                        .expect("finite"),
+                )
         });
         // Margin sum over all legal distributions along this axis.
         let mut margin_sum = 0.0;
@@ -125,7 +132,10 @@ mod tests {
     use super::*;
 
     fn boxes(points: &[(f64, f64)]) -> Vec<Mbr> {
-        points.iter().map(|&(x, y)| Mbr::of_point(&[x, y])).collect()
+        points
+            .iter()
+            .map(|&(x, y)| Mbr::of_point(&[x, y]))
+            .collect()
     }
 
     #[test]
@@ -158,7 +168,14 @@ mod tests {
 
     #[test]
     fn partition_is_exact_cover() {
-        let mbrs = boxes(&[(3.0, 1.0), (1.0, 4.0), (2.0, 2.0), (8.0, 0.0), (0.0, 9.0), (5.0, 5.0)]);
+        let mbrs = boxes(&[
+            (3.0, 1.0),
+            (1.0, 4.0),
+            (2.0, 2.0),
+            (8.0, 0.0),
+            (0.0, 9.0),
+            (5.0, 5.0),
+        ]);
         let r = topological_split(&mbrs, 2, 0);
         let mut all: Vec<usize> = r.left.iter().chain(r.right.iter()).copied().collect();
         all.sort_unstable();

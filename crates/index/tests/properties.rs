@@ -2,7 +2,7 @@
 //! brute-force oracle on arbitrary data, metrics, subspaces and k.
 
 use hos_data::{Dataset, Metric, Subspace};
-use hos_index::{KnnEngine, LinearScan, VaFile, VaFileConfig, XTree, XTreeConfig};
+use hos_index::{KnnEngine, LinearScan, QueryContext, VaFile, VaFileConfig, XTree, XTreeConfig};
 use proptest::prelude::*;
 
 const D: usize = 5;
@@ -76,6 +76,44 @@ proptest! {
             prop_assert!((x.dist - y.dist).abs() < 1e-9,
                 "bits={} {} vs {} in {}", bits, x.dist, y.dist, s);
         }
+    }
+
+    /// The query-context cache is indistinguishable from the uncached
+    /// scan: for arbitrary data, queries, metrics and k, the cached OD
+    /// agrees with `LinearScan::od` to 1e-12 (they are in fact
+    /// bit-identical) over EVERY subspace of the lattice, with and
+    /// without self-exclusion.
+    #[test]
+    fn query_context_od_equals_uncached_scan(ds in arb_dataset(),
+                                             q in prop::collection::vec(-60.0f64..60.0, D),
+                                             k in 1usize..10,
+                                             metric in arb_metric()) {
+        let lin = LinearScan::new(ds.clone(), metric);
+        let ctx = QueryContext::build(&ds, metric, &q);
+        for s in Subspace::all_nonempty(D) {
+            let cached = ctx.od(k, s, None);
+            let direct = lin.od(&q, k, s, None);
+            prop_assert!((cached - direct).abs() <= 1e-12,
+                "cached {} vs direct {} in {} ({:?})", cached, direct, s, metric);
+            let cached_ex = ctx.od(k, s, Some(0));
+            let direct_ex = lin.od(&q, k, s, Some(0));
+            prop_assert!((cached_ex - direct_ex).abs() <= 1e-12,
+                "excluded: cached {} vs direct {} in {}", cached_ex, direct_ex, s);
+        }
+    }
+
+    /// The cached k-NN lists match the engine's exactly: same ids,
+    /// same distances, same order.
+    #[test]
+    fn query_context_knn_equals_uncached_scan(ds in arb_dataset(),
+                                              q in prop::collection::vec(-60.0f64..60.0, D),
+                                              k in 1usize..8,
+                                              mask in 1u64..(1 << D),
+                                              metric in arb_metric()) {
+        let s = Subspace::from_mask(mask);
+        let lin = LinearScan::new(ds.clone(), metric);
+        let ctx = lin.query_context(&q).expect("linear scan provides a context");
+        prop_assert_eq!(ctx.knn(k, s, None), lin.knn(&q, k, s, None));
     }
 
     /// OD is monotone under subspace inclusion regardless of engine —

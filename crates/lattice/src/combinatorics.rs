@@ -47,7 +47,7 @@ pub fn usf(m: usize, d: usize) -> f64 {
         return 0.0;
     }
     let r = d - m; // number of addable dimensions
-    // Σ C(r,i)(m+i) = m(2^r - 1) + r·2^(r-1)
+                   // Σ C(r,i)(m+i) = m(2^r - 1) + r·2^(r-1)
     let rf = r as f64;
     let mf = m as f64;
     mf * (2f64.powi(r as i32) - 1.0) + rf * 2f64.powi(r as i32 - 1)
@@ -103,7 +103,9 @@ mod tests {
     fn usf_closed_form_equals_sum() {
         for d in 1..=16 {
             for m in 0..=d {
-                let direct: f64 = (1..=d - m).map(|i| binomial(d - m, i) * (m + i) as f64).sum();
+                let direct: f64 = (1..=d - m)
+                    .map(|i| binomial(d - m, i) * (m + i) as f64)
+                    .sum();
                 assert_eq!(usf(m, d), direct, "m={m} d={d}");
             }
         }

@@ -226,7 +226,10 @@ mod tests {
         assert_eq!(l.remaining_at(3), 4);
         assert_eq!(l.remaining_at(4), 1);
         assert!(!l.is_complete());
-        assert_eq!(l.state(Subspace::from_dims(&[0, 1])), SubspaceState::Unevaluated);
+        assert_eq!(
+            l.state(Subspace::from_dims(&[0, 1])),
+            SubspaceState::Unevaluated
+        );
     }
 
     #[test]
@@ -244,11 +247,20 @@ mod tests {
         let s = Subspace::from_dims(&[0, 1, 2]);
         let pruned = l.prune_down(s);
         assert_eq!(pruned, 6); // 2^3 - 2 strict non-empty subsets
-        assert_eq!(l.state(Subspace::from_dims(&[0])), SubspaceState::PrunedNonOutlier);
-        assert_eq!(l.state(Subspace::from_dims(&[0, 2])), SubspaceState::PrunedNonOutlier);
+        assert_eq!(
+            l.state(Subspace::from_dims(&[0])),
+            SubspaceState::PrunedNonOutlier
+        );
+        assert_eq!(
+            l.state(Subspace::from_dims(&[0, 2])),
+            SubspaceState::PrunedNonOutlier
+        );
         // s itself untouched, unrelated subspaces untouched.
         assert_eq!(l.state(s), SubspaceState::Unevaluated);
-        assert_eq!(l.state(Subspace::from_dims(&[3])), SubspaceState::Unevaluated);
+        assert_eq!(
+            l.state(Subspace::from_dims(&[3])),
+            SubspaceState::Unevaluated
+        );
     }
 
     #[test]
@@ -257,10 +269,16 @@ mod tests {
         let s = Subspace::from_dims(&[1]);
         let pruned = l.prune_up(s);
         assert_eq!(pruned, 7); // supersets of {1} in 4 dims, minus s itself
-        assert_eq!(l.state(Subspace::from_dims(&[1, 3])), SubspaceState::PrunedOutlier);
+        assert_eq!(
+            l.state(Subspace::from_dims(&[1, 3])),
+            SubspaceState::PrunedOutlier
+        );
         assert_eq!(l.state(Subspace::full(4)), SubspaceState::PrunedOutlier);
         assert_eq!(l.state(s), SubspaceState::Unevaluated);
-        assert_eq!(l.state(Subspace::from_dims(&[0])), SubspaceState::Unevaluated);
+        assert_eq!(
+            l.state(Subspace::from_dims(&[0])),
+            SubspaceState::Unevaluated
+        );
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl TsfComputer {
             c_down[m] = c_down_total(m, d);
             c_up[m] = c_up_total(m, d);
         }
-        TsfComputer { d, dsf: dsf_v, usf: usf_v, c_down, c_up }
+        TsfComputer {
+            d,
+            dsf: dsf_v,
+            usf: usf_v,
+            c_down,
+            c_up,
+        }
     }
 
     /// Dimensionality this computer was built for.

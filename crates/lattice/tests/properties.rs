@@ -32,7 +32,9 @@ struct Model {
 
 impl Model {
     fn new() -> Self {
-        Model { states: vec![SubspaceState::Unevaluated; 1 << D] }
+        Model {
+            states: vec![SubspaceState::Unevaluated; 1 << D],
+        }
     }
 
     fn apply(&mut self, op: &Op) {

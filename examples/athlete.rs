@@ -21,13 +21,18 @@ use hos_miner::data::{Dataset, DatasetBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const METRICS: [&str; 6] =
-    ["sprint_s", "endurance_km", "strength_kg", "recovery_h", "agility", "accuracy"];
+const METRICS: [&str; 6] = [
+    "sprint_s",
+    "endurance_km",
+    "strength_kg",
+    "recovery_h",
+    "agility",
+    "accuracy",
+];
 
 fn squad(seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = DatasetBuilder::new()
-        .with_names(METRICS.iter().map(|s| s.to_string()).collect());
+    let mut b = DatasetBuilder::new().with_names(METRICS.iter().map(|s| s.to_string()).collect());
     for _ in 0..240 {
         // Endurance and recovery are physiologically coupled: athletes
         // with more endurance volume need proportionally more recovery.
@@ -64,13 +69,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         zdata,
         HosMinerConfig {
             k: 6,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 240 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 240,
+            },
             sample_size: 20,
             ..HosMinerConfig::default()
         },
     )?;
 
-    println!("squad of {} athletes, metrics: {:?}\n", data.len() - 1, METRICS);
+    println!(
+        "squad of {} athletes, metrics: {:?}\n",
+        data.len() - 1,
+        METRICS
+    );
     let mut profile = Table::new(vec!["metric", "athlete", "squad mean", "squad std"]);
     for (c, name) in METRICS.iter().enumerate() {
         let col: Vec<f64> = data.column(c).take(data.len() - 1).collect();

@@ -13,7 +13,7 @@
 //! ```
 
 use hos_miner::baselines::evolutionary::EvolutionarySearch;
-use hos_miner::baselines::{exhaustive_search, lof, knn_outlier, EvoConfig, ExhaustiveMode};
+use hos_miner::baselines::{exhaustive_search, knn_outlier, lof, EvoConfig, ExhaustiveMode};
 use hos_miner::core::od::OdMode;
 use hos_miner::core::{HosMiner, HosMinerConfig, ThresholdPolicy};
 use hos_miner::data::synth::planted::{generate, PlantedSpec};
@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         w.dataset.clone(),
         HosMinerConfig {
             k: 5,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 200,
+            },
             sample_size: 20,
             ..HosMinerConfig::default()
         },
@@ -73,7 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let es = EvolutionarySearch::fit(
         &w.dataset,
-        EvoConfig { phi: 8, cube_dim: 2, population: 80, generations: 50, best_m: 12, seed: 1, ..EvoConfig::default() },
+        EvoConfig {
+            phi: 8,
+            cube_dim: 2,
+            population: 80,
+            generations: 50,
+            best_m: 12,
+            seed: 1,
+            ..EvoConfig::default()
+        },
     );
     let cubes = es.run();
     let evo_spaces = es.outlying_subspaces_of(&cubes, w.dataset.row(query_id));
@@ -88,11 +99,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if v.is_empty() {
             "(none)".into()
         } else {
-            v.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
         }
     };
 
-    let mut table = Table::new(vec!["method", "answer about point", "OD/space evals", "time"]);
+    let mut table = Table::new(vec![
+        "method",
+        "answer about point",
+        "OD/space evals",
+        "time",
+    ]);
     table.push(vec![
         "HOS-Miner (dynamic)".to_string(),
         format!("minimal outlying: {}", fmt_spaces(&hos.minimal)),

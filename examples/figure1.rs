@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fig.dataset.clone(),
         HosMinerConfig {
             k,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.98,
+                sample: 200,
+            },
             sample_size: 15,
             ..HosMinerConfig::default()
         },

@@ -23,9 +23,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const LABS: [&str; 8] = [
-    "hemoglobin", "hematocrit", // tightly coupled (~3:1 ratio)
-    "sodium", "chloride",       // coupled electrolytes
-    "glucose", "creatinine", "wbc", "platelets",
+    "hemoglobin",
+    "hematocrit", // tightly coupled (~3:1 ratio)
+    "sodium",
+    "chloride", // coupled electrolytes
+    "glucose",
+    "creatinine",
+    "wbc",
+    "platelets",
 ];
 
 /// A cohort of healthy-ish patients with realistic couplings.
@@ -70,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         z,
         HosMinerConfig {
             k: 6,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.99, sample: 300 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.99,
+                sample: 300,
+            },
             sample_size: 20,
             ..HosMinerConfig::default()
         },
@@ -82,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LABS.len()
     );
     let report = scan_outliers(&miner, 8)?;
-    let mut table = Table::new(vec!["patient", "full-space OD", "abnormal lab combination(s)"]);
+    let mut table = Table::new(vec![
+        "patient",
+        "full-space OD",
+        "abnormal lab combination(s)",
+    ]);
     for hit in &report.hits {
         let label = match hit.id {
             id if id == a => "A (planted: glucose)".to_string(),
@@ -99,7 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 names.join("+")
             })
             .collect();
-        table.push(vec![label, format!("{:.2}", hit.full_od), combos.join("  ")]);
+        table.push(vec![
+            label,
+            format!("{:.2}", hit.full_od),
+            combos.join("  "),
+        ]);
     }
     println!("{}", table.render());
     println!(

@@ -40,16 +40,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    full-space OD, and run the sampling-based learning process.
     let config = HosMinerConfig {
         k: 5,
-        threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+        threshold: ThresholdPolicy::FullSpaceQuantile {
+            q: 0.95,
+            sample: 200,
+        },
         sample_size: 20,
         ..HosMinerConfig::default()
     };
     let miner = HosMiner::fit(workload.dataset.clone(), config)?;
-    println!("threshold T = {:.3} (95th pct of full-space OD)", miner.threshold());
+    println!(
+        "threshold T = {:.3} (95th pct of full-space OD)",
+        miner.threshold()
+    );
 
     // 3. Query every planted outlier and one background point.
     let mut table = Table::new(vec![
-        "point", "planted", "minimal outlying subspaces", "OD evals", "lattice", "pruned",
+        "point",
+        "planted",
+        "minimal outlying subspaces",
+        "OD evals",
+        "lattice",
+        "pruned",
     ]);
     let mut queries: Vec<(usize, String)> = workload
         .outliers
@@ -63,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let minimal = if out.minimal.is_empty() {
             "(none — not an outlier)".to_string()
         } else {
-            out.minimal.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
+            out.minimal
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
         };
         table.push(vec![
             format!("#{id}"),

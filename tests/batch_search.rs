@@ -1,0 +1,138 @@
+//! Batch-search determinism: the multi-threaded multi-query front-end
+//! must be indistinguishable from running every query serially — same
+//! answer sets, same minimal frontiers, and the same `SearchStats`
+//! evaluation accounting (everything except wall-clock seconds).
+
+use hos_miner::core::batch::{batch_search, BatchQuery};
+use hos_miner::core::priors::Priors;
+use hos_miner::core::search::{dynamic_search, SearchOutcome};
+use hos_miner::core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_miner::data::{Dataset, Metric};
+use hos_miner::index::{KnnEngine, LinearScan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 6;
+
+fn dataset(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flat: Vec<f64> = (0..n * D).map(|_| rng.gen_range(0.0..10.0)).collect();
+    // Two planted outliers: one along dim 0, one along dims {2,4}.
+    flat.extend([90.0, 5.0, 5.0, 5.0, 5.0, 5.0]);
+    flat.extend([5.0, 5.0, 70.0, 5.0, 70.0, 5.0]);
+    Dataset::from_flat(flat, D).unwrap()
+}
+
+fn assert_outcome_eq(a: &SearchOutcome, b: &SearchOutcome, what: &str) {
+    assert_eq!(a.outlying, b.outlying, "{what}: answer sets differ");
+    assert_eq!(
+        a.stats.od_evals, b.stats.od_evals,
+        "{what}: od_evals differ"
+    );
+    assert_eq!(a.stats.pruned_outlier, b.stats.pruned_outlier, "{what}");
+    assert_eq!(
+        a.stats.pruned_non_outlier, b.stats.pruned_non_outlier,
+        "{what}"
+    );
+    assert_eq!(a.stats.rounds, b.stats.rounds, "{what}: rounds differ");
+    assert_eq!(a.stats.lattice_size, b.stats.lattice_size, "{what}");
+    assert_eq!(
+        a.level_eval_stats, b.level_eval_stats,
+        "{what}: eval stats differ"
+    );
+    assert_eq!(a.level_outlier_fraction, b.level_outlier_fraction, "{what}");
+}
+
+#[test]
+fn batch_search_deterministic_across_thread_counts() {
+    let ds = dataset(5, 150);
+    let n = ds.len();
+    let engine = LinearScan::new(ds, Metric::L2);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .step_by(7)
+        .map(|i| engine.dataset().row(i).to_vec())
+        .collect();
+    let queries: Vec<BatchQuery<'_>> = rows
+        .iter()
+        .zip((0..n).step_by(7))
+        .map(|(r, id)| BatchQuery {
+            point: r,
+            exclude: Some(id),
+        })
+        .collect();
+    let priors = Priors::uniform(D);
+
+    let serial = batch_search(&engine, &queries, 4, 25.0, &priors, 1);
+    for threads in [2, 3, 8, 64] {
+        let parallel = batch_search(&engine, &queries, 4, 25.0, &priors, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_outcome_eq(a, b, &format!("query {i} with {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn batch_search_matches_standalone_dynamic_search() {
+    let ds = dataset(9, 120);
+    let n = ds.len();
+    let engine = LinearScan::new(ds, Metric::L1);
+    let priors = Priors::uniform(D);
+    let rows: Vec<Vec<f64>> = vec![
+        engine.dataset().row(n - 2).to_vec(), // planted outlier
+        engine.dataset().row(0).to_vec(),     // background
+    ];
+    let queries = [
+        BatchQuery {
+            point: &rows[0],
+            exclude: Some(n - 2),
+        },
+        BatchQuery {
+            point: &rows[1],
+            exclude: Some(0),
+        },
+    ];
+    let batch = batch_search(&engine, &queries, 5, 30.0, &priors, 4);
+    for (q, got) in queries.iter().zip(&batch) {
+        let solo = dynamic_search(&engine, q.point, q.exclude, 5, 30.0, &priors, 1);
+        assert_outcome_eq(got, &solo, "batch vs standalone");
+    }
+    assert!(!batch[0].outlying.is_empty(), "planted outlier not found");
+}
+
+#[test]
+fn miner_batch_apis_agree_with_single_query_apis() {
+    let miner = HosMiner::fit(
+        dataset(13, 200),
+        HosMinerConfig {
+            k: 4,
+            threshold: ThresholdPolicy::Fixed(25.0),
+            metric: Metric::L2,
+            sample_size: 0,
+            threads: 4,
+            ..HosMinerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let ids: Vec<usize> = vec![200, 201, 0, 11, 42];
+    let batch = miner.query_ids(&ids).unwrap();
+    for (&id, got) in ids.iter().zip(&batch) {
+        let solo = miner.query_id(id).unwrap();
+        assert_eq!(got.outlying, solo.outlying, "point {id}");
+        assert_eq!(got.minimal, solo.minimal, "point {id}");
+        assert_eq!(got.stats.od_evals, solo.stats.od_evals, "point {id}");
+    }
+    // The planted outliers are outlying; the background points vary
+    // but must agree with the single-query API (checked above).
+    assert!(batch[0].is_outlier());
+    assert!(batch[1].is_outlier());
+
+    let points = vec![vec![1e3; D], vec![5.0; D]];
+    let by_batch = miner.query_points(&points).unwrap();
+    for (p, got) in points.iter().zip(&by_batch) {
+        let solo = miner.query_point(p).unwrap();
+        assert_eq!(got.outlying, solo.outlying);
+        assert_eq!(got.minimal, solo.minimal);
+    }
+}

@@ -40,14 +40,23 @@ fn dynamic_search_equals_exhaustive_oracle() {
             w.dataset.clone(),
             HosMinerConfig {
                 k: 5,
-                threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 150 },
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.9,
+                    sample: 150,
+                },
                 engine,
                 sample_size: 8,
                 ..HosMinerConfig::default()
             },
         )
         .unwrap();
-        for &(id, _) in w.outliers.iter().map(|o| (o.id, o.subspace)).collect::<Vec<_>>().iter() {
+        for &(id, _) in w
+            .outliers
+            .iter()
+            .map(|o| (o.id, o.subspace))
+            .collect::<Vec<_>>()
+            .iter()
+        {
             let got = miner.query_id(id).unwrap();
             let row: Vec<f64> = w.dataset.row(id).to_vec();
             let oracle = exhaustive_search(
@@ -75,7 +84,10 @@ fn planted_targets_covered() {
         w.dataset.clone(),
         HosMinerConfig {
             k: 5,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 200,
+            },
             sample_size: 12,
             ..HosMinerConfig::default()
         },
@@ -104,8 +116,13 @@ fn planted_targets_covered() {
             targets_hit += 1;
         }
     }
-    assert!(targets_hit >= 2, "only {targets_hit}/3 planted targets detected");
-    let clean = (0..50).filter(|&i| !miner.query_id(i).unwrap().is_outlier()).count();
+    assert!(
+        targets_hit >= 2,
+        "only {targets_hit}/3 planted targets detected"
+    );
+    let clean = (0..50)
+        .filter(|&i| !miner.query_id(i).unwrap().is_outlier())
+        .count();
     assert!(clean >= 45, "only {clean}/50 background points clean");
 }
 
@@ -114,12 +131,15 @@ fn planted_targets_covered() {
 #[test]
 fn member_queries_exclude_self() {
     let w = planted(13, 6);
-    let miner = HosMiner::fit(w.dataset.clone(), HosMinerConfig {
-        k: 3,
-        threshold: ThresholdPolicy::Fixed(5.0),
-        sample_size: 0,
-        ..HosMinerConfig::default()
-    })
+    let miner = HosMiner::fit(
+        w.dataset.clone(),
+        HosMinerConfig {
+            k: 3,
+            threshold: ThresholdPolicy::Fixed(5.0),
+            sample_size: 0,
+            ..HosMinerConfig::default()
+        },
+    )
     .unwrap();
     let o = &w.outliers[0];
     // By id: detected (neighbours are real background points).
@@ -137,12 +157,18 @@ fn member_queries_exclude_self() {
 fn normalized_pipeline_with_external_query() {
     let ds = uniform(400, 5, 0.0, 100.0, 3).unwrap();
     let (z, norm) = normalize(&ds, NormKind::ZScore).unwrap();
-    let miner = HosMiner::fit(z, HosMinerConfig {
-        k: 4,
-        threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 100 },
-        sample_size: 5,
-        ..HosMinerConfig::default()
-    })
+    let miner = HosMiner::fit(
+        z,
+        HosMinerConfig {
+            k: 4,
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.9,
+                sample: 100,
+            },
+            sample_size: 5,
+            ..HosMinerConfig::default()
+        },
+    )
     .unwrap();
     // A far-out raw-space query, mapped through the fitted transform.
     let raw_query = vec![500.0, 50.0, 50.0, 50.0, 50.0];
@@ -165,12 +191,18 @@ fn figure1_pipeline() {
         seed: 42,
     })
     .unwrap();
-    let miner = HosMiner::fit(fig.dataset.clone(), HosMinerConfig {
-        k: 5,
-        threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.98, sample: 200 },
-        sample_size: 10,
-        ..HosMinerConfig::default()
-    })
+    let miner = HosMiner::fit(
+        fig.dataset.clone(),
+        HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.98,
+                sample: 200,
+            },
+            sample_size: 10,
+            ..HosMinerConfig::default()
+        },
+    )
     .unwrap();
     let out = miner.query_point(&fig.query).unwrap();
     assert_eq!(out.minimal, fig.outlying_views, "minimal {:?}", out.minimal);
@@ -181,13 +213,19 @@ fn figure1_pipeline() {
 fn all_metrics_agree_with_their_own_oracle() {
     let w = planted(21, 6);
     for metric in [Metric::L1, Metric::L2, Metric::LInf] {
-        let miner = HosMiner::fit(w.dataset.clone(), HosMinerConfig {
-            k: 4,
-            metric,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.9, sample: 100 },
-            sample_size: 6,
-            ..HosMinerConfig::default()
-        })
+        let miner = HosMiner::fit(
+            w.dataset.clone(),
+            HosMinerConfig {
+                k: 4,
+                metric,
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.9,
+                    sample: 100,
+                },
+                sample_size: 6,
+                ..HosMinerConfig::default()
+            },
+        )
         .unwrap();
         let id = w.outliers[0].id;
         let got = miner.query_id(id).unwrap();
@@ -223,5 +261,8 @@ fn csv_roundtrip_preserves_results() {
     let a = HosMiner::fit(w.dataset.clone(), cfg).unwrap();
     let b = HosMiner::fit(back, cfg).unwrap();
     let id = w.outliers[0].id;
-    assert_eq!(a.query_id(id).unwrap().minimal, b.query_id(id).unwrap().minimal);
+    assert_eq!(
+        a.query_id(id).unwrap().minimal,
+        b.query_id(id).unwrap().minimal
+    );
 }

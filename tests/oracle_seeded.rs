@@ -1,0 +1,100 @@
+//! Seeded oracle sweep: across many seeds and dimensionalities
+//! `d ∈ 4..=8`, the dynamic TSF-ordered search must return *exactly*
+//! the subspaces a brute-force enumeration of the whole lattice
+//! returns — for every metric, with and without self-exclusion, with
+//! the cached-projection fast path engaged (LinearScan provides a
+//! `QueryContext`, so `dynamic_search` runs entirely on the cache).
+//!
+//! This complements `oracle_property.rs` (random-strategy based,
+//! fixed d): fixed seeds over a d-range give reproducible coverage of
+//! every lattice size from 15 to 255 subspaces.
+
+use hos_miner::core::priors::Priors;
+use hos_miner::core::search::dynamic_search;
+use hos_miner::data::{Dataset, Metric, Subspace};
+use hos_miner::index::{KnnEngine, LinearScan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dataset(rng: &mut StdRng, n: usize, d: usize) -> Dataset {
+    let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-20.0..20.0)).collect();
+    Dataset::from_flat(flat, d).unwrap()
+}
+
+/// Ground truth by exhaustive enumeration: every non-empty subspace,
+/// one uncached OD each.
+fn exhaustive(
+    engine: &dyn KnnEngine,
+    q: &[f64],
+    k: usize,
+    t: f64,
+    ex: Option<usize>,
+) -> Vec<Subspace> {
+    Subspace::all_nonempty(engine.dataset().dim())
+        .filter(|&s| engine.od(q, k, s, ex) >= t)
+        .collect()
+}
+
+#[test]
+fn dynamic_search_equals_exhaustive_over_seeds_and_dims() {
+    let metrics = [Metric::L1, Metric::L2, Metric::LInf];
+    for d in 4..=8 {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + d as u64);
+            let n = rng.gen_range(20..80);
+            let ds = random_dataset(&mut rng, n, d);
+            let metric = metrics[(seed as usize + d) % metrics.len()];
+            let engine = LinearScan::new(ds, metric);
+            let k = rng.gen_range(1..5usize);
+            let t = rng.gen_range(1.0..50.0);
+            // Half the cases query a member (self-excluded), half an
+            // external point.
+            let (q, ex): (Vec<f64>, Option<usize>) = if seed % 2 == 0 {
+                let id = rng.gen_range(0..n);
+                (engine.dataset().row(id).to_vec(), Some(id))
+            } else {
+                ((0..d).map(|_| rng.gen_range(-25.0..25.0)).collect(), None)
+            };
+
+            let out = dynamic_search(&engine, &q, ex, k, t, &Priors::uniform(d), 1);
+            let mut got = out.subspaces();
+            got.sort_by_key(|s| s.mask());
+            let mut expected = exhaustive(&engine, &q, k, t, ex);
+            expected.sort_by_key(|s| s.mask());
+            assert_eq!(
+                got, expected,
+                "divergence at d={d} seed={seed} metric={metric:?} k={k} T={t}"
+            );
+
+            // The cost accounting must always partition the lattice.
+            let s = &out.stats;
+            assert_eq!(
+                s.od_evals + s.pruned_outlier + s.pruned_non_outlier,
+                s.lattice_size,
+                "accounting hole at d={d} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_search_never_evaluates_more_than_the_lattice() {
+    // Adversarial thresholds (everything outlying / nothing outlying):
+    // pruning must close the lattice in one or two rounds.
+    for d in 4..=8 {
+        let mut rng = StdRng::seed_from_u64(77 + d as u64);
+        let ds = random_dataset(&mut rng, 40, d);
+        let engine = LinearScan::new(ds, Metric::L2);
+        let q: Vec<f64> = engine.dataset().row(0).to_vec();
+        let priors = Priors::uniform(d);
+        for t in [1e-9, 1e9] {
+            let out = dynamic_search(&engine, &q, Some(0), 3, t, &priors, 1);
+            assert!(out.stats.od_evals <= out.stats.lattice_size);
+            if t > 1.0 {
+                assert!(out.outlying.is_empty());
+            } else {
+                assert_eq!(out.outlying.len() as u64, out.stats.lattice_size);
+            }
+        }
+    }
+}

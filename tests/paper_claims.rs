@@ -65,10 +65,18 @@ fn dsf_usf_worked_example() {
 #[test]
 fn filter_worked_example() {
     let parse = |s: &str| -> Subspace { s.parse().unwrap() };
-    let input: Vec<Subspace> = ["[1,3]", "[2,4]", "[1,2,3]", "[1,2,4]", "[1,3,4]", "[2,3,4]", "[1,2,3,4]"]
-        .iter()
-        .map(|s| parse(s))
-        .collect();
+    let input: Vec<Subspace> = [
+        "[1,3]",
+        "[2,4]",
+        "[1,2,3]",
+        "[1,2,4]",
+        "[1,3,4]",
+        "[2,3,4]",
+        "[1,2,3,4]",
+    ]
+    .iter()
+    .map(|s| parse(s))
+    .collect();
     let minimal = minimal_subspaces(&input);
     assert_eq!(minimal, vec![parse("[1,3]"), parse("[2,4]")]);
 }
@@ -139,7 +147,10 @@ fn downward_pruning_soundness() {
         let s1 = Subspace::from_mask(mask);
         if e.od(&q, 4, s1, None) < t {
             for s2 in s1.strict_subsets() {
-                assert!(e.od(&q, 4, s2, None) < t, "{s2} violates Property 1 under {s1}");
+                assert!(
+                    e.od(&q, 4, s2, None) < t,
+                    "{s2} violates Property 1 under {s1}"
+                );
             }
             break;
         }
@@ -151,8 +162,9 @@ fn downward_pruning_soundness() {
 fn upward_pruning_soundness() {
     let mut rng = StdRng::seed_from_u64(43);
     let d = 5;
-    let mut rows: Vec<Vec<f64>> =
-        (0..150).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+    let mut rows: Vec<Vec<f64>> = (0..150)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
     rows.push(vec![9.0, 0.5, 0.5, 0.5, 0.5]);
     let ds = Dataset::from_rows(&rows).unwrap();
     let e = LinearScan::new(ds, Metric::L2);

@@ -19,7 +19,10 @@ fn readme_quickstart() -> Result<(), Box<dyn std::error::Error>> {
         data,
         HosMinerConfig {
             k: 5,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 200,
+            },
             ..HosMinerConfig::default()
         },
     )?;
@@ -27,5 +30,11 @@ fn readme_quickstart() -> Result<(), Box<dyn std::error::Error>> {
     let result = miner.query_id(200)?;
     assert_eq!(result.minimal, vec![Subspace::from_dims(&[0, 1])]);
     assert_eq!(result.minimal[0].to_string(), "[1,2]");
+
+    // README "Batch queries" section: the batch API answers like the
+    // single-query API, in input order.
+    let outcomes = miner.query_ids(&[200, 7, 57])?;
+    assert_eq!(outcomes[0].minimal, vec![Subspace::from_dims(&[0, 1])]);
+    assert!(!outcomes[1].is_outlier());
     Ok(())
 }

@@ -96,13 +96,27 @@ fn one_dimensional_data() {
 fn huge_coordinate_magnitudes() {
     // 1e12-scale coordinates: pre-metric accumulation must not
     // overflow into inf (1e12 squared = 1e24, well within f64).
-    let rows: Vec<Vec<f64>> =
-        (0..30).map(|i| vec![1e12 + i as f64 * 1e9, -1e12 + i as f64 * 1e9]).collect();
+    let rows: Vec<Vec<f64>> = (0..30)
+        .map(|i| vec![1e12 + i as f64 * 1e9, -1e12 + i as f64 * 1e9])
+        .collect();
     let ds = Dataset::from_rows(&rows).unwrap();
     for (name, e) in [
-        ("linear", Box::new(LinearScan::new(ds.clone(), Metric::L2)) as Box<dyn KnnEngine>),
-        ("xtree", Box::new(XTree::build(ds.clone(), Metric::L2, XTreeConfig::default()))),
-        ("vafile", Box::new(VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default()))),
+        (
+            "linear",
+            Box::new(LinearScan::new(ds.clone(), Metric::L2)) as Box<dyn KnnEngine>,
+        ),
+        (
+            "xtree",
+            Box::new(XTree::build(ds.clone(), Metric::L2, XTreeConfig::default())),
+        ),
+        (
+            "vafile",
+            Box::new(VaFile::build(
+                ds.clone(),
+                Metric::L2,
+                VaFileConfig::default(),
+            )),
+        ),
     ] {
         let nn = e.knn(ds.row(0), 3, Subspace::full(2), Some(0));
         assert_eq!(nn.len(), 3, "{name}");
@@ -191,7 +205,10 @@ fn heavy_tailed_marginals_end_to_end() {
     use hos_miner::data::synth::skewed::{mixed_marginals, ColumnDist};
     let cols = [
         ColumnDist::Exponential { lambda: 1.0 },
-        ColumnDist::LogNormal { mu: 0.0, sigma: 0.8 },
+        ColumnDist::LogNormal {
+            mu: 0.0,
+            sigma: 0.8,
+        },
         ColumnDist::Normal { mean: 0.0, sd: 1.0 },
         ColumnDist::Uniform { lo: 0.0, hi: 1.0 },
     ];
@@ -200,7 +217,10 @@ fn heavy_tailed_marginals_end_to_end() {
         ds.clone(),
         HosMinerConfig {
             k: 5,
-            threshold: ThresholdPolicy::FullSpaceQuantile { q: 0.95, sample: 200 },
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 200,
+            },
             sample_size: 8,
             ..HosMinerConfig::default()
         },

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple but honest measurement
+//! loop: warm-up, then `sample_size` timed samples whose per-iteration
+//! median, min and max are reported to stdout.
+//!
+//! No statistics engine, no plotting, no saved baselines. When run as
+//! `cargo test` (bench targets default to `test = false` in this
+//! workspace) nothing executes; `cargo bench` runs the real loop.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// How much setup output to batch per timed run (shape-compatible;
+/// the stub times one routine call per sample regardless).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    #[default]
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2];
+        let min = ns[0];
+        let max = ns[ns.len() - 1];
+        println!(
+            "{label:<40} median {}   [min {}, max {}]   ({} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// The top-level harness object.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with criterion's generated main.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// A standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F, N>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        N: std::fmt::Display,
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (report is emitted eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut b = Bencher::new(3);
+        let mut made = 0u32;
+        b.iter_batched(
+            || {
+                made += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(made, 4);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("h", 7), &7usize, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("xtree", 12).to_string(), "xtree/12");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crossbeam` crate: the `scope` API only,
+//! implemented over `std::thread::scope` (which did not exist when
+//! crossbeam's scoped threads were designed, and subsumes them today).
+//!
+//! Semantics difference vs. real crossbeam: a panicking child thread
+//! propagates the panic out of [`scope`] (std behaviour) instead of
+//! being captured into the returned `Result`. Every call site in this
+//! workspace `.expect`s the result, so the observable behaviour — test
+//! failure with the child's panic message — is identical.
+
+use std::any::Any;
+
+/// Spawns scoped threads that may borrow from the caller's stack.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// A scope handle; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread bound to the scope. The closure receives the
+    /// scope (crossbeam's signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle for a scoped thread; mirrors crossbeam's.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// `crossbeam::thread` module alias, matching the real layout.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(3) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let out = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,598 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use:
+//! range strategies, `Just`, tuples, `prop::collection::vec`,
+//! `.prop_map`, `prop_oneof!`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from real proptest, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   (via `Debug`) and the deterministic case seed, but is not
+//!   minimised.
+//! * **Deterministic seeding.** Cases derive from a fixed global seed
+//!   hashed with the test's module path and name, so failures
+//!   reproduce across runs and machines. Set `PROPTEST_SEED` to an
+//!   integer to explore a different stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    /// Rejection or failure raised inside a test case body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip this case, draw another.
+        Reject(String),
+        /// `prop_assert!` failed: abort the whole test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Runner configuration (the `cases` subset).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for a pass.
+        pub cases: u32,
+        /// Maximum `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values for property tests. Object safe; no
+    /// shrinking machinery.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates from `self`, then from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                pred,
+                whence,
+            }
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_flat_map` combinator.
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// `prop_filter` combinator.
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) pred: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 consecutive values",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Element-count specification for [`vec`]: fixed or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` facade module, mirroring real proptest's layout.
+pub mod prop {
+    pub use super::collection;
+    pub use super::strategy;
+}
+
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::TestCaseError;
+    pub use super::ProptestConfig;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Derives the per-test base seed: fixed default (or `PROPTEST_SEED`)
+/// hashed with the test's identity so distinct tests explore distinct
+/// streams but each is reproducible.
+pub fn base_seed(test_ident: &str) -> u64 {
+    let global: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x484f_535f_4d49_4e45); // "HOS_MINE"
+    let mut h: u64 = 0xcbf29ce484222325 ^ global;
+    for b in test_ident.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Builds the RNG for one case.
+pub fn case_rng(test_ident: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base_seed(test_ident).wrapping_add(case as u64))
+}
+
+/// Uniform choice among strategies (boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!("{} (at {}:{})", format!($($fmt)*), file!(), line!()),
+                ),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The property-test declaration macro. Parses an optional
+/// `#![proptest_config(...)]` header followed by test functions whose
+/// parameters are `[mut] name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let ident = concat!(module_path!(), "::", stringify!($name));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while passed < config.cases {
+                let mut rng = $crate::case_rng(ident, case);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(rng, $body, $($params)*);
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "{ident}: too many prop_assume! rejections \
+                                 ({rejected}) before {} cases passed",
+                                config.cases
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "{ident}: property failed on case {case} \
+                             (seed {}): {msg}",
+                            $crate::base_seed(ident).wrapping_add(case as u64),
+                            msg = msg
+                        );
+                    }
+                }
+                case += 1;
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block) => { $body };
+    ($rng:ident, $body:block, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?)
+    };
+    ($rng:ident, $body:block, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+        Gray(f64),
+    }
+
+    fn arb_color() -> impl Strategy<Value = Color> {
+        prop_oneof![
+            Just(Color::Red),
+            Just(Color::Green),
+            (0.0f64..1.0).prop_map(Color::Gray),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10, m in 3u64..=9) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((3..=9).contains(&m));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u8..10, 4), w in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((2..6).contains(&w.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_map(c in arb_color(), pair in (0u8..4, 10u8..14)) {
+            match c {
+                Color::Red | Color::Green => {}
+                Color::Gray(g) => prop_assert!((0.0..1.0).contains(&g)),
+            }
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "only even values reach here, got {}", n);
+        }
+
+        #[test]
+        fn mut_binding_works(mut v in prop::collection::vec(0i32..100, 1..20)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        let a = crate::base_seed("mod::test_a");
+        let b = crate::base_seed("mod::test_a");
+        let c = crate::base_seed("mod::test_b");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
