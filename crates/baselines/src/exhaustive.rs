@@ -135,6 +135,7 @@ pub fn exhaustive_search(
         level_eval_stats,
         stats: SearchStats {
             od_evals: counters.evaluated,
+            wasted_evals: 0,
             pruned_outlier: counters.pruned_outlier,
             pruned_non_outlier: counters.pruned_non_outlier,
             rounds,

@@ -1,0 +1,92 @@
+//! Shard-scaling benchmarks for the exact sharded execution layer.
+//!
+//! The workload the ROADMAP cares about: ONE query against a large
+//! dataset (n = 50k, d = 10) — the case the per-subspace and per-query
+//! fan-outs cannot parallelise at all. `ShardedEngine` splits the scan
+//! across data shards and merges exactly, so the single-query latency
+//! should drop roughly with the shard count (the merge is k·shards
+//! work, noise next to the scans).
+//!
+//! Two shapes per shard count:
+//!
+//! * `od_full_space` — a single full-space OD through the evaluator
+//!   seam: the pure intra-query parallelism story. The 4-shard
+//!   configuration is the headline number (target: ≥ 1.5× over the
+//!   1-shard evaluator).
+//! * `level5_batch` — one lattice level (all 252 five-dimensional
+//!   subspaces) through `od_batch` with 4 worker threads: shows the
+//!   evaluator switches to subspace-parallel fan-out for big batches
+//!   and sharding does not regress the batch path.
+//!
+//! Results land in `bench-summary.json` (see the criterion stub) so
+//! the scaling trajectory is tracked across PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::{Engine, KnnEngine, ShardedEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 50_000;
+const D: usize = 10;
+const K: usize = 10;
+
+fn dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(42);
+    let flat: Vec<f64> = (0..N * D).map(|_| rng.gen_range(0.0..100.0)).collect();
+    Dataset::from_flat(flat, D).unwrap()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let ds = dataset();
+    let query: Vec<f64> = ds.row(17).to_vec();
+    let full = Subspace::full(D);
+    let level5: Vec<Subspace> = Subspace::all_of_dim(D, 5).collect();
+
+    let engines: Vec<(usize, ShardedEngine)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            (
+                shards,
+                ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, shards, shards),
+            )
+        })
+        .collect();
+
+    // Sanity before timing: every configuration must agree bitwise.
+    let reference = engines[0].1.od(&query, K, full, Some(17));
+    for (shards, engine) in &engines {
+        assert_eq!(
+            engine.od(&query, K, full, Some(17)),
+            reference,
+            "shards={shards} diverged"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("od_full_space_n{N}_d{D}_k{K}"));
+    group.sample_size(10);
+    for (shards, engine) in &engines {
+        group.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                let mut ev = engine.evaluator(&query, K, Some(17));
+                black_box(ev.od(full))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("level5_batch_n{N}_d{D}_k{K}_threads4"));
+    group.sample_size(10);
+    for (shards, engine) in &engines {
+        group.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                let mut ev = engine.evaluator(&query, K, Some(17));
+                black_box(ev.od_batch(&level5, 4))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

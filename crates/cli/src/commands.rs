@@ -25,14 +25,25 @@ USAGE:
                      [--k 5] [--threshold T | --quantile 0.95]
                      [--engine linear|xtree|vafile] [--samples 20]
                      [--metric l1|l2|linf] [--normalize none|minmax|zscore]
-                     [--smoothing 1.0] [--threads 1] [--seed 0] [--header]
+                     [--smoothing 1.0] [--threads 1] [--shards 1]
+                     [--seed 0] [--header]
   hos-miner scan     --data FILE [--top 5] [--model FILE] [... tuning flags]
+  hos-miner bench    (--data FILE | --n 5000 --d 8) [--queries 16]
+                     [--threads 1] [--shards 1] [... tuning flags]
   hos-miner help
 
 With --model, the threshold and learned priors come from a file written
 by `fit` and the per-dataset learning phase is skipped.
 With --ids, the queries are fanned out across --threads workers; the
 results are identical to running each --id query on its own.
+--threads sets the worker count for OD batches and multi-query fan-out;
+--shards splits the dataset into that many partitions so a SINGLE query
+also runs in parallel (per-shard k-NN, exact merge). Neither flag
+changes any result: sharded and threaded answers are bit-identical to
+the serial ones.
+`bench` fits a miner and times a batch of member queries end to end
+(reporting queries/s) — point it at a real CSV or let it generate a
+synthetic workload with --n/--d.
 Subspaces are printed 1-based, e.g. [1,3] = first and third columns.";
 
 /// Dispatches an argv to a subcommand.
@@ -44,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("fit") => cmd_fit(&args),
         Some("query") => cmd_query(&args),
         Some("scan") => cmd_scan(&args),
+        Some("bench") => cmd_bench(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -92,10 +104,16 @@ fn parse_normalizer(args: &Args, ds: &Dataset) -> Result<(Dataset, Option<Normal
 fn build_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
     if let Some(path) = args.get("model") {
         let model = hos_core::ModelFile::load(path).map_err(|e| e.to_string())?;
-        let mut miner = model.into_miner(ds).map_err(|e| e.to_string())?;
         // Parallelism is machine-specific, not part of the fitted
-        // model: honour --threads here too, as the help promises.
-        miner.set_threads(args.get_or("threads", 1usize)?);
+        // model: honour --threads and --shards here too, as the help
+        // promises.
+        let miner = model
+            .into_miner_with(
+                ds,
+                args.get_or("shards", 1usize)?,
+                args.get_or("threads", 1usize)?,
+            )
+            .map_err(|e| e.to_string())?;
         return Ok(miner);
     }
     fit_miner(args, ds)
@@ -129,6 +147,7 @@ fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
         sample_size: args.get_or("samples", 20usize)?,
         prior_smoothing: args.get_or("smoothing", 1.0f64)?,
         threads: args.get_or("threads", 1usize)?,
+        shards: args.get_or("shards", 1usize)?,
         seed: args.get_or("seed", 0u64)?,
     };
     HosMiner::fit(ds, config).map_err(|e| e.to_string())
@@ -387,6 +406,75 @@ fn cmd_scan(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// End-to-end throughput measurement: fit a miner, run a batch of
+/// member queries, report wall time and queries/s. The knob the
+/// scaling story cares about: the same workload re-run with
+/// `--threads`/`--shards` varied shows exactly what each buys, with
+/// results guaranteed identical.
+fn cmd_bench(args: &Args) -> CmdResult {
+    let ds = if args.get("data").is_some() {
+        load(args)?
+    } else {
+        let n = args.get_or("n", 5000usize)?;
+        let d = args.get_or("d", 8usize)?;
+        let spec = PlantedSpec {
+            n_background: n,
+            d,
+            n_clusters: 3,
+            cluster_sigma: 1.0,
+            extent: 100.0,
+            targets: vec![
+                Subspace::from_dims(&[0, 1]),
+                Subspace::from_dims(&[d.saturating_sub(1)]),
+            ],
+            shift_sigmas: 12.0,
+            seed: args.get_or("seed", 0u64)?,
+        };
+        generate(&spec).map_err(|e| e.to_string())?.dataset
+    };
+    // Same preprocessing as fit/query/scan: the timed workload must be
+    // the one the user actually serves.
+    let (ds, _) = parse_normalizer(args, &ds)?;
+    let n_queries = args.get_or("queries", 16usize)?.max(1).min(ds.len());
+    let threads = args.get_or("threads", 1usize)?;
+    let shards = args.get_or("shards", 1usize)?;
+
+    let fit_start = std::time::Instant::now();
+    let miner = build_miner(args, ds)?;
+    let fit_seconds = fit_start.elapsed().as_secs_f64();
+
+    // Evenly spread member queries across the dataset, deterministic.
+    let n = miner.engine().dataset().len();
+    let ids: Vec<usize> = (0..n_queries).map(|i| i * n / n_queries).collect();
+    let query_start = std::time::Instant::now();
+    let outcomes = miner.query_ids(&ids).map_err(|e| e.to_string())?;
+    let query_seconds = query_start.elapsed().as_secs_f64();
+
+    let od_evals: u64 = outcomes.iter().map(|o| o.stats.od_evals).sum();
+    let outliers = outcomes.iter().filter(|o| o.is_outlier()).count();
+    println!(
+        "bench: {} points x {} dims, k={}, engine={}, threads={threads}, shards={shards}",
+        n,
+        miner.engine().dataset().dim(),
+        miner.config().k,
+        miner.config().engine,
+    );
+    println!(
+        "fit:   {:.3} s (threshold T = {})",
+        fit_seconds,
+        fmt_f64(miner.threshold())
+    );
+    println!(
+        "query: {} queries in {:.3} s  ->  {:.1} queries/s  ({} OD evals, {} outliers)",
+        ids.len(),
+        query_seconds,
+        ids.len() as f64 / query_seconds.max(1e-12),
+        od_evals,
+        outliers
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +681,124 @@ mod tests {
         std::fs::write(&model, "garbage").unwrap();
         assert!(run(&["query", "--data", &data, "--id", "0", "--model", &model]).is_err());
         assert!(run(&["fit", "--data", &data]).is_err()); // missing --save-model
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn shards_flag_accepted_and_validated() {
+        let path = tmp("shards.csv");
+        run(&[
+            "generate", "--out", &path, "--n", "250", "--d", "5", "--seed", "7",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--data",
+            &path,
+            "--id",
+            "250",
+            "--samples",
+            "0",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        run(&[
+            "scan",
+            "--data",
+            &path,
+            "--top",
+            "2",
+            "--samples",
+            "0",
+            "--shards",
+            "3",
+        ])
+        .unwrap();
+        // shards = 0 is a config error, not a panic.
+        assert!(run(&["query", "--data", &path, "--id", "0", "--shards", "0"]).is_err());
+        assert!(run(&["query", "--data", &path, "--id", "0", "--shards", "oops"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_subcommand_synthetic_and_file() {
+        run(&[
+            "bench",
+            "--n",
+            "300",
+            "--d",
+            "4",
+            "--queries",
+            "4",
+            "--samples",
+            "0",
+            "--shards",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let path = tmp("bench.csv");
+        run(&[
+            "generate", "--out", &path, "--n", "200", "--d", "4", "--seed", "3",
+        ])
+        .unwrap();
+        run(&["bench", "--data", &path, "--queries", "3", "--samples", "0"]).unwrap();
+        // --normalize is honoured (and validated) like fit/query/scan.
+        run(&[
+            "bench",
+            "--data",
+            &path,
+            "--queries",
+            "3",
+            "--samples",
+            "0",
+            "--normalize",
+            "zscore",
+        ])
+        .unwrap();
+        assert!(run(&["bench", "--data", &path, "--normalize", "log"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_load_honours_shards_and_threads() {
+        let data = tmp("sharded_model.csv");
+        let model = tmp("sharded.model");
+        run(&[
+            "generate", "--out", &data, "--n", "250", "--d", "4", "--seed", "5",
+        ])
+        .unwrap();
+        run(&[
+            "fit",
+            "--data",
+            &data,
+            "--save-model",
+            &model,
+            "--quantile",
+            "0.9",
+            "--samples",
+            "5",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--data",
+            &data,
+            "--id",
+            "250",
+            "--model",
+            &model,
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&model).ok();
     }

@@ -171,6 +171,191 @@ fn batch_query_reports_each_point_and_totals() {
 }
 
 #[test]
+fn threads_flag_on_query_fit_and_bench() {
+    let csv = tmp("threads.csv");
+    let csv_s = csv.to_str().unwrap();
+    let model = tmp("threads.model");
+    let model_s = model.to_str().unwrap();
+    assert!(
+        run(&["generate", "--out", csv_s, "--n", "300", "--d", "5", "--seed", "7"])
+            .status
+            .success()
+    );
+    // query --threads: parallel per-level batches, identical output
+    // to the serial run.
+    let serial = run(&[
+        "query",
+        "--data",
+        csv_s,
+        "--id",
+        "300",
+        "--samples",
+        "3",
+        "--threads",
+        "1",
+    ]);
+    let parallel = run(&[
+        "query",
+        "--data",
+        csv_s,
+        "--id",
+        "300",
+        "--samples",
+        "3",
+        "--threads",
+        "4",
+    ]);
+    assert!(serial.status.success() && parallel.status.success());
+    let strip_timing = |out: &std::process::Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains(" ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_timing(&serial),
+        strip_timing(&parallel),
+        "--threads changed the answer"
+    );
+    // fit --threads: learning fans out, model still written.
+    let out = run(&[
+        "fit",
+        "--data",
+        csv_s,
+        "--save-model",
+        model_s,
+        "--samples",
+        "5",
+        "--threads",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // bench --threads.
+    let out = run(&[
+        "bench",
+        "--data",
+        csv_s,
+        "--queries",
+        "4",
+        "--samples",
+        "0",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("queries/s"));
+    std::fs::remove_file(csv).ok();
+    std::fs::remove_file(model).ok();
+}
+
+#[test]
+fn shards_flag_on_query_fit_and_bench() {
+    let csv = tmp("shards.csv");
+    let csv_s = csv.to_str().unwrap();
+    let model = tmp("shards.model");
+    let model_s = model.to_str().unwrap();
+    assert!(
+        run(&["generate", "--out", csv_s, "--n", "300", "--d", "5", "--seed", "9"])
+            .status
+            .success()
+    );
+    // query --shards: intra-query parallel execution, identical
+    // output to the unsharded run.
+    let unsharded = run(&[
+        "query",
+        "--data",
+        csv_s,
+        "--id",
+        "300",
+        "--samples",
+        "3",
+        "--shards",
+        "1",
+    ]);
+    let sharded = run(&[
+        "query",
+        "--data",
+        csv_s,
+        "--id",
+        "300",
+        "--samples",
+        "3",
+        "--shards",
+        "4",
+        "--threads",
+        "2",
+    ]);
+    assert!(unsharded.status.success() && sharded.status.success());
+    let strip_timing = |out: &std::process::Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains(" ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_timing(&unsharded),
+        strip_timing(&sharded),
+        "--shards changed the answer"
+    );
+    // fit --shards: the sharded engine backs learning too.
+    let out = run(&[
+        "fit",
+        "--data",
+        csv_s,
+        "--save-model",
+        model_s,
+        "--samples",
+        "5",
+        "--shards",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // bench --shards (synthetic workload path).
+    let out = run(&[
+        "bench",
+        "--n",
+        "400",
+        "--d",
+        "5",
+        "--queries",
+        "4",
+        "--samples",
+        "0",
+        "--shards",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("shards=4"),
+        "bench must echo its config:\n{text}"
+    );
+    // Invalid shard counts fail cleanly.
+    let out = run(&["query", "--data", csv_s, "--id", "0", "--shards", "0"]);
+    assert!(!out.status.success());
+    std::fs::remove_file(csv).ok();
+    std::fs::remove_file(model).ok();
+}
+
+#[test]
 fn missing_file_reports_error() {
     let out = run(&["query", "--data", "/definitely/not/here.csv", "--id", "0"]);
     assert!(!out.status.success());

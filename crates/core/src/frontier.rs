@@ -30,7 +30,6 @@
 
 use crate::search::SearchStats;
 use hos_data::{PointId, Subspace};
-use hos_index::batch::{batch_od, batch_od_with_context};
 use hos_index::KnnEngine;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -74,9 +73,14 @@ pub fn frontier_search(
     let mut rounds = 0u32;
     let mut minimal: Vec<Subspace> = Vec::new();
 
+    // One OD evaluator for the whole search: lazy per-query cache and
+    // amortisation live behind the `hos_index::evaluator` seam, shared
+    // with `dynamic_search`.
+    let mut evaluator = engine.evaluator(query, k, exclude);
+
     // Inlier fast path: the full space has the maximum OD.
     let full = Subspace::full(d);
-    let full_od = engine.od(query, k, full, exclude);
+    let full_od = evaluator.od(full);
     evals += 1;
     if full_od < threshold {
         return FrontierOutcome {
@@ -92,29 +96,13 @@ pub fn frontier_search(
         };
     }
 
-    // Per-query distance cache, built lazily once the cumulative
-    // evaluated dimensionality clears the ~2d breakeven and then
-    // shared by every later level (mirrors `dynamic_search`;
-    // `batch_od` would otherwise rebuild the n x d matrix per round).
-    let mut ctx = None;
-    let mut ctx_pending = true;
-    let mut dims_evaluated = 0usize;
-
     // Level 1.
     let mut open: Vec<Subspace> = (0..d).map(Subspace::single).collect();
     let mut level = 1usize;
     let exhausted_frontier;
     loop {
         rounds += 1;
-        dims_evaluated += level * open.len();
-        if ctx_pending && dims_evaluated > 2 * d {
-            ctx = engine.query_context(query);
-            ctx_pending = false;
-        }
-        let ods = match &ctx {
-            Some(ctx) => batch_od_with_context(ctx, k, &open, exclude, threads),
-            None => batch_od(engine, query, k, &open, exclude, threads),
-        };
+        let ods = evaluator.od_batch(&open, threads);
         evals += open.len() as u64;
         let mut survivors: Vec<Subspace> = Vec::new();
         for (&s, &od) in open.iter().zip(&ods) {

@@ -13,7 +13,7 @@ use crate::od::ThresholdPolicy;
 use crate::search::{dynamic_search, ScoredSubspace, SearchOutcome, SearchStats};
 use crate::Result;
 use hos_data::{Dataset, Metric, PointId, Subspace};
-use hos_index::{knn::build_engine, Engine, KnnEngine};
+use hos_index::{build_engine_sharded, Engine, KnnEngine};
 
 /// Configuration of a HOS-Miner instance.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +36,13 @@ pub struct HosMinerConfig {
     pub prior_smoothing: f64,
     /// Worker threads for per-level OD batches.
     pub threads: usize,
+    /// Data shards for intra-query parallelism: `> 1` splits the
+    /// dataset into that many contiguous row partitions behind a
+    /// `ShardedEngine` whose per-shard top-k merge reproduces the
+    /// unsharded engine's ODs bit for bit (see
+    /// `hos_index::sharded`). `1` (the default) keeps the plain
+    /// engine.
+    pub shards: usize,
     /// Seed for sampling (threshold + learning).
     pub seed: u64,
 }
@@ -50,6 +57,7 @@ impl Default for HosMinerConfig {
             sample_size: 20,
             prior_smoothing: 1.0,
             threads: 1,
+            shards: 1,
             seed: 0,
         }
     }
@@ -143,7 +151,16 @@ impl HosMiner {
                 hos_lattice::lattice::MAX_LATTICE_DIM
             )));
         }
-        let engine = build_engine(config.engine, dataset, config.metric);
+        if config.shards == 0 {
+            return Err(HosError::Config("shards must be positive".into()));
+        }
+        let engine = build_engine_sharded(
+            config.engine,
+            dataset,
+            config.metric,
+            config.shards,
+            config.threads,
+        );
         let threshold = config
             .threshold
             .resolve(engine.as_ref(), config.k, config.seed)?;
@@ -195,7 +212,16 @@ impl HosMiner {
                 model.threshold
             )));
         }
-        let engine = build_engine(config.engine, dataset, config.metric);
+        if config.shards == 0 {
+            return Err(HosError::Config("shards must be positive".into()));
+        }
+        let engine = build_engine_sharded(
+            config.engine,
+            dataset,
+            config.metric,
+            config.shards,
+            config.threads,
+        );
         Ok(HosMiner {
             engine,
             config,
@@ -204,11 +230,14 @@ impl HosMiner {
     }
 
     /// Sets the worker-thread count for subsequent queries (per-level
-    /// OD batches and the batch front-ends). Used by callers that
-    /// assemble a miner from a saved model, where the persisted file
-    /// carries no machine-specific parallelism setting.
+    /// OD batches, the batch front-ends, and the engine's own
+    /// intra-query fan-out when it has one — the sharded engine
+    /// does). Used by callers that assemble a miner from a saved
+    /// model, where the persisted file carries no machine-specific
+    /// parallelism setting.
     pub fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads.max(1);
+        self.engine.set_threads(self.config.threads);
     }
 
     /// The resolved global threshold `T`.
@@ -407,6 +436,56 @@ mod tests {
     }
 
     #[test]
+    fn sharded_miner_bit_identical_to_unsharded() {
+        // The whole pipeline — threshold resolution, learning, every
+        // query — must be unchanged by sharding: the sharded engine's
+        // per-shard top-k merge reproduces unsharded ODs bit for bit,
+        // and everything downstream is deterministic.
+        let (ds, truth) = planted();
+        let base = HosMinerConfig {
+            k: 5,
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 150,
+            },
+            sample_size: 10,
+            ..HosMinerConfig::default()
+        };
+        let unsharded = HosMiner::fit(ds.clone(), base).unwrap();
+        for shards in [2, 4] {
+            let sharded = HosMiner::fit(
+                ds.clone(),
+                HosMinerConfig {
+                    shards,
+                    threads: 2,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                sharded.threshold(),
+                unsharded.threshold(),
+                "shards={shards}"
+            );
+            assert_eq!(
+                sharded.model().priors,
+                unsharded.model().priors,
+                "shards={shards}"
+            );
+            for (id, _) in &truth {
+                let a = unsharded.query_id(*id).unwrap();
+                let b = sharded.query_id(*id).unwrap();
+                assert_eq!(a.outlying, b.outlying, "shards={shards} point {id}");
+                assert_eq!(a.minimal, b.minimal, "shards={shards} point {id}");
+                assert_eq!(
+                    a.stats.od_evals, b.stats.od_evals,
+                    "shards={shards} point {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn xtree_engine_agrees_with_linear() {
         let (lin, truth) = fitted(Engine::Linear);
         let (xt, _) = fitted(Engine::XTree);
@@ -464,6 +543,12 @@ mod tests {
             ..HosMinerConfig::default()
         };
         assert!(HosMiner::fit(tiny, cfg).is_err());
+        let (ds2, _) = planted();
+        let zero_shards = HosMinerConfig {
+            shards: 0,
+            ..HosMinerConfig::default()
+        };
+        assert!(HosMiner::fit(ds2, zero_shards).is_err());
     }
 
     #[test]

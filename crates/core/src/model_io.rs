@@ -187,6 +187,21 @@ impl ModelFile {
     /// on; it need not be byte-identical, but priors and threshold are
     /// only meaningful for data from the same distribution.
     pub fn into_miner(self, dataset: Dataset) -> Result<HosMiner> {
+        self.into_miner_with(dataset, 1, 1)
+    }
+
+    /// [`ModelFile::into_miner`] with machine-specific execution
+    /// parameters: `shards` data partitions for intra-query
+    /// parallelism and `threads` workers. Parallelism is not part of
+    /// the persisted model — the same file serves a laptop and a
+    /// 64-core box — so it is supplied at load time. Results are
+    /// bit-identical regardless of either value.
+    pub fn into_miner_with(
+        self,
+        dataset: Dataset,
+        shards: usize,
+        threads: usize,
+    ) -> Result<HosMiner> {
         if dataset.dim() != self.priors.dim() {
             return Err(HosError::Config(format!(
                 "model was fitted on {} dimensions, dataset has {}",
@@ -200,6 +215,8 @@ impl ModelFile {
             metric: self.metric,
             engine: self.engine,
             sample_size: 0,
+            shards,
+            threads: threads.max(1),
             ..HosMinerConfig::default()
         };
         let model = LearnedModel {

@@ -18,7 +18,6 @@
 
 use crate::priors::Priors;
 use hos_data::{PointId, Subspace};
-use hos_index::batch::{batch_od, batch_od_with_context};
 use hos_index::KnnEngine;
 use hos_lattice::{Lattice, SubspaceState, TsfComputer};
 use std::time::Instant;
@@ -39,6 +38,16 @@ pub struct ScoredSubspace {
 pub struct SearchStats {
     /// OD (k-NN) evaluations performed.
     pub od_evals: u64,
+    /// ODs computed in a level batch but discarded because an earlier
+    /// evaluation *in the same batch* had already disposed of the
+    /// subspace by pruning. Every batched OD is either consumed
+    /// (`od_evals`) or wasted, so `od_evals + wasted_evals` equals the
+    /// total ODs the engine computed for the search. With the current
+    /// same-level batching this stays 0 — Property 1/2 closures only
+    /// touch *strictly* smaller/larger subspaces, which live on other
+    /// levels — but the counter measures the waste the moment any
+    /// batching scheme (cross-level, speculative) can introduce it.
+    pub wasted_evals: u64,
     /// Subspaces pruned in as certain outliers (Property 2).
     pub pruned_outlier: u64,
     /// Subspaces pruned out as certain non-outliers (Property 1).
@@ -127,17 +136,14 @@ pub fn dynamic_search(
     let mut evaluated_outliers: Vec<ScoredSubspace> = Vec::new();
     let mut level_eval_stats = vec![(0u64, 0u64); d + 1];
     let mut rounds = 0u32;
+    let mut wasted_evals = 0u64;
 
-    // Per-query distance cache, built lazily and reused for every
-    // later level: engines that support it (linear scan) turn each
-    // subspace OD into a subset-combine over cached per-dimension
-    // columns. Built only once the cumulative evaluated dimensionality
-    // clears the ~2d breakeven (see `batch_od`'s cost model), so
-    // shallow searches that close after one cheap level never pay the
-    // n x d build.
-    let mut ctx = None;
-    let mut ctx_pending = true;
-    let mut dims_evaluated = 0usize;
+    // One OD evaluator for the whole search: it owns the lazy
+    // per-query distance cache and the amortisation cost model
+    // (engines without a cache just answer queries directly; sharded
+    // engines fan each batch over their shards). See
+    // `hos_index::evaluator` for the seam.
+    let mut evaluator = engine.evaluator(query, k, exclude);
 
     while !lattice.is_complete() {
         // Pick the open level with the highest TSF; ties break toward
@@ -156,20 +162,14 @@ pub fn dynamic_search(
 
         let open = lattice.open_at_level(m);
         debug_assert!(!open.is_empty());
-        dims_evaluated += m * open.len();
-        if ctx_pending && dims_evaluated > 2 * d {
-            ctx = engine.query_context(query);
-            ctx_pending = false;
-        }
-        let ods = match &ctx {
-            Some(ctx) => batch_od_with_context(ctx, k, &open, exclude, threads),
-            None => batch_od(engine, query, k, &open, exclude, threads),
-        };
+        let ods = evaluator.od_batch(&open, threads);
         for (&s, &od) in open.iter().zip(&ods) {
             // A subspace may have been pruned by an earlier evaluation
             // in this same batch — its OD was computed wastefully but
-            // its disposal must not change.
+            // its disposal must not change. `wasted_evals` measures
+            // exactly this batch overshoot.
             if lattice.state(s) != SubspaceState::Unevaluated {
+                wasted_evals += 1;
                 continue;
             }
             lattice.mark_evaluated(s);
@@ -218,6 +218,7 @@ pub fn dynamic_search(
     let counters = lattice.counters();
     let stats = SearchStats {
         od_evals: counters.evaluated,
+        wasted_evals,
         pruned_outlier: counters.pruned_outlier,
         pruned_non_outlier: counters.pruned_non_outlier,
         rounds,
@@ -359,6 +360,41 @@ mod tests {
         assert!((f[1] - 1.0 / 3.0).abs() < 1e-12);
         assert!((f[2] - 2.0 / 3.0).abs() < 1e-12);
         assert!((f[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasted_evals_accounting_matches_engine_work() {
+        // Every OD the engine computed for the search is either
+        // consumed (`od_evals`) or wasted (`wasted_evals`). Derive the
+        // total ODs actually computed from the engine's distance-eval
+        // counter — each OD over the n-point dataset with
+        // self-exclusion touches exactly n-1 points, cached or not —
+        // and pin the identity: od_evals + wasted_evals never exceeds
+        // the batch totals, and accounts for every one of them.
+        for threads in [1, 4] {
+            let e = axis_outlier_engine();
+            let n = e.dataset().len() as u64;
+            let q: Vec<f64> = e.dataset().row(0).to_vec();
+            let before = e.distance_evals();
+            let out = dynamic_search(&e, &q, Some(0), 4, 10.0, &Priors::uniform(3), threads);
+            let batch_total = (e.distance_evals() - before) / (n - 1);
+            let s = &out.stats;
+            assert!(
+                s.od_evals + s.wasted_evals <= batch_total,
+                "threads={threads}: {} consumed + {} wasted > {batch_total} computed",
+                s.od_evals,
+                s.wasted_evals
+            );
+            assert_eq!(
+                s.od_evals + s.wasted_evals,
+                batch_total,
+                "threads={threads}"
+            );
+            // Same-level batching cannot overshoot: the Property 1/2
+            // closures only dispose of *strictly* smaller/larger
+            // subspaces, which live on other levels.
+            assert_eq!(s.wasted_evals, 0, "threads={threads}");
+        }
     }
 
     #[test]

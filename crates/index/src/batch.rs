@@ -13,16 +13,18 @@ use hos_data::{PointId, Subspace};
 /// Evaluates `OD(query, s)` for every subspace in `subspaces`,
 /// returning results in input order.
 ///
-/// When the engine provides a [`QueryContext`] (linear scan does) and
-/// the batch is large enough to amortise the `n x d` build (summed
-/// subspace dimensionality exceeds `2d`), the pre-distance matrix is
-/// computed once and every subspace OD becomes a cached
-/// subset-combine; otherwise each OD is an independent engine query.
-/// Callers that evaluate several batches for the *same* query point —
-/// `dynamic_search` and `frontier_search` do, level by level — should
-/// build the context themselves once and call
-/// [`batch_od_with_context`] per batch (they only fall back to this
-/// function for engines without a context, i.e. X-tree/VA-file).
+/// A thin convenience wrapper over the [`crate::evaluator`] seam: one
+/// throwaway [`crate::evaluator::OdEvaluator`] evaluates the batch, so
+/// the amortisation cost model lives in exactly one place. When the
+/// engine provides a [`QueryContext`] (linear scan does) and the batch
+/// is large enough to amortise the `n x d` build (summed subspace
+/// dimensionality exceeds `2d`), the pre-distance matrix is computed
+/// once and every subspace OD becomes a cached subset-combine;
+/// otherwise each OD is an independent engine query. Callers that
+/// evaluate several batches for the *same* query point — level-by-level
+/// searches do — should hold one [`KnnEngine::evaluator`] and call
+/// `od_batch` on it per level instead, so the cache amortises across
+/// batches too.
 ///
 /// `threads == 1` (or a single subspace) short-circuits to a serial
 /// loop, where thread spawn overhead would dominate small batches.
@@ -34,20 +36,9 @@ pub fn batch_od(
     exclude: Option<PointId>,
     threads: usize,
 ) -> Vec<f64> {
-    if subspaces.is_empty() {
-        return Vec::new();
-    }
-    // Cost model: uncached ≈ n·Σ|s| full-strength terms; cached ≈
-    // n·d build + n·Σ|s| cheap combines (~half a term each, per the
-    // context bench). Breakeven is therefore near Σ|s| ≈ 2d — only
-    // take the cached path when the batch clearly outweighs it.
-    let batch_dims: usize = subspaces.iter().map(|s| s.dim()).sum();
-    if batch_dims > 2 * engine.dataset().dim() {
-        if let Some(ctx) = engine.query_context(query) {
-            return batch_od_with_context(&ctx, k, subspaces, exclude, threads);
-        }
-    }
-    parallel_map(subspaces, threads, |&s| engine.od(query, k, s, exclude))
+    engine
+        .evaluator(query, k, exclude)
+        .od_batch(subspaces, threads)
 }
 
 /// [`batch_od`] over an already-built [`QueryContext`]: every OD is a

@@ -1,6 +1,7 @@
 //! The k-NN engine abstraction used by every search layer.
 
 use crate::context::QueryContext;
+use crate::evaluator::{LazyContextEvaluator, OdEvaluator};
 use hos_data::{Dataset, Metric, PointId, Subspace};
 
 /// One neighbour returned by a query: the point and its distance to
@@ -69,6 +70,31 @@ pub trait KnnEngine: Send + Sync {
     fn query_context<'a>(&'a self, query: &[f64]) -> Option<QueryContext<'a>> {
         let _ = query;
         None
+    }
+
+    /// Sets the engine's *internal* fan-out width, for engines that
+    /// parallelise single queries themselves (the sharded engine fans
+    /// k-NN/range/OD calls over its shards). Plain engines answer
+    /// queries on the calling thread and ignore this. Never changes
+    /// any result — only how many workers compute it.
+    fn set_threads(&self, threads: usize) {
+        let _ = threads;
+    }
+
+    /// An [`OdEvaluator`] for one `(engine, query)` pair: the object
+    /// every search layer streams subspaces at. The default is the
+    /// [`LazyContextEvaluator`] (uncached queries until the `2d`
+    /// amortisation breakeven, then a per-query distance cache when
+    /// the engine provides one); engines with their own execution
+    /// strategy override it — [`crate::sharded::ShardedEngine`]
+    /// returns a shard-fanning evaluator.
+    fn evaluator<'a>(
+        &'a self,
+        query: &'a [f64],
+        k: usize,
+        exclude: Option<PointId>,
+    ) -> Box<dyn OdEvaluator + 'a> {
+        Box::new(LazyContextEvaluator::new(self, query, k, exclude))
     }
 }
 

@@ -24,20 +24,31 @@
 //! * [`context`] — the per-query distance cache: one `n x d`
 //!   pre-distance matrix per query point turns every subspace OD into
 //!   a subset-combine over cached columns (no raw coordinate reads).
+//! * [`evaluator`] — the engine-agnostic OD-evaluation seam: one
+//!   [`evaluator::OdEvaluator`] per `(engine, query)` pair owns lazy
+//!   context construction and the amortisation cost model; every
+//!   search layer streams subspaces at it.
+//! * [`sharded`] — exact intra-query parallelism: [`ShardedEngine`]
+//!   fans each query over contiguous data shards and merges per-shard
+//!   top-k lists losslessly (bit-identical ODs).
 //! * [`batch`] — multi-threaded batch OD evaluation over subspaces
 //!   (crossbeam scoped threads), cache-accelerated when the engine
 //!   provides a [`context::QueryContext`].
 
 pub mod batch;
 pub mod context;
+pub mod evaluator;
 pub mod knn;
 pub mod linear;
+pub mod sharded;
 mod topk;
 pub mod vafile;
 pub mod xtree;
 
 pub use context::QueryContext;
+pub use evaluator::{LazyContextEvaluator, OdEvaluator};
 pub use knn::{Engine, KnnEngine, Neighbor};
 pub use linear::LinearScan;
+pub use sharded::{build_engine_sharded, ShardedEngine};
 pub use vafile::{VaFile, VaFileConfig};
 pub use xtree::{XTree, XTreeConfig};

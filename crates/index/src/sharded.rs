@@ -1,0 +1,525 @@
+//! Exact sharded query execution: intra-query parallelism across data
+//! partitions.
+//!
+//! The dynamic search parallelises *across* subspaces and queries, but
+//! a single k-NN query still scans one monolithic dataset on one core.
+//! [`ShardedEngine`] splits the dataset into `s` contiguous row shards
+//! ([`Dataset::shard`], global [`PointId`]s preserved), builds one
+//! sub-engine per shard, fans every query over the shards with
+//! [`crate::batch::parallel_map`], and merges the per-shard top-k
+//! lists exactly.
+//!
+//! # Why the merge is lossless
+//!
+//! If point `p` is among the `k` nearest neighbours of the query over
+//! the whole dataset, it is among the `k` nearest within its own shard
+//! (a shard holds a subset of the points, so at most `k - 1` shard
+//! members can beat `p`). The union of per-shard top-`k` lists
+//! therefore contains the global top-`k`, and re-selecting `k` from
+//! the union — with the same [`crate::topk::TopK`] `(distance, id)`
+//! tie-break used everywhere else — yields exactly the global list.
+//! Per-point distances are computed by the same code over the same
+//! row bytes whichever shard a point lands in, and OD sums the merged
+//! list in the same ascending `(distance, id)` order as the unsharded
+//! engine, so ODs are **bit-identical**, not just close. (Ordering by
+//! finished distance equals ordering by pre-metric distance because
+//! every [`Metric::finish`] is strictly monotone.) The property tests
+//! in `tests/properties.rs` pin this with `assert_eq!` across shard
+//! counts, metrics and engines.
+//!
+//! # Evaluator
+//!
+//! [`ShardedEngine::evaluator`] returns a sharded
+//! [`OdEvaluator`]: each shard keeps its **own** lazy
+//! [`QueryContext`] (the same `2d` cumulative-dimensionality breakeven
+//! as the unsharded evaluator, applied to the summed shard matrices),
+//! and each OD is a k-way merge of per-shard cached top-k lists. Large
+//! batches parallelise across subspaces; small batches parallelise
+//! across shards — so a single full-space OD query also uses every
+//! core, which is precisely what the unsharded engine cannot do.
+
+use crate::batch::parallel_map;
+use crate::context::QueryContext;
+use crate::evaluator::OdEvaluator;
+use crate::knn::{build_engine, Engine, KnnEngine, Neighbor};
+use crate::topk::TopK;
+use hos_data::{Dataset, Metric, PointId, Subspace};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+/// One data shard: a sub-engine over a contiguous row slice plus the
+/// global id of its first row.
+struct Shard {
+    engine: Box<dyn KnnEngine>,
+    offset: PointId,
+}
+
+impl Shard {
+    /// Translates a global exclusion id into this shard's local id
+    /// space (None if the excluded point lives elsewhere).
+    fn local_exclude(&self, exclude: Option<PointId>) -> Option<PointId> {
+        exclude
+            .and_then(|g| g.checked_sub(self.offset))
+            .filter(|&local| local < self.engine.dataset().len())
+    }
+
+    /// The shard's top-k for one subspace, with **global** ids and
+    /// finished distances — via the shard's own query context when one
+    /// is supplied, the sub-engine otherwise. Either path returns the
+    /// same values bit for bit (pinned by the context equivalence
+    /// tests).
+    fn topk(
+        &self,
+        ctx: Option<&QueryContext<'_>>,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        let local = self.local_exclude(exclude);
+        let mut list = match ctx {
+            Some(ctx) => ctx.knn(k, s, local),
+            None => self.engine.knn(query, k, s, local),
+        };
+        for n in &mut list {
+            n.id += self.offset;
+        }
+        list
+    }
+}
+
+/// Re-selects the global top-`k` from per-shard top-`k` lists using
+/// the shared `(distance, id)` tie-break, ascending.
+fn merge_topk(k: usize, lists: &[Vec<Neighbor>]) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for list in lists {
+        for n in list {
+            top.offer(n.dist, n.id);
+        }
+    }
+    top.into_sorted()
+        .into_iter()
+        .map(|c| Neighbor {
+            id: c.id,
+            dist: c.pre,
+        })
+        .collect()
+}
+
+/// A [`KnnEngine`] that answers every query by fanning it over
+/// per-shard sub-engines and exactly merging the partial results.
+///
+/// ```
+/// use hos_data::{Dataset, Metric, Subspace};
+/// use hos_index::{Engine, KnnEngine, LinearScan, ShardedEngine};
+///
+/// let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+/// let ds = Dataset::from_rows(&rows).unwrap();
+/// let sharded = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 4, 2);
+/// let linear = LinearScan::new(ds, Metric::L2);
+/// let s = Subspace::full(2);
+/// // Bit-identical to the unsharded engine:
+/// assert_eq!(sharded.knn(&[3.0, 3.0], 5, s, None), linear.knn(&[3.0, 3.0], 5, s, None));
+/// assert_eq!(sharded.od(&[3.0, 3.0], 5, s, None), linear.od(&[3.0, 3.0], 5, s, None));
+/// ```
+pub struct ShardedEngine {
+    /// The full dataset (the [`KnnEngine::dataset`] contract); shards
+    /// hold their own row copies.
+    dataset: Dataset,
+    metric: Metric,
+    shards: Vec<Shard>,
+    /// Worker threads for the per-shard fan-out. Atomic so
+    /// [`KnnEngine::set_threads`] can retune a built engine (the
+    /// `HosMiner` facade forwards its own `set_threads` here).
+    threads: AtomicUsize,
+}
+
+impl ShardedEngine {
+    /// Partitions `dataset` into `shards` contiguous slices
+    /// ([`Dataset::shard`]; the count is clamped to `1..=n`) and
+    /// builds one `inner`-kind sub-engine per shard. `threads` bounds
+    /// the per-query shard fan-out (clamped to at least 1).
+    pub fn build(
+        dataset: Dataset,
+        metric: Metric,
+        inner: Engine,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        let parts = dataset.shard(shards);
+        let shards = parts
+            .into_iter()
+            .map(|p| Shard {
+                offset: p.offset,
+                engine: build_engine(inner, p.dataset, metric),
+            })
+            .collect();
+        ShardedEngine {
+            dataset,
+            metric,
+            shards,
+            threads: AtomicUsize::new(threads.max(1)),
+        }
+    }
+
+    /// Number of shards actually built (after clamping).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-query shard fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Per-shard top-k lists for one subspace, fanned across up to
+    /// `threads` workers.
+    fn fan_topk(
+        &self,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        parallel_map(&self.shards, threads, |sh| {
+            sh.topk(None, query, k, s, exclude)
+        })
+    }
+}
+
+impl KnnEngine for ShardedEngine {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn(&self, query: &[f64], k: usize, s: Subspace, exclude: Option<PointId>) -> Vec<Neighbor> {
+        if k == 0 || self.dataset.is_empty() {
+            return Vec::new();
+        }
+        let lists = self.fan_topk(query, k, s, exclude, self.threads());
+        merge_topk(k, &lists)
+    }
+
+    fn range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        let lists = parallel_map(&self.shards, self.threads(), |sh| {
+            let mut list = sh.engine.range(query, radius, s, sh.local_exclude(exclude));
+            for n in &mut list {
+                n.id += sh.offset;
+            }
+            list
+        });
+        lists.into_iter().flatten().collect()
+    }
+
+    fn distance_evals(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| sh.engine.distance_evals())
+            .sum()
+    }
+
+    fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), AtomicOrdering::Relaxed);
+    }
+
+    // No whole-dataset query context: a single `n x d` matrix would
+    // serialise exactly the work sharding exists to spread. The
+    // sharded evaluator below builds one context *per shard* instead.
+
+    fn evaluator<'a>(
+        &'a self,
+        query: &'a [f64],
+        k: usize,
+        exclude: Option<PointId>,
+    ) -> Box<dyn OdEvaluator + 'a> {
+        Box::new(ShardedOdEvaluator {
+            shards: &self.shards,
+            query,
+            k,
+            exclude,
+            shard_threads: self.threads(),
+            d: self.dataset.dim(),
+            ctxs: None,
+            ctx_pending: true,
+            dims_evaluated: 0,
+        })
+    }
+}
+
+/// The sharded [`OdEvaluator`]: per-shard lazy query contexts plus the
+/// exact k-way merge, with two fan-out shapes — across subspaces for
+/// level-sized batches, across shards for single ODs.
+struct ShardedOdEvaluator<'a> {
+    shards: &'a [Shard],
+    query: &'a [f64],
+    k: usize,
+    exclude: Option<PointId>,
+    /// Shard fan-out width for single-OD calls (from the engine).
+    shard_threads: usize,
+    d: usize,
+    /// One lazy context per shard, slot `i` for shard `i`; `None`
+    /// until the breakeven, `Some(vec)` after (slots stay `None` for
+    /// sub-engines without a context, e.g. X-tree).
+    ctxs: Option<Vec<Option<QueryContext<'a>>>>,
+    ctx_pending: bool,
+    dims_evaluated: usize,
+}
+
+impl ShardedOdEvaluator<'_> {
+    /// Same cumulative-`2d` amortisation model as the unsharded
+    /// [`crate::evaluator::LazyContextEvaluator`]: the shard matrices
+    /// sum to the one `n x d` build the model prices.
+    fn note_dims(&mut self, dims: usize) {
+        self.dims_evaluated += dims;
+        if self.ctx_pending && self.dims_evaluated > 2 * self.d {
+            // The builds are the biggest one-time cost on this path
+            // (together one full n x d pass): fan them over the shards
+            // like every query. (Mapped over `&'a Shard` refs so the
+            // returned contexts keep the evaluator's lifetime rather
+            // than the worker closure's.)
+            let query = self.query;
+            let shard_refs: Vec<&Shard> = self.shards.iter().collect();
+            self.ctxs = Some(parallel_map(&shard_refs, self.shard_threads, |sh| {
+                sh.engine.query_context(query)
+            }));
+            self.ctx_pending = false;
+        }
+    }
+
+    /// One OD: per-shard top-k (cached where available), exact merge,
+    /// sum in ascending `(distance, id)` order — the unsharded
+    /// summation order. `threads` bounds the shard fan-out.
+    fn od_merged(&self, s: Subspace, threads: usize) -> f64 {
+        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        let lists = parallel_map(&indices, threads, |&i| {
+            let ctx = self.ctxs.as_ref().and_then(|c| c[i].as_ref());
+            self.shards[i].topk(ctx, self.query, self.k, s, self.exclude)
+        });
+        merge_topk(self.k, &lists).iter().map(|n| n.dist).sum()
+    }
+}
+
+impl OdEvaluator for ShardedOdEvaluator<'_> {
+    fn od(&mut self, s: Subspace) -> f64 {
+        self.note_dims(s.dim());
+        self.od_merged(s, self.shard_threads)
+    }
+
+    fn od_batch(&mut self, subspaces: &[Subspace], threads: usize) -> Vec<f64> {
+        if subspaces.is_empty() {
+            return Vec::new();
+        }
+        self.note_dims(subspaces.iter().map(|s| s.dim()).sum());
+        if subspaces.len() >= threads.max(1) {
+            // Enough subspaces to saturate the workers on their own;
+            // nested shard fan-out would only oversubscribe.
+            let this = &*self;
+            parallel_map(subspaces, threads, |&s| this.od_merged(s, 1))
+        } else {
+            // Few subspaces (e.g. the last open level): spread each
+            // one across the shards instead.
+            subspaces
+                .iter()
+                .map(|&s| self.od_merged(s, threads))
+                .collect()
+        }
+    }
+}
+
+/// Builds either a plain engine (`shards <= 1`) or a [`ShardedEngine`]
+/// wrapping `shards` sub-engines of the chosen kind — the one
+/// constructor configs and CLIs need.
+pub fn build_engine_sharded(
+    engine: Engine,
+    dataset: Dataset,
+    metric: Metric,
+    shards: usize,
+    threads: usize,
+) -> Box<dyn KnnEngine> {
+    if shards <= 1 {
+        build_engine(engine, dataset, metric)
+    } else {
+        Box::new(ShardedEngine::build(
+            dataset, metric, engine, shards, threads,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Coarse grid values force plenty of distance ties, so the
+        // (distance, id) merge tie-break is actually exercised.
+        let flat: Vec<f64> = (0..n * d)
+            .map(|_| (rng.gen_range(0..8) as f64) * 0.5)
+            .collect();
+        Dataset::from_flat(flat, d).unwrap()
+    }
+
+    #[test]
+    fn knn_and_od_bit_identical_to_linear_scan() {
+        let d = 4;
+        let ds = dataset(90, d, 1);
+        for metric in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            let linear = LinearScan::new(ds.clone(), metric);
+            for shards in [1, 2, 3, 5, 8] {
+                let sharded = ShardedEngine::build(ds.clone(), metric, Engine::Linear, shards, 2);
+                for qid in [0usize, 17, 89] {
+                    let q: Vec<f64> = ds.row(qid).to_vec();
+                    for s in Subspace::all_nonempty(d) {
+                        assert_eq!(
+                            sharded.knn(&q, 6, s, Some(qid)),
+                            linear.knn(&q, 6, s, Some(qid)),
+                            "{metric:?} shards={shards} {s}"
+                        );
+                        assert_eq!(
+                            sharded.od(&q, 6, s, Some(qid)),
+                            linear.od(&q, 6, s, Some(qid)),
+                            "{metric:?} shards={shards} {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_matches_unsharded_through_both_phases() {
+        // Batch enough dimensionality that the per-shard contexts
+        // build mid-stream; every OD must still equal the unsharded
+        // engine's bit for bit.
+        let d = 5;
+        let ds = dataset(120, d, 2);
+        let linear = LinearScan::new(ds.clone(), Metric::L2);
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        let reference: Vec<f64> = subspaces
+            .iter()
+            .map(|&s| linear.od(ds.row(7), 5, s, Some(7)))
+            .collect();
+        for shards in [2, 4, 7] {
+            let engine = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, shards, 3);
+            let q: Vec<f64> = ds.row(7).to_vec();
+            let mut ev = engine.evaluator(&q, 5, Some(7));
+            // Single calls first (uncached), then a big batch (cached).
+            for (i, &s) in subspaces.iter().take(3).enumerate() {
+                assert_eq!(ev.od(s), reference[i], "shards={shards} single {s}");
+            }
+            for threads in [1, 4] {
+                assert_eq!(
+                    ev.od_batch(&subspaces, threads),
+                    reference,
+                    "shards={shards} threads={threads}"
+                );
+            }
+            // Small batch takes the shard-parallel branch.
+            assert_eq!(ev.od_batch(&subspaces[..2], 8), reference[..2]);
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let ds = dataset(70, 3, 3);
+        let linear = LinearScan::new(ds.clone(), Metric::L2);
+        let sharded = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 4, 2);
+        let q: Vec<f64> = ds.row(10).to_vec();
+        let s = Subspace::full(3);
+        let mut a: Vec<(usize, f64)> = sharded
+            .range(&q, 1.25, s, Some(10))
+            .iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
+        let mut b: Vec<(usize, f64)> = linear
+            .range(&q, 1.25, s, Some(10))
+            .iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distance_evals_aggregate_across_shards() {
+        let ds = dataset(50, 3, 4);
+        let sharded = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 5, 1);
+        assert_eq!(sharded.distance_evals(), 0);
+        let q: Vec<f64> = ds.row(0).to_vec();
+        sharded.knn(&q, 3, Subspace::full(3), Some(0));
+        // Every non-excluded point is touched exactly once in total.
+        assert_eq!(sharded.distance_evals(), 49);
+    }
+
+    #[test]
+    fn shard_count_clamps_and_exposes() {
+        let ds = dataset(6, 2, 5);
+        let e = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 64, 0);
+        assert_eq!(e.shard_count(), 6);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.dataset().len(), 6);
+        // Still exact after clamping to one point per shard.
+        let linear = LinearScan::new(ds.clone(), Metric::L2);
+        let q: Vec<f64> = ds.row(1).to_vec();
+        assert_eq!(
+            e.knn(&q, 3, Subspace::full(2), None),
+            linear.knn(&q, 3, Subspace::full(2), None)
+        );
+    }
+
+    #[test]
+    fn set_threads_retunes_fanout_without_changing_results() {
+        let ds = dataset(60, 3, 9);
+        let e = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 4, 1);
+        let q: Vec<f64> = ds.row(5).to_vec();
+        let s = Subspace::full(3);
+        let before = e.knn(&q, 4, s, Some(5));
+        assert_eq!(e.threads(), 1);
+        e.set_threads(4);
+        assert_eq!(e.threads(), 4);
+        assert_eq!(e.knn(&q, 4, s, Some(5)), before);
+        e.set_threads(0); // clamped
+        assert_eq!(e.threads(), 1);
+        // Plain engines accept the call as a no-op.
+        LinearScan::new(ds, Metric::L2).set_threads(8);
+    }
+
+    #[test]
+    fn k_zero_and_empty_edge_cases() {
+        let ds = dataset(10, 2, 6);
+        let e = ShardedEngine::build(ds, Metric::L2, Engine::Linear, 3, 2);
+        assert!(e.knn(&[0.0, 0.0], 0, Subspace::full(2), None).is_empty());
+        let empty = ShardedEngine::build(Dataset::empty(), Metric::L2, Engine::Linear, 3, 2);
+        assert!(empty.knn(&[], 3, Subspace::empty(), None).is_empty());
+        assert_eq!(empty.shard_count(), 1);
+    }
+
+    #[test]
+    fn build_engine_sharded_picks_the_right_backend() {
+        let ds = dataset(20, 2, 7);
+        let plain = build_engine_sharded(Engine::Linear, ds.clone(), Metric::L2, 1, 4);
+        assert!(
+            plain.query_context(&[0.0, 0.0]).is_some(),
+            "unsharded keeps its context"
+        );
+        let sharded = build_engine_sharded(Engine::Linear, ds, Metric::L2, 4, 4);
+        assert!(
+            sharded.query_context(&[0.0, 0.0]).is_none(),
+            "sharded declines a whole-dataset context"
+        );
+    }
+}

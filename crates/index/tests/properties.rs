@@ -1,8 +1,12 @@
 //! Property tests: the X-tree must be indistinguishable from the
-//! brute-force oracle on arbitrary data, metrics, subspaces and k.
+//! brute-force oracle on arbitrary data, metrics, subspaces and k —
+//! and so must the sharded execution layer and the evaluator seam.
 
 use hos_data::{Dataset, Metric, Subspace};
-use hos_index::{KnnEngine, LinearScan, QueryContext, VaFile, VaFileConfig, XTree, XTreeConfig};
+use hos_index::{
+    Engine, KnnEngine, LinearScan, QueryContext, ShardedEngine, VaFile, VaFileConfig, XTree,
+    XTreeConfig,
+};
 use proptest::prelude::*;
 
 const D: usize = 5;
@@ -114,6 +118,79 @@ proptest! {
         let lin = LinearScan::new(ds.clone(), metric);
         let ctx = lin.query_context(&q).expect("linear scan provides a context");
         prop_assert_eq!(ctx.knn(k, s, None), lin.knn(&q, k, s, None));
+    }
+
+    /// The sharded engine is **bit-identical** to the unsharded scan:
+    /// for arbitrary data, queries, metrics, k and shard counts
+    /// 1..=8, the merged per-shard k-NN lists (ids AND distances) and
+    /// the ODs equal `LinearScan`'s exactly — `assert_eq!`, no
+    /// tolerance. This is the exactness contract of the whole sharded
+    /// execution layer.
+    #[test]
+    fn sharded_knn_and_od_equal_linear_bitwise(ds in arb_dataset(),
+                                               q in prop::collection::vec(-60.0f64..60.0, D),
+                                               k in 1usize..12,
+                                               shards in 1usize..=8,
+                                               mask in 1u64..(1 << D),
+                                               metric in arb_metric()) {
+        let s = Subspace::from_mask(mask);
+        let lin = LinearScan::new(ds.clone(), metric);
+        let sharded = ShardedEngine::build(ds, metric, Engine::Linear, shards, 2);
+        prop_assert_eq!(sharded.knn(&q, k, s, None), lin.knn(&q, k, s, None));
+        prop_assert_eq!(sharded.od(&q, k, s, None), lin.od(&q, k, s, None));
+        // Self-exclusion translates correctly into the owning shard.
+        prop_assert_eq!(sharded.knn(&q, k, s, Some(0)), lin.knn(&q, k, s, Some(0)));
+        prop_assert_eq!(sharded.od(&q, k, s, Some(0)), lin.od(&q, k, s, Some(0)));
+    }
+
+    /// The sharded evaluator (per-shard lazy contexts + exact merge)
+    /// agrees with the unsharded scan over entire lattices, through
+    /// both its uncached and cached phases, bitwise.
+    #[test]
+    fn sharded_evaluator_equals_linear_over_lattice(ds in arb_dataset(),
+                                                    q in prop::collection::vec(-60.0f64..60.0, D),
+                                                    k in 1usize..8,
+                                                    shards in 1usize..=8,
+                                                    metric in arb_metric()) {
+        let lin = LinearScan::new(ds.clone(), metric);
+        let sharded = ShardedEngine::build(ds, metric, Engine::Linear, shards, 2);
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(D).collect();
+        let expected: Vec<f64> = subspaces.iter().map(|&s| lin.od(&q, k, s, Some(0))).collect();
+        let mut ev = sharded.evaluator(&q, k, Some(0));
+        prop_assert_eq!(ev.od_batch(&subspaces, 2), expected);
+    }
+
+    /// The evaluator path of the context-less engines (X-tree,
+    /// VA-file) returns exactly what per-subspace `engine.od` calls
+    /// return — the refactor onto `OdEvaluator` cannot silently change
+    /// their results, batched or single, at any thread count.
+    #[test]
+    fn evaluator_path_preserves_contextless_engines(ds in arb_dataset(),
+                                                    q in prop::collection::vec(-60.0f64..60.0, D),
+                                                    k in 1usize..8,
+                                                    metric in arb_metric()) {
+        let tree = XTree::build(ds.clone(), metric, XTreeConfig {
+            max_leaf: 8, max_dir: 4, ..XTreeConfig::default()
+        });
+        let va = VaFile::build(ds.clone(), metric, VaFileConfig { bits: 4 });
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(D).collect();
+        for engine in [&tree as &dyn KnnEngine, &va as &dyn KnnEngine] {
+            let expected: Vec<f64> = subspaces
+                .iter()
+                .map(|&s| engine.od(&q, k, s, Some(0)))
+                .collect();
+            for threads in [1usize, 3] {
+                let mut ev = engine.evaluator(&q, k, Some(0));
+                prop_assert_eq!(ev.od_batch(&subspaces, threads), expected.clone());
+            }
+            // Single-od streaming agrees too (the cumulative cost
+            // model must never switch these engines onto a cache —
+            // they have none).
+            let mut ev = engine.evaluator(&q, k, Some(0));
+            for (i, &s) in subspaces.iter().enumerate() {
+                prop_assert_eq!(ev.od(s), expected[i]);
+            }
+        }
     }
 
     /// OD is monotone under subspace inclusion regardless of engine —

@@ -10,8 +10,22 @@
 //! No statistics engine, no plotting, no saved baselines. When run as
 //! `cargo test` (bench targets default to `test = false` in this
 //! workspace) nothing executes; `cargo bench` runs the real loop.
+//!
+//! Beyond stdout, every benchmark's result is collected and — via
+//! [`write_summary`], which the `criterion_main!` expansion calls
+//! after all groups finish — written as machine-readable JSON to
+//! `bench-summary.json` (override the path with the
+//! `BENCH_SUMMARY_PATH` environment variable; set it to `-` to
+//! disable). One record per benchmark: the id (which encodes
+//! workload and config, e.g. `knn_shards_n50000_d10/od_full/shards4`),
+//! median/min/max per-iteration nanoseconds and the sample count —
+//! the raw material for tracking the perf trajectory across PRs.
+//! Each bench binary runs as its own process, so the writer *merges*
+//! into an existing file (replacing re-measured ids, keeping the
+//! rest): a full `cargo bench` accumulates all targets' records.
 
 pub use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Benchmark identifier: `group/function/parameter`.
@@ -110,6 +124,130 @@ impl Bencher {
             fmt_ns(max),
             ns.len()
         );
+        record(SummaryRecord {
+            id: label.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: ns.len(),
+        });
+    }
+}
+
+/// One benchmark's collected result, destined for the JSON summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryRecord {
+    /// `group/function/parameter` — encodes workload and config.
+    pub id: String,
+    /// Median per-iteration wall time in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<SummaryRecord>> = Mutex::new(Vec::new());
+
+fn record(r: SummaryRecord) {
+    RESULTS.lock().expect("results lock").push(r);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// bench ids are plain identifiers, but garbage in must not produce
+/// invalid JSON out.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a record list as one JSON document.
+fn render_json(records: &[SummaryRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            escape_json(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders every result collected in this process as a JSON document.
+pub fn summary_json() -> String {
+    render_json(&RESULTS.lock().expect("results lock"))
+}
+
+/// Parses a summary previously written by [`write_summary`] back into
+/// records (one `{"id": …}` object per line, the exact shape
+/// `render_json` emits). Unparseable lines are skipped — a corrupt or
+/// foreign file degrades to an empty history, never an error.
+fn parse_summary(text: &str) -> Vec<SummaryRecord> {
+    fn field(line: &str, key: &str) -> Option<u128> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let digits: String = rest
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            let start = line.find("\"id\": \"")? + 7;
+            let id = line[start..].split('"').next()?.to_string();
+            Some(SummaryRecord {
+                id,
+                median_ns: field(line, "\"median_ns\":")?,
+                min_ns: field(line, "\"min_ns\":")?,
+                max_ns: field(line, "\"max_ns\":")?,
+                samples: field(line, "\"samples\":")? as usize,
+            })
+        })
+        .collect()
+}
+
+/// Writes the collected results to `bench-summary.json` (or
+/// `$BENCH_SUMMARY_PATH`; `-` disables), **merging** with any records
+/// already in the file: a full `cargo bench` run executes each bench
+/// target as its own process, so each process re-reads the file,
+/// replaces records whose id it re-measured and keeps the rest. Called
+/// by the `criterion_main!` expansion after every group has run; also
+/// callable directly. Errors are reported to stderr, never fatal — a
+/// read-only filesystem must not fail the bench run itself.
+pub fn write_summary() {
+    let path = std::env::var("BENCH_SUMMARY_PATH").unwrap_or_else(|_| "bench-summary.json".into());
+    if path == "-" {
+        return;
+    }
+    let fresh = RESULTS.lock().expect("results lock").clone();
+    if fresh.is_empty() {
+        return;
+    }
+    let mut merged: Vec<SummaryRecord> = std::fs::read_to_string(&path)
+        .map(|text| parse_summary(&text))
+        .unwrap_or_default();
+    merged.retain(|old| !fresh.iter().any(|new| new.id == old.id));
+    merged.extend(fresh);
+    match std::fs::write(&path, render_json(&merged)) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }
 
@@ -225,11 +363,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, mirroring criterion's macro.
+/// After every group has run, the collected results are written as
+/// machine-readable JSON via [`write_summary`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_summary();
         }
     };
 }
@@ -292,5 +433,136 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.500 µs");
         assert_eq!(fmt_ns(2_000_000), "2.000 ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn summary_collects_reported_benchmarks_as_json() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("summary_test_group");
+            g.sample_size(2);
+            g.bench_function("workload_n100/shards4", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        let json = summary_json();
+        // The record carries the full id and all four measurements.
+        let line = json
+            .lines()
+            .find(|l| l.contains("summary_test_group/workload_n100/shards4"))
+            .expect("summary contains the reported bench");
+        for key in [
+            "\"id\":",
+            "\"median_ns\":",
+            "\"min_ns\":",
+            "\"max_ns\":",
+            "\"samples\": 2",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(escape_json("plain/id_1"), "plain/id_1");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn parse_summary_roundtrips_render() {
+        let records = vec![
+            SummaryRecord {
+                id: "group/bench/shards4".into(),
+                median_ns: 123_456,
+                min_ns: 100_000,
+                max_ns: 200_000,
+                samples: 10,
+            },
+            SummaryRecord {
+                id: "other/bench".into(),
+                median_ns: 7,
+                min_ns: 6,
+                max_ns: 8,
+                samples: 3,
+            },
+        ];
+        assert_eq!(parse_summary(&render_json(&records)), records);
+        // Garbage degrades to empty, never panics.
+        assert!(parse_summary("not json at all").is_empty());
+        assert!(parse_summary("{\"id\": \"half a record\"").is_empty());
+    }
+
+    /// Serialises the tests that mutate `BENCH_SUMMARY_PATH` — env
+    /// vars are process-global and the test harness runs in parallel.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn write_summary_merges_across_processes() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // Simulate two bench binaries sharing one summary file: the
+        // second run must keep the first's records, replacing only
+        // ids it re-measured.
+        let dir = std::env::temp_dir().join("criterion_stub_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        let first = vec![
+            SummaryRecord {
+                id: "binary_a/bench1".into(),
+                median_ns: 10,
+                min_ns: 9,
+                max_ns: 11,
+                samples: 2,
+            },
+            SummaryRecord {
+                id: "shared/bench".into(),
+                median_ns: 50,
+                min_ns: 40,
+                max_ns: 60,
+                samples: 2,
+            },
+        ];
+        std::fs::write(&path, render_json(&first)).unwrap();
+        record(SummaryRecord {
+            id: "shared/bench".into(),
+            median_ns: 99,
+            min_ns: 98,
+            max_ns: 100,
+            samples: 5,
+        });
+        std::env::set_var("BENCH_SUMMARY_PATH", &path);
+        write_summary();
+        std::env::remove_var("BENCH_SUMMARY_PATH");
+        let merged = parse_summary(&std::fs::read_to_string(&path).unwrap());
+        let a = merged.iter().find(|r| r.id == "binary_a/bench1").unwrap();
+        assert_eq!(a.median_ns, 10, "foreign record kept");
+        let shared = merged.iter().find(|r| r.id == "shared/bench").unwrap();
+        assert_eq!(shared.median_ns, 99, "re-measured record replaced");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_summary_respects_env_path() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("criterion_stub_summary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        record(SummaryRecord {
+            id: "env_path_test/bench".into(),
+            median_ns: 10,
+            min_ns: 9,
+            max_ns: 11,
+            samples: 3,
+        });
+        // SAFETY-free std env mutation is test-local; the var is
+        // removed again below.
+        std::env::set_var("BENCH_SUMMARY_PATH", &path);
+        write_summary();
+        std::env::remove_var("BENCH_SUMMARY_PATH");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("env_path_test/bench"));
+        std::fs::remove_file(&path).ok();
     }
 }
