@@ -28,6 +28,9 @@ USAGE:
                      [--smoothing 1.0] [--threads 1] [--shards 1]
                      [--seed 0] [--header]
   hos-miner scan     --data FILE [--top 5] [--model FILE] [... tuning flags]
+  hos-miner stream   [--data FILE]  (no --data: rows from stdin)
+                     [--window 500] [--every 200] [--top 3] [--reestimate]
+                     [... tuning flags]
   hos-miner bench    (--data FILE | --n 5000 --d 8) [--queries 16]
                      [--threads 1] [--shards 1] [... tuning flags]
   hos-miner help
@@ -44,6 +47,12 @@ the serial ones.
 `bench` fits a miner and times a batch of member queries end to end
 (reporting queries/s) — point it at a real CSV or let it generate a
 synthetic workload with --n/--d.
+`stream` consumes rows one at a time (CSV file or stdin), maintains a
+sliding window of the last --window rows with incremental engine
+updates (no refits), and reports the window's top outlying points
+every --every rows; --reestimate re-derives the OD threshold from the
+live window at each report. Reported point ids are absolute row
+numbers in the stream.
 Subspaces are printed 1-based, e.g. [1,3] = first and third columns.";
 
 /// Dispatches an argv to a subcommand.
@@ -55,6 +64,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("fit") => cmd_fit(&args),
         Some("query") => cmd_query(&args),
         Some("scan") => cmd_scan(&args),
+        Some("stream") => cmd_stream(&args),
         Some("bench") => cmd_bench(&args),
         Some("help") | None => {
             println!("{HELP}");
@@ -119,7 +129,8 @@ fn build_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
     fit_miner(args, ds)
 }
 
-fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
+/// Assembles a [`HosMinerConfig`] from the shared tuning flags.
+fn miner_config(args: &Args) -> Result<HosMinerConfig, String> {
     let k = args.get_or("k", 5usize)?;
     let threshold = match (
         args.get_opt::<f64>("threshold")?,
@@ -139,7 +150,7 @@ fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
         .unwrap_or("linear")
         .parse()
         .map_err(|e: String| e)?;
-    let config = HosMinerConfig {
+    Ok(HosMinerConfig {
         k,
         threshold,
         metric: parse_metric(args)?,
@@ -149,8 +160,11 @@ fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
         threads: args.get_or("threads", 1usize)?,
         shards: args.get_or("shards", 1usize)?,
         seed: args.get_or("seed", 0u64)?,
-    };
-    HosMiner::fit(ds, config).map_err(|e| e.to_string())
+    })
+}
+
+fn fit_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
+    HosMiner::fit(ds, miner_config(args)?).map_err(|e| e.to_string())
 }
 
 fn cmd_generate(args: &Args) -> CmdResult {
@@ -402,6 +416,191 @@ fn cmd_scan(args: &Args) -> CmdResult {
         "({} of {} points skipped without any subspace search: full-space OD < T)",
         report.skipped,
         report.skipped + report.truncated + report.hits.len()
+    );
+    Ok(())
+}
+
+/// Streaming front-end: consume rows one at a time, maintain a
+/// sliding window of the last `--window` rows through the incremental
+/// engine path (`HosMiner::insert_point` / `retire_point` — no refits
+/// on the steady-state path), and report the window's top outlying
+/// points every `--every` rows.
+///
+/// Memory is bounded: tombstones accumulate until they outnumber the
+/// live window 3:1, then the window is compacted into a fresh miner
+/// (the only non-incremental step, amortised over 3·W rows). Reported
+/// ids are absolute row numbers in the stream, stable across
+/// compactions.
+fn cmd_stream(args: &Args) -> CmdResult {
+    let window = args.get_or("window", 500usize)?;
+    let every = args.get_or("every", 200usize)?.max(1);
+    let top = args.get_or("top", 3usize)?;
+    let reestimate = args.switch("reestimate");
+    let config = miner_config(args)?;
+    if window <= config.k + 1 {
+        return Err(format!(
+            "--window {window} too small: need more than k + 1 = {} rows live",
+            config.k + 1
+        ));
+    }
+
+    let reader: Box<dyn std::io::BufRead> = match args.get("data") {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    let mut miner: Option<HosMiner> = None;
+    // The live window is always the contiguous id range
+    // [oldest, dataset.len()): inserts append, retirement is strictly
+    // FIFO, and compaction renumbers from 0 — so two counters replace
+    // any explicit id list. `base` is the stream row number of engine
+    // id 0 (compaction shifts it); `oldest` is the next id to retire.
+    let mut base = 0usize;
+    let mut oldest = 0usize;
+    let mut bootstrap: Vec<Vec<f64>> = Vec::new();
+    let mut seen = 0usize;
+    let mut inserts = 0usize;
+    let mut retires = 0usize;
+    let mut scans = 0usize;
+    let mut outlier_rows = 0usize;
+    let mut last_report = usize::MAX;
+    let mut skip_header = args.switch("header");
+
+    let report = |miner: &mut HosMiner,
+                  base: usize,
+                  seen: usize,
+                  scans: &mut usize,
+                  outlier_rows: &mut usize|
+     -> CmdResult {
+        if reestimate {
+            miner.reestimate_threshold().map_err(|e| e.to_string())?;
+        }
+        let rep = hos_core::scan_outliers(miner, top).map_err(|e| e.to_string())?;
+        *scans += 1;
+        println!(
+            "-- row {seen}: window {} live, T = {}",
+            miner.live_len(),
+            fmt_f64(rep.threshold)
+        );
+        if rep.hits.is_empty() {
+            println!("   (no point above T in any subspace)");
+        }
+        for hit in &rep.hits {
+            *outlier_rows += 1;
+            let minimal: Vec<String> = hit.outcome.minimal.iter().map(|s| s.to_string()).collect();
+            println!(
+                "   outlier row #{}: full OD {}, minimal subspaces {}",
+                base + hit.id,
+                fmt_f64(hit.full_od),
+                minimal.join(" ")
+            );
+        }
+        Ok(())
+    };
+
+    for line in std::io::BufRead::lines(reader) {
+        let line = line.map_err(|e| format!("reading stream: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if skip_header {
+            skip_header = false;
+            continue;
+        }
+        let row: Vec<f64> = trimmed
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("row {}: bad value {v:?}", seen + 1))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        seen += 1;
+
+        match &mut miner {
+            None => {
+                bootstrap.push(row);
+                if bootstrap.len() == window {
+                    let ds = Dataset::from_rows(&bootstrap).map_err(|e| e.to_string())?;
+                    bootstrap.clear();
+                    let m = HosMiner::fit(ds, config).map_err(|e| e.to_string())?;
+                    println!(
+                        "bootstrapped on first {window} rows: k={}, engine={}, T = {}",
+                        config.k,
+                        config.engine,
+                        fmt_f64(m.threshold())
+                    );
+                    miner = Some(m);
+                }
+            }
+            Some(m) => {
+                m.insert_point(&row).map_err(|e| e.to_string())?;
+                inserts += 1;
+                while m.live_len() > window {
+                    m.retire_point(oldest).map_err(|e| e.to_string())?;
+                    oldest += 1;
+                    retires += 1;
+                }
+                // Bounded memory: compact once tombstones outnumber
+                // the live window 3:1. Retirement is strictly FIFO, so
+                // the tombstones are exactly the id prefix [0, oldest)
+                // and compaction is a pure renumbering.
+                let ds = m.engine().dataset();
+                if ds.dead_count() > 3 * ds.live_len() {
+                    let mut compacted = ds.clone();
+                    compacted.compact();
+                    base += oldest;
+                    // Keep the current threshold unless --reestimate
+                    // re-derives it at each report anyway.
+                    let refit_config = if reestimate {
+                        config
+                    } else {
+                        HosMinerConfig {
+                            threshold: ThresholdPolicy::Fixed(m.threshold()),
+                            ..config
+                        }
+                    };
+                    *m = HosMiner::fit(compacted, refit_config).map_err(|e| e.to_string())?;
+                    println!(
+                        "(compacted {oldest} tombstones at row {seen}; window ids renumbered from {base})"
+                    );
+                    oldest = 0;
+                }
+                if (seen - window).is_multiple_of(every) {
+                    report(m, base, seen, &mut scans, &mut outlier_rows)?;
+                    last_report = seen;
+                }
+            }
+        }
+    }
+
+    // A short stream never reached the window size: fit on what there
+    // is so the final report still happens.
+    if miner.is_none() {
+        if bootstrap.len() <= config.k + 1 {
+            return Err(format!(
+                "stream ended after {} rows; need more than k + 1 = {} to fit",
+                bootstrap.len(),
+                config.k + 1
+            ));
+        }
+        let ds = Dataset::from_rows(&bootstrap).map_err(|e| e.to_string())?;
+        let m = HosMiner::fit(ds, config).map_err(|e| e.to_string())?;
+        miner = Some(m);
+    }
+    let mut m = miner.expect("fitted above");
+    // Final report unless the loop just emitted one at this exact row.
+    if last_report != seen {
+        report(&mut m, base, seen, &mut scans, &mut outlier_rows)?;
+    }
+    println!(
+        "stream: {seen} rows, window {} live, {inserts} inserts, {retires} retires, \
+         {scans} scans, {outlier_rows} outlier reports, final T = {}",
+        m.live_len(),
+        fmt_f64(m.threshold())
     );
     Ok(())
 }
@@ -721,6 +920,116 @@ mod tests {
         // shards = 0 is a config error, not a panic.
         assert!(run(&["query", "--data", &path, "--id", "0", "--shards", "0"]).is_err());
         assert!(run(&["query", "--data", &path, "--id", "0", "--shards", "oops"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_subcommand_windows_and_reports() {
+        let path = tmp("stream.csv");
+        run(&[
+            "generate",
+            "--out",
+            &path,
+            "--n",
+            "400",
+            "--d",
+            "4",
+            "--targets",
+            "[1,2]",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
+        // Window smaller than the stream: bootstraps, slides, reports.
+        run(&[
+            "stream",
+            "--data",
+            &path,
+            "--window",
+            "150",
+            "--every",
+            "100",
+            "--top",
+            "2",
+            "--samples",
+            "0",
+            "--quantile",
+            "0.95",
+        ])
+        .unwrap();
+        // Reestimation, sharded engine, alternative index.
+        run(&[
+            "stream",
+            "--data",
+            &path,
+            "--window",
+            "120",
+            "--every",
+            "150",
+            "--samples",
+            "0",
+            "--reestimate",
+            "--shards",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        run(&[
+            "stream",
+            "--data",
+            &path,
+            "--window",
+            "100",
+            "--every",
+            "200",
+            "--samples",
+            "0",
+            "--engine",
+            "xtree",
+        ])
+        .unwrap();
+        // Stream shorter than the window: fits on what arrived.
+        run(&[
+            "stream",
+            "--data",
+            &path,
+            "--window",
+            "5000",
+            "--samples",
+            "0",
+        ])
+        .unwrap();
+        // Validation: window must exceed k + 1; bad file is an error.
+        assert!(run(&["stream", "--data", &path, "--window", "5", "--k", "5"]).is_err());
+        assert!(run(&["stream", "--data", "/nonexistent.csv"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_compacts_long_runs_with_small_windows() {
+        // 400 rows over a 30-row window: > 3x tombstone ratio is hit
+        // repeatedly, so the compaction path (id renumbering, base
+        // offset, refit with pinned threshold) is exercised.
+        let path = tmp("stream_compact.csv");
+        run(&[
+            "generate", "--out", &path, "--n", "400", "--d", "3", "--seed", "13",
+        ])
+        .unwrap();
+        run(&[
+            "stream",
+            "--data",
+            &path,
+            "--window",
+            "30",
+            "--every",
+            "120",
+            "--samples",
+            "0",
+            "--k",
+            "3",
+        ])
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 

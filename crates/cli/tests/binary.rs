@@ -356,6 +356,68 @@ fn shards_flag_on_query_fit_and_bench() {
 }
 
 #[test]
+fn stream_consumes_stdin_and_reports_windows() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let csv = tmp("stream_stdin.csv");
+    let csv_s = csv.to_str().unwrap();
+    assert!(run(&[
+        "generate",
+        "--out",
+        csv_s,
+        "--n",
+        "300",
+        "--d",
+        "4",
+        "--targets",
+        "[1,2]",
+        "--seed",
+        "21"
+    ])
+    .status
+    .success());
+    let rows = std::fs::read(&csv).unwrap();
+
+    // Pipe the CSV through stdin: the windowed scan must report the
+    // planted outlier (row 300, displaced in dims [1,2]) once it
+    // enters the window, and print the final stream summary.
+    let mut child = Command::new(bin())
+        .args([
+            "stream",
+            "--window",
+            "150",
+            "--every",
+            "160",
+            "--top",
+            "3",
+            "--samples",
+            "0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hos-miner stream");
+    child.stdin.take().unwrap().write_all(&rows).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bootstrapped on first 150 rows"), "{text}");
+    assert!(text.contains("-- row"), "no windowed report:\n{text}");
+    assert!(
+        text.contains("outlier row #300"),
+        "planted outlier not reported:\n{text}"
+    );
+    assert!(text.contains("stream: 301 rows"), "{text}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
 fn missing_file_reports_error() {
     let out = run(&["query", "--data", "/definitely/not/here.csv", "--id", "0"]);
     assert!(!out.status.success());

@@ -1,13 +1,19 @@
 //! Error type for the HOS-Miner core.
 
 use hos_data::DataError;
+use hos_index::IndexError;
 use std::fmt;
 
-/// Errors produced by configuration, fitting or querying.
+/// Errors produced by configuration, fitting, querying or streaming
+/// mutation.
 #[derive(Debug)]
 pub enum HosError {
     /// A data-layer failure (loading, shapes, non-finite values).
     Data(DataError),
+    /// An engine-layer failure: checked queries and incremental
+    /// mutation (dead points, too few live candidates for `k`,
+    /// unsupported mutation).
+    Index(IndexError),
     /// A configuration parameter was invalid.
     Config(String),
     /// A query was malformed (e.g. wrong arity for the fitted dataset).
@@ -18,6 +24,7 @@ impl fmt::Display for HosError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HosError::Data(e) => write!(f, "data error: {e}"),
+            HosError::Index(e) => write!(f, "index error: {e}"),
             HosError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             HosError::Query(msg) => write!(f, "invalid query: {msg}"),
         }
@@ -28,6 +35,7 @@ impl std::error::Error for HosError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HosError::Data(e) => Some(e),
+            HosError::Index(e) => Some(e),
             _ => None,
         }
     }
@@ -36,6 +44,12 @@ impl std::error::Error for HosError {
 impl From<DataError> for HosError {
     fn from(e: DataError) -> Self {
         HosError::Data(e)
+    }
+}
+
+impl From<IndexError> for HosError {
+    fn from(e: IndexError) -> Self {
+        HosError::Index(e)
     }
 }
 

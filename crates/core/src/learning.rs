@@ -144,7 +144,7 @@ pub fn learn_full(
         });
     }
 
-    let mut ids: Vec<usize> = (0..ds.len()).collect();
+    let mut ids: Vec<usize> = ds.live_ids().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     ids.truncate(sample_size);

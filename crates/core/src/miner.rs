@@ -13,7 +13,7 @@ use crate::od::ThresholdPolicy;
 use crate::search::{dynamic_search, ScoredSubspace, SearchOutcome, SearchStats};
 use crate::Result;
 use hos_data::{Dataset, Metric, PointId, Subspace};
-use hos_index::{build_engine_sharded, Engine, KnnEngine};
+use hos_index::{build_engine_sharded, Engine, IndexError, KnnEngine};
 
 /// Configuration of a HOS-Miner instance.
 #[derive(Clone, Copy, Debug)]
@@ -260,6 +260,91 @@ impl HosMiner {
         self.engine.as_ref()
     }
 
+    /// Number of live points currently backing queries (inserted and
+    /// not retired).
+    pub fn live_len(&self) -> usize {
+        self.engine.dataset().live_len()
+    }
+
+    /// Inserts one point into the fitted system without a rebuild: the
+    /// engine index absorbs the row incrementally and the new point
+    /// immediately participates in every subsequent neighbourhood.
+    ///
+    /// The learned model (threshold `T`, priors) is **not** updated —
+    /// per-query state (distance caches) is built fresh per search, so
+    /// there is nothing else to invalidate. Call
+    /// [`HosMiner::reestimate_threshold`] to re-derive `T` over the
+    /// current live window.
+    ///
+    /// Returns the new point's id (stable across later mutations).
+    pub fn insert_point(&mut self, row: &[f64]) -> Result<PointId> {
+        let inc = self
+            .engine
+            .as_incremental()
+            .ok_or(HosError::Index(IndexError::Immutable("configured engine")))?;
+        Ok(inc.insert(row)?)
+    }
+
+    /// Retires (removes) dataset member `id`: the point stops
+    /// participating in any neighbourhood, and querying it yields a
+    /// typed error. Its id stays allocated (tombstone), so ids held by
+    /// callers never shift.
+    pub fn retire_point(&mut self, id: PointId) -> Result<()> {
+        let inc = self
+            .engine
+            .as_incremental()
+            .ok_or(HosError::Index(IndexError::Immutable("configured engine")))?;
+        Ok(inc.remove(id)?)
+    }
+
+    /// Re-resolves the configured [`ThresholdPolicy`] over the current
+    /// live points and installs the result as the model threshold —
+    /// the sliding-window re-estimation hook for streaming workloads
+    /// (a `Fixed` policy re-resolves to the same value; a quantile
+    /// policy re-samples the live window).
+    pub fn reestimate_threshold(&mut self) -> Result<f64> {
+        self.ensure_enough_live(true)?;
+        let t =
+            self.config
+                .threshold
+                .resolve(self.engine.as_ref(), self.config.k, self.config.seed)?;
+        self.model.threshold = t;
+        Ok(t)
+    }
+
+    /// Validates that enough live candidates exist for a `k`-NN query
+    /// (`exclude_member`: the query is a dataset member and excludes
+    /// itself). Reachable once removals shrink the window below `k`.
+    fn ensure_enough_live(&self, exclude_member: bool) -> Result<()> {
+        let available = self
+            .engine
+            .dataset()
+            .live_len()
+            .saturating_sub(usize::from(exclude_member));
+        if available < self.config.k {
+            return Err(HosError::Index(IndexError::InsufficientPoints {
+                available,
+                k: self.config.k,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Validates a member-query id: in bounds and live.
+    fn ensure_member(&self, id: PointId) -> Result<()> {
+        let ds = self.engine.dataset();
+        if id >= ds.len() {
+            return Err(HosError::Query(format!(
+                "point id {id} out of bounds for dataset of {} points",
+                ds.len()
+            )));
+        }
+        if !ds.is_live(id) {
+            return Err(HosError::Index(IndexError::DeadPoint(id)));
+        }
+        Ok(())
+    }
+
     /// Finds the outlying subspaces of an arbitrary query point.
     pub fn query_point(&self, query: &[f64]) -> Result<QueryOutcome> {
         let d = self.engine.dataset().dim();
@@ -272,6 +357,7 @@ impl HosMiner {
         if query.iter().any(|v| !v.is_finite()) {
             return Err(HosError::Query("query contains non-finite values".into()));
         }
+        self.ensure_enough_live(false)?;
         Ok(QueryOutcome::from_search(dynamic_search(
             self.engine.as_ref(),
             query,
@@ -286,14 +372,9 @@ impl HosMiner {
     /// Finds the outlying subspaces of dataset member `id` (excluded
     /// from its own neighbourhoods).
     pub fn query_id(&self, id: PointId) -> Result<QueryOutcome> {
-        let ds = self.engine.dataset();
-        if id >= ds.len() {
-            return Err(HosError::Query(format!(
-                "point id {id} out of bounds for dataset of {} points",
-                ds.len()
-            )));
-        }
-        let row: Vec<f64> = ds.row(id).to_vec();
+        self.ensure_member(id)?;
+        self.ensure_enough_live(true)?;
+        let row: Vec<f64> = self.engine.dataset().row(id).to_vec();
         Ok(QueryOutcome::from_search(dynamic_search(
             self.engine.as_ref(),
             &row,
@@ -311,15 +392,13 @@ impl HosMiner {
     /// per id (up to wall-clock stats); all ids are validated before
     /// any search runs.
     pub fn query_ids(&self, ids: &[PointId]) -> Result<Vec<QueryOutcome>> {
-        let ds = self.engine.dataset();
         for &id in ids {
-            if id >= ds.len() {
-                return Err(HosError::Query(format!(
-                    "point id {id} out of bounds for dataset of {} points",
-                    ds.len()
-                )));
-            }
+            self.ensure_member(id)?;
         }
+        if !ids.is_empty() {
+            self.ensure_enough_live(true)?;
+        }
+        let ds = self.engine.dataset();
         let queries: Vec<BatchQuery<'_>> = ids
             .iter()
             .map(|&id| BatchQuery {
@@ -348,6 +427,9 @@ impl HosMiner {
                     "query {i} contains non-finite values"
                 )));
             }
+        }
+        if !points.is_empty() {
+            self.ensure_enough_live(false)?;
         }
         let queries: Vec<BatchQuery<'_>> = points
             .iter()
@@ -602,6 +684,161 @@ mod tests {
         assert_eq!(parallel.minimal, baseline.minimal);
         miner.set_threads(0); // clamped to 1
         assert_eq!(miner.config().threads, 1);
+    }
+
+    #[test]
+    fn insert_and_retire_maintain_queries_incrementally() {
+        for engine in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+            let (mut miner, truth) = fitted(engine);
+            let n0 = miner.engine().dataset().len();
+            assert_eq!(miner.live_len(), n0);
+            // Insert a cluster member displaced far along dim 2 only:
+            // it is immediately queryable and outlying exactly there.
+            let mut displaced: Vec<f64> = miner.engine().dataset().row(10).to_vec();
+            displaced[2] += 1e4;
+            let new_id = miner.insert_point(&displaced).unwrap();
+            assert_eq!(new_id, n0);
+            assert_eq!(miner.live_len(), n0 + 1);
+            let out = miner.query_id(new_id).unwrap();
+            assert!(out.is_outlier(), "{engine}");
+            assert_eq!(out.minimal, vec![Subspace::from_dims(&[2])], "{engine}");
+            // Retire it: querying the id is now a typed error, and the
+            // engine no longer sees it as anyone's neighbour.
+            miner.retire_point(new_id).unwrap();
+            assert_eq!(miner.live_len(), n0);
+            assert!(matches!(
+                miner.query_id(new_id),
+                Err(HosError::Index(IndexError::DeadPoint(id))) if id == new_id
+            ));
+            assert!(matches!(
+                miner.retire_point(new_id),
+                Err(HosError::Index(IndexError::DeadPoint(_)))
+            ));
+            // A planted outlier is still found after the churn.
+            let (id, target) = truth[0];
+            let out = miner.query_id(id).unwrap();
+            assert!(
+                out.minimal.iter().any(|m| m.is_subset_of(target)),
+                "{engine}"
+            );
+            // Mutation validation is typed.
+            assert!(matches!(
+                miner.insert_point(&[1.0]),
+                Err(HosError::Index(IndexError::Shape { .. }))
+            ));
+            assert!(matches!(
+                miner.insert_point(&[f64::NAN; 5]),
+                Err(HosError::Index(IndexError::NonFinite))
+            ));
+        }
+    }
+
+    #[test]
+    fn queries_error_below_k_live_points() {
+        // Shrink a small fitted miner below k: every query path must
+        // return the typed insufficiency error instead of panicking or
+        // silently understating ODs.
+        let mut rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        rows.push(vec![100.0, 100.0]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut miner = HosMiner::fit(
+            ds,
+            HosMinerConfig {
+                k: 4,
+                threshold: ThresholdPolicy::Fixed(10.0),
+                sample_size: 0,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        for id in 0..5 {
+            miner.retire_point(id).unwrap();
+        }
+        // 4 live points: a member query has only 3 candidates left.
+        assert_eq!(miner.live_len(), 4);
+        assert!(matches!(
+            miner.query_id(7),
+            Err(HosError::Index(IndexError::InsufficientPoints {
+                available: 3,
+                k: 4
+            }))
+        ));
+        assert!(matches!(
+            miner.query_ids(&[7, 8]),
+            Err(HosError::Index(IndexError::InsufficientPoints { .. }))
+        ));
+        // An external point still has 4 candidates — exactly k — so it
+        // remains answerable…
+        assert!(miner.query_point(&[0.0, 0.0]).is_ok());
+        miner.retire_point(5).unwrap();
+        // …until the live count itself drops below k.
+        assert!(matches!(
+            miner.query_point(&[0.0, 0.0]),
+            Err(HosError::Index(IndexError::InsufficientPoints {
+                available: 3,
+                k: 4
+            }))
+        ));
+        assert!(matches!(
+            miner.query_points(&[vec![0.0, 0.0]]),
+            Err(HosError::Index(IndexError::InsufficientPoints { .. }))
+        ));
+        assert!(matches!(
+            miner.reestimate_threshold(),
+            Err(HosError::Index(IndexError::InsufficientPoints { .. }))
+        ));
+        // Refilling the window restores service.
+        for i in 0..3 {
+            miner.insert_point(&[i as f64, i as f64]).unwrap();
+        }
+        assert!(miner.query_point(&[0.0, 0.0]).is_ok());
+        assert!(miner.query_id(8).is_ok());
+    }
+
+    #[test]
+    fn reestimate_threshold_tracks_the_live_window() {
+        let (ds, _) = planted();
+        let mut miner = HosMiner::fit(
+            ds,
+            HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::FullSpaceQuantile {
+                    q: 0.95,
+                    sample: 150,
+                },
+                sample_size: 0,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        let t0 = miner.threshold();
+        // Same window → same threshold (resolution is seed-pinned).
+        assert_eq!(miner.reestimate_threshold().unwrap(), t0);
+        // Insert a pile of mutually-distant points (each one's k-NN
+        // distances are huge): the full-space OD quantile over the
+        // live window must move up.
+        for i in 0..60 {
+            miner
+                .insert_point(&[1e3 * (i + 1) as f64, 0.0, 0.0, 0.0, 0.0])
+                .unwrap();
+        }
+        let t1 = miner.reestimate_threshold().unwrap();
+        assert!(t1 > t0, "threshold did not track the window: {t1} <= {t0}");
+        assert_eq!(miner.threshold(), t1);
+        // A Fixed policy re-resolves to the same value by definition.
+        let (ds2, _) = planted();
+        let mut fixed = HosMiner::fit(
+            ds2,
+            HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::Fixed(42.0),
+                sample_size: 0,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        fixed.insert_point(&[9.0; 5]).unwrap();
+        assert_eq!(fixed.reestimate_threshold().unwrap(), 42.0);
     }
 
     #[test]

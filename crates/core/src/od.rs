@@ -109,13 +109,15 @@ impl ThresholdPolicy {
                     return Err(HosError::Config("threshold sample must be positive".into()));
                 }
                 let ds = engine.dataset();
-                if ds.is_empty() {
+                if ds.live_len() == 0 {
                     return Err(HosError::Config(
                         "cannot derive a threshold from an empty dataset".into(),
                     ));
                 }
                 let full = ds.full_space();
-                let mut ids: Vec<usize> = (0..ds.len()).collect();
+                // Live rows only: after streaming removals the
+                // tombstoned rows must not contribute sample ODs.
+                let mut ids: Vec<usize> = ds.live_ids().collect();
                 let mut rng = StdRng::seed_from_u64(seed);
                 ids.shuffle(&mut rng);
                 ids.truncate(sample);

@@ -44,7 +44,9 @@ impl ScanReport {
     }
 }
 
-/// Scans every dataset point, running the subspace search only for
+/// Scans every **live** dataset point (tombstoned rows neither rank
+/// nor search — after streaming removals they must never surface in
+/// [`ScanReport::hit_ids`]), running the subspace search only for
 /// points whose full-space OD reaches the threshold, and reporting at
 /// most `limit` hits (use `usize::MAX` for all).
 pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
@@ -54,11 +56,23 @@ pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
     let t = miner.threshold();
     let full = ds.full_space();
 
-    let mut ranked: Vec<(PointId, f64)> = (0..ds.len())
+    // Every ranked OD self-excludes, so the window must hold more
+    // than k live points — the same typed error the query paths
+    // return, instead of silently understating every OD.
+    let available = ds.live_len().saturating_sub(1);
+    if available < k {
+        return Err(crate::error::HosError::Index(
+            hos_index::IndexError::InsufficientPoints { available, k },
+        ));
+    }
+
+    let mut ranked: Vec<(PointId, f64)> = ds
+        .live_ids()
         .map(|i| (i, engine.od(ds.row(i), k, full, Some(i))))
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
 
+    let total = ranked.len();
     let mut hits = Vec::new();
     let mut truncated = 0usize;
     let mut skipped = 0usize;
@@ -67,7 +81,7 @@ pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
             // Monotonicity: no subspace can reach T either, and the
             // ranking is descending, so everything from here on is
             // also below T.
-            skipped = ds.len() - idx;
+            skipped = total - idx;
             break;
         }
         if hits.len() >= limit {
@@ -164,6 +178,73 @@ mod tests {
         // With a 0.98-quantile threshold, the vast majority is skipped
         // without a search.
         assert!(report.skipped > ds_len * 9 / 10);
+    }
+
+    #[test]
+    fn tombstoned_rows_never_appear_in_hits() {
+        let (mut m, planted) = miner();
+        let before = scan_outliers(&m, usize::MAX).unwrap();
+        for id in &planted {
+            assert!(before.hit_ids().contains(id), "planted {id} missing");
+        }
+        // Retire the planted outliers: they must vanish from ranking,
+        // hits and accounting — a tombstone must never resurface.
+        for &id in &planted {
+            m.retire_point(id).unwrap();
+        }
+        let after = scan_outliers(&m, usize::MAX).unwrap();
+        let ds = m.engine().dataset();
+        for &id in &planted {
+            assert!(!after.hit_ids().contains(&id), "tombstone {id} in hits");
+        }
+        for h in &after.hits {
+            assert!(ds.is_live(h.id));
+        }
+        assert_eq!(
+            after.hits.len() + after.truncated + after.skipped,
+            ds.live_len(),
+            "accounting must cover exactly the live points"
+        );
+        // Limit semantics after mutation: the cap limits searches, not
+        // ranking, and the skip count is unchanged by the cap.
+        let capped = scan_outliers(&m, 1).unwrap();
+        assert_eq!(capped.hits.len(), 1.min(after.hits.len()));
+        assert_eq!(capped.skipped, after.skipped);
+        assert!(capped.hit_ids().iter().all(|&id| ds.is_live(id)));
+        // A freshly inserted extreme point becomes the top hit.
+        let far = m.insert_point(&[500.0; 6]).unwrap();
+        let re = scan_outliers(&m, 3).unwrap();
+        assert_eq!(re.hit_ids().first(), Some(&far));
+    }
+
+    #[test]
+    fn scan_errors_once_window_shrinks_below_k() {
+        use crate::error::HosError;
+        use hos_index::IndexError;
+        let rows: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, (i % 2) as f64]).collect();
+        let mut m = HosMiner::fit(
+            hos_data::Dataset::from_rows(&rows).unwrap(),
+            HosMinerConfig {
+                k: 4,
+                threshold: ThresholdPolicy::Fixed(5.0),
+                sample_size: 0,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(scan_outliers(&m, 3).is_ok());
+        for id in 0..5 {
+            m.retire_point(id).unwrap();
+        }
+        // 4 live, each scan OD self-excludes → only 3 candidates for
+        // k = 4: typed error, not silently understated ODs.
+        assert!(matches!(
+            scan_outliers(&m, 3),
+            Err(HosError::Index(IndexError::InsufficientPoints {
+                available: 3,
+                k: 4
+            }))
+        ));
     }
 
     #[test]

@@ -5,6 +5,19 @@
 //! contiguous `Vec<f64>` of `n * d` values. Columns are secondary
 //! (needed only for normalisation and equi-depth statistics) and are
 //! accessed through strided iterators.
+//!
+//! # Mutation model (streaming)
+//!
+//! The streaming path mutates a dataset in place: [`Dataset::push_row`]
+//! appends (ids only ever grow), and [`Dataset::remove_row`]
+//! **tombstones** a row — the data stays where it is so every other
+//! [`PointId`] remains stable, but the row no longer participates in
+//! [`Dataset::iter`], [`Dataset::live_len`] or anything built on them.
+//! [`Dataset::compact`] reclaims the space by dropping tombstoned rows
+//! and renumbering, returning the id map. Indexed accessors
+//! ([`Dataset::row`], [`Dataset::get`], [`Dataset::column`]) address
+//! the *physical* matrix including tombstoned rows; callers that care
+//! filter with [`Dataset::is_live`].
 
 use crate::error::DataError;
 use crate::subspace::{Subspace, MAX_DIM};
@@ -13,13 +26,31 @@ use crate::Result;
 /// Identifier of a point: its row index in the [`Dataset`].
 pub type PointId = usize;
 
-/// A dense `n x d` matrix of `f64`, row-major.
-#[derive(Clone, Debug, PartialEq)]
+/// A dense `n x d` matrix of `f64`, row-major, with optional
+/// tombstones (see the module docs' mutation model).
+#[derive(Clone, Debug)]
 pub struct Dataset {
     n: usize,
     d: usize,
     data: Vec<f64>,
     names: Option<Vec<String>>,
+    /// Tombstone flags; empty means "all rows live" (the common,
+    /// never-mutated case allocates nothing).
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        // Liveness compares semantically: an empty `dead` vec equals
+        // an all-false one.
+        self.n == other.n
+            && self.d == other.d
+            && self.data == other.data
+            && self.names == other.names
+            && self.dead_count == other.dead_count
+            && (0..self.n).all(|i| self.is_live(i) == other.is_live(i))
+    }
 }
 
 impl Dataset {
@@ -44,6 +75,8 @@ impl Dataset {
                     d: 0,
                     data,
                     names: None,
+                    dead: Vec::new(),
+                    dead_count: 0,
                 });
             }
             return Err(DataError::Shape {
@@ -71,6 +104,8 @@ impl Dataset {
             d,
             data,
             names: None,
+            dead: Vec::new(),
+            dead_count: 0,
         })
     }
 
@@ -83,16 +118,36 @@ impl Dataset {
         b.build()
     }
 
-    /// Number of points.
+    /// Number of rows in the physical matrix — the size of the
+    /// [`PointId`] space, **including** tombstoned rows. Live-only
+    /// counting is [`Dataset::live_len`].
     #[inline]
     pub fn len(&self) -> usize {
         self.n
     }
 
-    /// Whether the dataset holds no points.
+    /// Whether the dataset holds no rows at all (live or tombstoned).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Number of live (non-tombstoned) points.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.n - self.dead_count
+    }
+
+    /// Number of tombstoned rows awaiting [`Dataset::compact`].
+    #[inline]
+    pub fn dead_count(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Whether row `i` exists and is not tombstoned.
+    #[inline]
+    pub fn is_live(&self, i: PointId) -> bool {
+        i < self.n && !self.dead.get(i).copied().unwrap_or(false)
     }
 
     /// Dimensionality.
@@ -135,10 +190,20 @@ impl Dataset {
         self.data[row * self.d + col]
     }
 
-    /// Iterates `(id, row)` pairs. Empty for a 0-dimensional dataset.
+    /// Iterates `(id, row)` pairs over the **live** rows (tombstoned
+    /// rows are skipped; ids keep their physical values, so the
+    /// sequence can have gaps). Empty for a 0-dimensional dataset.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
         // chunks_exact panics on 0; a 0-d dataset is necessarily empty.
-        self.data.chunks_exact(self.d.max(1)).enumerate()
+        self.data
+            .chunks_exact(self.d.max(1))
+            .enumerate()
+            .filter(move |(i, _)| self.is_live(*i))
+    }
+
+    /// Iterates the ids of the live rows, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        (0..self.n).filter(move |&i| self.is_live(i))
     }
 
     /// Iterates the values of one column.
@@ -211,6 +276,12 @@ impl Dataset {
         if let Some(ns) = names {
             out = out.with_names(ns)?;
         }
+        // The projection keeps the physical row layout, so tombstones
+        // carry over positionally.
+        if self.dead_count > 0 {
+            out.dead = self.dead.clone();
+            out.dead_count = self.dead_count;
+        }
         Ok(out)
     }
 
@@ -242,7 +313,67 @@ impl Dataset {
         }
         self.data.extend_from_slice(row);
         self.n += 1;
+        if !self.dead.is_empty() {
+            self.dead.push(false);
+        }
         Ok(self.n - 1)
+    }
+
+    /// Tombstones row `i`: the data stays in place (every other
+    /// [`PointId`] remains valid) but the row stops participating in
+    /// [`Dataset::iter`] and [`Dataset::live_len`].
+    ///
+    /// # Errors
+    /// * [`DataError::OutOfBounds`] if `i >= len()`.
+    /// * [`DataError::InvalidParam`] if row `i` is already tombstoned.
+    pub fn remove_row(&mut self, i: PointId) -> Result<()> {
+        if i >= self.n {
+            return Err(DataError::OutOfBounds {
+                what: "row",
+                index: i,
+                len: self.n,
+            });
+        }
+        if !self.is_live(i) {
+            return Err(DataError::InvalidParam(format!(
+                "row {i} is already removed"
+            )));
+        }
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.n];
+        }
+        self.dead[i] = true;
+        self.dead_count += 1;
+        Ok(())
+    }
+
+    /// Drops every tombstoned row, renumbering the survivors `0..m`
+    /// in their original order. Returns the id map: entry `j` is the
+    /// **old** id of the row now numbered `j`, ascending (so the map
+    /// is strictly increasing and order-preserving).
+    pub fn compact(&mut self) -> Vec<PointId> {
+        if self.dead_count == 0 {
+            self.dead = Vec::new();
+            return (0..self.n).collect();
+        }
+        let mut map = Vec::with_capacity(self.live_len());
+        let mut write = 0usize;
+        for i in 0..self.n {
+            if !self.is_live(i) {
+                continue;
+            }
+            if write != i {
+                self.data
+                    .copy_within(i * self.d..(i + 1) * self.d, write * self.d);
+            }
+            map.push(i);
+            write += 1;
+        }
+        self.n = write;
+        self.data.truncate(write * self.d);
+        self.dead = Vec::new();
+        self.dead_count = 0;
+        map
     }
 
     /// Creates an empty dataset whose dimensionality is fixed by the
@@ -253,6 +384,8 @@ impl Dataset {
             d: 0,
             data: Vec::new(),
             names: None,
+            dead: Vec::new(),
+            dead_count: 0,
         }
     }
 
@@ -286,6 +419,15 @@ impl Dataset {
                 dataset = dataset
                     .with_names(names.clone())
                     .expect("names carry over to shards");
+            }
+            if self.dead_count > 0 {
+                for local in 0..len {
+                    if !self.is_live(offset + local) {
+                        dataset
+                            .remove_row(local)
+                            .expect("tombstone carries over to its shard");
+                    }
+                }
             }
             out.push(DatasetShard { dataset, offset });
             offset += len;
@@ -547,6 +689,89 @@ mod tests {
         assert_eq!(parts[1].local_id(0), None);
         assert_eq!(parts[0].local_id(2), None);
         assert_eq!(parts[1].local_id(2), Some(0));
+    }
+
+    #[test]
+    fn remove_row_tombstones_without_moving_data() {
+        let mut ds = small();
+        assert_eq!(ds.live_len(), 3);
+        ds.remove_row(1).unwrap();
+        assert_eq!(ds.len(), 3, "id space unchanged");
+        assert_eq!(ds.live_len(), 2);
+        assert_eq!(ds.dead_count(), 1);
+        assert!(!ds.is_live(1));
+        assert!(ds.is_live(0) && ds.is_live(2));
+        // Physical access still works; iteration skips the tombstone.
+        assert_eq!(ds.row(1), &[4.0, 5.0, 6.0]);
+        let ids: Vec<PointId> = ds.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(ds.live_ids().collect::<Vec<_>>(), vec![0, 2]);
+        // Double-remove and out-of-bounds are typed errors.
+        assert!(ds.remove_row(1).is_err());
+        assert!(ds.remove_row(9).is_err());
+        // Pushing after a removal keeps flags consistent.
+        let id = ds.push_row(&[9.0, 9.0, 9.0]).unwrap();
+        assert_eq!(id, 3);
+        assert!(ds.is_live(3));
+        assert_eq!(ds.live_len(), 3);
+    }
+
+    #[test]
+    fn compact_renumbers_and_returns_increasing_id_map() {
+        let mut ds =
+            Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        ds.remove_row(0).unwrap();
+        ds.remove_row(3).unwrap();
+        let map = ds.compact();
+        assert_eq!(map, vec![1, 2, 4]);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.live_len(), 3);
+        assert_eq!(ds.dead_count(), 0);
+        for (new_id, &old_id) in map.iter().enumerate() {
+            assert_eq!(ds.row(new_id), &[old_id as f64]);
+        }
+        // Compacting a fully-live dataset is the identity map.
+        assert_eq!(ds.compact(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tombstone_equality_is_semantic() {
+        let mut a = small();
+        let b = small();
+        assert_eq!(a, b);
+        a.remove_row(2).unwrap();
+        assert_ne!(a, b);
+        // Remove + compact == never having had the row.
+        a.compact();
+        let c = Dataset::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn shard_and_project_carry_tombstones() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let mut ds = Dataset::from_rows(&rows).unwrap();
+        ds.remove_row(2).unwrap();
+        ds.remove_row(5).unwrap();
+        for shards in [1, 2, 3] {
+            let parts = ds.shard(shards);
+            let mut live = 0;
+            for part in &parts {
+                for local in 0..part.dataset.len() {
+                    let global = part.global_id(local);
+                    assert_eq!(
+                        part.dataset.is_live(local),
+                        ds.is_live(global),
+                        "shards={shards} global={global}"
+                    );
+                    live += usize::from(part.dataset.is_live(local));
+                }
+            }
+            assert_eq!(live, ds.live_len(), "shards={shards}");
+        }
+        let p = ds.project(Subspace::from_dims(&[0])).unwrap();
+        assert_eq!(p.live_len(), ds.live_len());
+        assert!(!p.is_live(2) && !p.is_live(5));
     }
 
     #[test]

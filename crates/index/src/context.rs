@@ -52,6 +52,10 @@ pub struct QueryContext<'a> {
     n: usize,
     /// `cols[j * n + i]` = pre-distance term of point `i` in dim `j`.
     cols: Vec<f64>,
+    /// Tombstone snapshot at build time (empty = all rows live):
+    /// cached terms exist for every physical row, but dead rows never
+    /// enter selection — matching the live-only engine scans.
+    dead: Vec<bool>,
     /// The owning engine's distance-evaluation counter, so cached OD
     /// work stays visible to the efficiency experiments.
     evals: Option<&'a AtomicU64>,
@@ -76,10 +80,16 @@ impl<'a> QueryContext<'a> {
                 *slot = metric.accumulate(0.0, gap);
             }
         }
+        let dead = if dataset.dead_count() > 0 {
+            (0..n).map(|i| !dataset.is_live(i)).collect()
+        } else {
+            Vec::new()
+        };
         QueryContext {
             metric,
             n,
             cols,
+            dead,
             evals: None,
         }
     }
@@ -160,7 +170,7 @@ impl<'a> QueryContext<'a> {
         let mut top = TopK::new(k);
         let mut count = 0u64;
         for i in 0..self.n {
-            if Some(i) == exclude {
+            if Some(i) == exclude || self.dead.get(i).copied().unwrap_or(false) {
                 continue;
             }
             count += 1;

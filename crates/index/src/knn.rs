@@ -1,6 +1,7 @@
 //! The k-NN engine abstraction used by every search layer.
 
 use crate::context::QueryContext;
+use crate::error::IndexError;
 use crate::evaluator::{LazyContextEvaluator, OdEvaluator};
 use hos_data::{Dataset, Metric, PointId, Subspace};
 
@@ -96,6 +97,88 @@ pub trait KnnEngine: Send + Sync {
     ) -> Box<dyn OdEvaluator + 'a> {
         Box::new(LazyContextEvaluator::new(self, query, k, exclude))
     }
+
+    /// Checked k-NN: validates the query (arity, finiteness) and that
+    /// enough **live** candidates exist to return a full `k`-list,
+    /// then delegates to [`KnnEngine::knn`]. The unchecked path keeps
+    /// its "fewer than `k` only when the data runs out" contract for
+    /// callers that want partial lists; OD consumers, whose measure is
+    /// only meaningful over exactly `k` neighbours, use this one.
+    fn try_knn(
+        &self,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        let ds = self.dataset();
+        if query.len() != ds.dim() {
+            return Err(IndexError::Shape {
+                expected: ds.dim(),
+                got: query.len(),
+            });
+        }
+        if query.iter().any(|v| !v.is_finite()) {
+            return Err(IndexError::NonFinite);
+        }
+        let mut available = ds.live_len();
+        if exclude.is_some_and(|e| ds.is_live(e)) {
+            available -= 1;
+        }
+        if available < k {
+            return Err(IndexError::InsufficientPoints { available, k });
+        }
+        Ok(self.knn(query, k, s, exclude))
+    }
+
+    /// Checked OD: [`KnnEngine::try_knn`] summed — errors instead of
+    /// silently understating the OD when fewer than `k` live
+    /// candidates remain.
+    fn try_od(
+        &self,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Result<f64, IndexError> {
+        Ok(self
+            .try_knn(query, k, s, exclude)?
+            .iter()
+            .map(|n| n.dist)
+            .sum())
+    }
+
+    /// The engine's incremental-mutation capability, if it has one.
+    /// Every engine in this crate returns `Some`; the default `None`
+    /// keeps the trait implementable by fit-once engines.
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
+        None
+    }
+}
+
+/// Incremental mutation: engines that can absorb inserts and removals
+/// without a rebuild.
+///
+/// # Equivalence contract
+///
+/// After any sequence of `insert`/`remove` calls, every query result
+/// (`knn`, `range`, `od`, evaluator paths) must be **bit-identical**
+/// to a cold rebuild of the same engine kind over the surviving rows
+/// — same distances, same `(distance, id)` ordering, with incremental
+/// ids related to cold-rebuild ids by the order-preserving compaction
+/// map. `tests/incremental_oracle.rs` (workspace root) pins this for
+/// every engine under randomized op sequences.
+///
+/// Ids are append-only: `insert` returns `dataset().len() - 1` and
+/// `remove` tombstones without renumbering, so callers can hold ids
+/// across mutations.
+pub trait IncrementalEngine {
+    /// Appends one point, returning its id.
+    fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError>;
+
+    /// Removes (tombstones) one point. The id stays allocated; using
+    /// it again yields [`IndexError::DeadPoint`].
+    fn remove(&mut self, id: PointId) -> Result<(), IndexError>;
 }
 
 /// A concrete engine choice, for configs and CLIs.
@@ -177,6 +260,112 @@ mod tests {
             let e = build_engine(kind, ds.clone(), Metric::L2);
             let nn = e.knn(&[0.1, 0.1], 1, Subspace::full(2), None);
             assert_eq!(nn[0].id, 0, "{kind}");
+        }
+    }
+
+    /// Every engine (plain and sharded) exposes the incremental
+    /// capability, and the checked query path returns typed errors —
+    /// not panics, not silently short lists — once removals shrink the
+    /// live set below `k`, all the way down to empty.
+    #[test]
+    fn try_knn_k_edge_and_incremental_smoke_per_engine() {
+        use crate::error::IndexError;
+        use crate::sharded::build_engine_sharded;
+
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let s = Subspace::full(2);
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+            for shards in [1usize, 3] {
+                let label = format!("{kind} shards={shards}");
+                let mut e = build_engine_sharded(kind, ds.clone(), Metric::L2, shards, 2);
+                // Checked path agrees with the unchecked one when valid.
+                assert_eq!(
+                    e.try_knn(&[1.0, 1.0], 3, s, Some(0)).unwrap(),
+                    e.knn(&[1.0, 1.0], 3, s, Some(0)),
+                    "{label}"
+                );
+                // Malformed queries are typed errors.
+                assert_eq!(
+                    e.try_knn(&[1.0], 3, s, None),
+                    Err(IndexError::Shape {
+                        expected: 2,
+                        got: 1
+                    }),
+                    "{label}"
+                );
+                assert_eq!(
+                    e.try_knn(&[f64::NAN, 0.0], 3, s, None),
+                    Err(IndexError::NonFinite),
+                    "{label}"
+                );
+                // Shrink below k: 8 live, remove 3 → 5 live; k=5 with
+                // self-exclusion leaves only 4 candidates.
+                let inc = e.as_incremental().expect(&label);
+                for id in [1usize, 4, 6] {
+                    inc.remove(id).unwrap();
+                }
+                assert_eq!(inc.remove(4), Err(IndexError::DeadPoint(4)), "{label}");
+                assert_eq!(
+                    inc.remove(99),
+                    Err(IndexError::OutOfBounds { id: 99, len: 8 }),
+                    "{label}"
+                );
+                assert_eq!(
+                    e.try_knn(&[1.0, 1.0], 5, s, Some(0)),
+                    Err(IndexError::InsufficientPoints { available: 4, k: 5 }),
+                    "{label}"
+                );
+                assert!(e.try_od(&[1.0, 1.0], 4, s, Some(0)).is_ok(), "{label}");
+                // Remove everything: the empty edge is an error too.
+                for id in [0usize, 2, 3, 5, 7] {
+                    e.as_incremental().unwrap().remove(id).unwrap();
+                }
+                assert_eq!(
+                    e.try_knn(&[1.0, 1.0], 1, s, None),
+                    Err(IndexError::InsufficientPoints { available: 0, k: 1 }),
+                    "{label}"
+                );
+                assert!(e.knn(&[1.0, 1.0], 2, s, None).is_empty(), "{label}");
+                // Inserting revives the engine; mutation validation is
+                // typed as well.
+                let id = e.as_incremental().unwrap().insert(&[0.5, 0.5]).unwrap();
+                assert_eq!(id, 8, "{label}");
+                assert_eq!(
+                    e.as_incremental().unwrap().insert(&[0.5]),
+                    Err(IndexError::Shape {
+                        expected: 2,
+                        got: 1
+                    }),
+                    "{label}"
+                );
+                assert_eq!(
+                    e.as_incremental().unwrap().insert(&[f64::INFINITY, 0.0]),
+                    Err(IndexError::NonFinite),
+                    "{label}"
+                );
+                let nn = e.try_knn(&[0.0, 0.0], 1, s, None).unwrap();
+                assert_eq!(nn[0].id, 8, "{label}");
+            }
+        }
+    }
+
+    /// Engines built over an *empty* dataset accept their first insert
+    /// (which fixes the arity) and answer queries afterwards.
+    #[test]
+    fn incremental_insert_into_empty_engine() {
+        use crate::sharded::build_engine_sharded;
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+            for shards in [1usize, 2] {
+                let mut e = build_engine_sharded(kind, Dataset::empty(), Metric::L2, shards, 1);
+                let inc = e.as_incremental().unwrap();
+                assert_eq!(inc.insert(&[1.0, 2.0, 3.0]).unwrap(), 0);
+                assert_eq!(inc.insert(&[4.0, 5.0, 6.0]).unwrap(), 1);
+                let nn = e.knn(&[1.0, 2.0, 3.0], 2, Subspace::full(3), None);
+                assert_eq!(nn.len(), 2, "{kind} shards={shards}");
+                assert_eq!(nn[0].id, 0);
+                assert_eq!(nn[0].dist, 0.0);
+            }
         }
     }
 }

@@ -37,6 +37,7 @@
 
 pub mod batch;
 pub mod context;
+pub mod error;
 pub mod evaluator;
 pub mod knn;
 pub mod linear;
@@ -46,8 +47,9 @@ pub mod vafile;
 pub mod xtree;
 
 pub use context::QueryContext;
+pub use error::IndexError;
 pub use evaluator::{LazyContextEvaluator, OdEvaluator};
-pub use knn::{Engine, KnnEngine, Neighbor};
+pub use knn::{Engine, IncrementalEngine, KnnEngine, Neighbor};
 pub use linear::LinearScan;
 pub use sharded::{build_engine_sharded, ShardedEngine};
 pub use vafile::{VaFile, VaFileConfig};

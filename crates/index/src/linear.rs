@@ -7,7 +7,8 @@
 //! X-tree.
 
 use crate::context::QueryContext;
-use crate::knn::{KnnEngine, Neighbor};
+use crate::error::{validate_insert, validate_remove, IndexError};
+use crate::knn::{IncrementalEngine, KnnEngine, Neighbor};
 use crate::topk::TopK;
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -107,6 +108,26 @@ impl KnnEngine for LinearScan {
 
     fn query_context<'a>(&'a self, query: &[f64]) -> Option<QueryContext<'a>> {
         Some(QueryContext::build(&self.dataset, self.metric, query).with_counter(&self.evals))
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
+        Some(self)
+    }
+}
+
+/// The linear scan is natively incremental: an insert appends a row,
+/// a removal tombstones one, and the scan loop (which iterates live
+/// rows only) needs no other state.
+impl IncrementalEngine for LinearScan {
+    fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
+        validate_insert(&self.dataset, row)?;
+        Ok(self.dataset.push_row(row)?)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
+        validate_remove(&self.dataset, id)?;
+        self.dataset.remove_row(id)?;
+        Ok(())
     }
 }
 

@@ -40,8 +40,9 @@
 
 use crate::batch::parallel_map;
 use crate::context::QueryContext;
+use crate::error::{validate_insert, validate_remove, IndexError};
 use crate::evaluator::OdEvaluator;
-use crate::knn::{build_engine, Engine, KnnEngine, Neighbor};
+use crate::knn::{build_engine, Engine, IncrementalEngine, KnnEngine, Neighbor};
 use crate::topk::TopK;
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
@@ -236,6 +237,10 @@ impl KnnEngine for ShardedEngine {
     // serialise exactly the work sharding exists to spread. The
     // sharded evaluator below builds one context *per shard* instead.
 
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
+        Some(self)
+    }
+
     fn evaluator<'a>(
         &'a self,
         query: &'a [f64],
@@ -333,6 +338,59 @@ impl OdEvaluator for ShardedOdEvaluator<'_> {
                 .map(|&s| self.od_merged(s, threads))
                 .collect()
         }
+    }
+}
+
+/// Incremental maintenance by per-shard routing.
+///
+/// Shards are contiguous global-id ranges, so every mutation has
+/// exactly one owner:
+///
+/// * **Insert** — a new point takes the next global id (the end of the
+///   id space), which by construction belongs to the **last** shard;
+///   the row is appended to both the engine-level dataset and the last
+///   shard's sub-engine. Shards drift out of balance under sustained
+///   insertion — results are unaffected (the top-k merge is lossless
+///   for *any* partition of the points), only parallel speedup
+///   degrades; rebalancing is an offline rebuild.
+/// * **Remove** — routed to the shard whose id range contains the
+///   point; tombstoned in both the sub-engine and the engine-level
+///   dataset (which the `dataset()` contract and `try_knn`'s
+///   live-count validation read).
+impl IncrementalEngine for ShardedEngine {
+    fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
+        validate_insert(&self.dataset, row)?;
+        let last = self.shards.last_mut().expect("at least one shard");
+        let local = last
+            .engine
+            .as_incremental()
+            .ok_or(IndexError::Immutable("sharded sub-engine"))?
+            .insert(row)?;
+        let global = self
+            .dataset
+            .push_row(row)
+            .expect("row validated before insert");
+        debug_assert_eq!(global, last.offset + local);
+        Ok(global)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
+        validate_remove(&self.dataset, id)?;
+        let shard = self
+            .shards
+            .iter_mut()
+            .find(|sh| id >= sh.offset && id < sh.offset + sh.engine.dataset().len())
+            .expect("contiguous shards cover the whole id space");
+        let local = id - shard.offset;
+        shard
+            .engine
+            .as_incremental()
+            .ok_or(IndexError::Immutable("sharded sub-engine"))?
+            .remove(local)?;
+        self.dataset
+            .remove_row(id)
+            .expect("id validated before removal");
+        Ok(())
     }
 }
 

@@ -19,7 +19,8 @@
 //! experiments count. Subspace queries come for free: bounds are
 //! accumulated only over the masked dimensions.
 
-use crate::knn::{KnnEngine, Neighbor};
+use crate::error::{validate_insert, validate_remove, IndexError};
+use crate::knn::{IncrementalEngine, KnnEngine, Neighbor};
 use crate::topk::TopK;
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -94,6 +95,40 @@ impl VaFile {
         self.cells
     }
 
+    /// Rebuilds the marks (equi-width over the **live** value range)
+    /// and requantises every physical row. Used when an insert fixes
+    /// the dimensionality of an engine built over an empty dataset;
+    /// also safe to call any time the incremental mark-widening has
+    /// degraded the filter (exactness never depends on the marks, only
+    /// filter selectivity does).
+    fn requantise(&mut self) {
+        let d = self.dataset.dim();
+        let cells = self.cells;
+        self.marks = (0..d)
+            .map(|c| {
+                let col: Vec<f64> = self.dataset.iter().map(|(_, row)| row[c]).collect();
+                let (lo, hi) = hos_data::stats::min_max(&col).unwrap_or((0.0, 1.0));
+                let span = (hi - lo).max(f64::MIN_POSITIVE);
+                let mut m: Vec<f64> = (0..=cells)
+                    .map(|i| lo + span * i as f64 / cells as f64)
+                    .collect();
+                let last = m.len() - 1;
+                m[last] = hi + span * 1e-9;
+                m
+            })
+            .collect();
+        self.approx = vec![0u8; self.dataset.len() * d];
+        for i in 0..self.dataset.len() {
+            // Tombstoned rows are quantised too (their slots must stay
+            // aligned) but may clamp outside the live range — harmless,
+            // they are skipped by every query.
+            let row = self.dataset.row(i);
+            for (c, &v) in row.iter().enumerate() {
+                self.approx[i * d + c] = cell_of(&self.marks[c], v, cells) as u8;
+            }
+        }
+    }
+
     /// Lower and upper pre-metric distance bounds between `query` and
     /// the approximation of point `i`, over subspace `s`.
     fn bounds(&self, query: &[f64], i: PointId, s: Subspace) -> (f64, f64) {
@@ -148,7 +183,7 @@ impl KnnEngine for VaFile {
         let mut upper = TopK::new(k);
         let mut survivors: Vec<(f64, PointId)> = Vec::new();
         for i in 0..n {
-            if Some(i) == exclude {
+            if Some(i) == exclude || !self.dataset.is_live(i) {
                 continue;
             }
             let (lo, hi) = self.bounds(query, i, s);
@@ -190,7 +225,7 @@ impl KnnEngine for VaFile {
         let mut out = Vec::new();
         let mut evals = 0u64;
         for i in 0..self.dataset.len() {
-            if Some(i) == exclude {
+            if Some(i) == exclude || !self.dataset.is_live(i) {
                 continue;
             }
             let (lo, hi) = self.bounds(query, i, s);
@@ -213,6 +248,58 @@ impl KnnEngine for VaFile {
 
     fn distance_evals(&self) -> u64 {
         self.evals.load(AtomicOrdering::Relaxed)
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
+        Some(self)
+    }
+}
+
+/// Incremental maintenance for the VA-file.
+///
+/// * **Insert** — quantise the new row with the existing marks. A
+///   value outside the current range first *widens the outer marks*
+///   (`marks[0]`/`marks[cells]`): widening only grows cells, so every
+///   existing approximation's lower bound can only shrink and upper
+///   bound only grow — both stay valid brackets, which is all the
+///   filter's correctness needs. The k-NN result itself is exact
+///   regardless of the marks, so incremental results stay
+///   bit-identical to a cold rebuild (whose marks differ).
+/// * **Remove** — tombstone; the filter and refine loops skip dead
+///   rows. Approximation slots stay allocated until the dataset is
+///   compacted offline.
+impl IncrementalEngine for VaFile {
+    fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
+        validate_insert(&self.dataset, row)?;
+        let was_dimless = self.dataset.dim() == 0;
+        let id = self.dataset.push_row(row)?;
+        if was_dimless {
+            // First row of an engine built over an empty dataset: the
+            // insert fixed the arity, so build real marks now.
+            self.requantise();
+            return Ok(id);
+        }
+        let d = self.dataset.dim();
+        debug_assert_eq!(self.approx.len(), id * d);
+        for (c, &v) in row.iter().enumerate() {
+            let m = &mut self.marks[c];
+            let last = m.len() - 1;
+            if v < m[0] {
+                m[0] = v;
+            }
+            if v >= m[last] {
+                let span = (v - m[0]).max(f64::MIN_POSITIVE);
+                m[last] = v + span * 1e-9;
+            }
+            self.approx.push(cell_of(m, v, self.cells) as u8);
+        }
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
+        validate_remove(&self.dataset, id)?;
+        self.dataset.remove_row(id)?;
+        Ok(())
     }
 }
 

@@ -32,7 +32,8 @@ mod split;
 pub use mbr::Mbr;
 pub use node::{Node, NodeId};
 
-use crate::knn::{KnnEngine, Neighbor};
+use crate::error::{validate_insert, validate_remove, IndexError};
+use crate::knn::{IncrementalEngine, KnnEngine, Neighbor};
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -89,6 +90,12 @@ pub struct XTree {
     cfg: XTreeConfig,
     nodes: Vec<Node>,
     root: NodeId,
+    /// Tombstoned points still sitting in leaf nodes — reset by
+    /// [`XTree::rebulk`], unlike the dataset's own dead count (the
+    /// dataset is never compacted here, so gating the rebuild on it
+    /// would re-trigger on every removal once the fraction is
+    /// crossed).
+    stale: usize,
     evals: AtomicU64,
 }
 
@@ -112,10 +119,13 @@ impl XTree {
             cfg,
             nodes: vec![root_node],
             root: 0,
+            stale: 0,
             evals: AtomicU64::new(0),
         };
         for pid in 0..tree.dataset.len() {
-            tree.insert(pid);
+            if tree.dataset.is_live(pid) {
+                tree.insert(pid);
+            }
         }
         tree
     }
@@ -129,36 +139,49 @@ impl XTree {
     pub fn bulk_load(dataset: Dataset, metric: Metric, cfg: XTreeConfig) -> Self {
         assert!(cfg.max_leaf >= 4, "max_leaf must be >= 4");
         assert!(cfg.max_dir >= 4, "max_dir must be >= 4");
-        let d = dataset.dim();
         let mut tree = XTree {
             dataset,
             metric,
             cfg,
             nodes: Vec::new(),
             root: 0,
+            stale: 0,
             evals: AtomicU64::new(0),
         };
-        let n = tree.dataset.len();
-        if n == 0 {
-            tree.nodes.push(Node::Leaf {
+        tree.rebulk();
+        tree
+    }
+
+    /// (Re)builds the whole tree structure by bulk-loading the
+    /// **live** points; tombstoned rows drop out of the nodes (ids and
+    /// the dataset itself are untouched). This is the incremental
+    /// path's compaction valve: `remove` calls it once the fraction of
+    /// tombstones *in the tree* crosses [`XTree::REBULK_DEAD_FRACTION`],
+    /// so the cost amortises to O(log n) per removal while scans never
+    /// wade through more than that fraction of dead entries.
+    fn rebulk(&mut self) {
+        let d = self.dataset.dim();
+        self.stale = 0;
+        self.nodes.clear();
+        let mut ids: Vec<PointId> = self.dataset.live_ids().collect();
+        if ids.is_empty() {
+            self.nodes.push(Node::Leaf {
                 points: Vec::new(),
                 mbr: Mbr::unset(d.max(1)),
             });
-            tree.root = 0;
-            return tree;
+            self.root = 0;
+            return;
         }
-        let mut ids: Vec<PointId> = (0..n).collect();
         // Height of the balanced tree: leaves hold up to max_leaf,
         // directories up to max_dir children.
-        let leaves_needed = n.div_ceil(cfg.max_leaf);
+        let leaves_needed = ids.len().div_ceil(self.cfg.max_leaf);
         let mut height = 1usize; // leaf level
         let mut reach = 1usize; // leaves reachable from one node at this height
         while reach < leaves_needed {
-            reach *= cfg.max_dir;
+            reach *= self.cfg.max_dir;
             height += 1;
         }
-        tree.root = tree.bulk_build(&mut ids, height);
-        tree
+        self.root = self.bulk_build(&mut ids, height);
     }
 
     /// Recursively builds a subtree of the given height over `ids`.
@@ -230,6 +253,13 @@ impl XTree {
     /// Construction parameters.
     pub fn config(&self) -> XTreeConfig {
         self.cfg
+    }
+
+    /// Tombstoned points still held in tree nodes (dropped at the
+    /// next bounded re-bulk-load). Exposed so tests can pin the
+    /// rebuild cadence.
+    pub fn stale_points(&self) -> usize {
+        self.stale
     }
 
     /// Structural statistics of the built tree.
@@ -413,13 +443,18 @@ impl XTree {
         Some(right_id)
     }
 
-    /// Validates structural invariants (testing aid): every point in
-    /// exactly one leaf, every MBR covers its subtree.
+    /// Validates structural invariants (testing aid): every **live**
+    /// point in exactly one leaf, every MBR covers its subtree.
+    /// Tombstoned points may still sit in leaves (they are skipped at
+    /// query time and dropped at the next re-bulk-load) but must not
+    /// appear twice.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut seen = vec![false; self.dataset.len()];
         self.check_node(self.root, &mut seen)?;
-        if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(format!("point {missing} not reachable from the root"));
+        if let Some(missing) =
+            (0..self.dataset.len()).find(|&i| self.dataset.is_live(i) && !seen[i])
+        {
+            return Err(format!("live point {missing} not reachable from the root"));
         }
         Ok(())
     }
@@ -510,14 +545,19 @@ impl KnnEngine for XTree {
             match &self.nodes[id] {
                 Node::Leaf { points, .. } => {
                     for &p in points {
-                        if Some(p) == exclude {
+                        if Some(p) == exclude || !self.dataset.is_live(p) {
                             continue;
                         }
                         let pre = self.metric.pre_dist_sub(query, self.dataset.row(p), s);
                         evals += 1;
                         if best.len() < k {
                             best.push((OrdF64(pre), p));
-                        } else if pre < best.peek().expect("k > 0").0 .0 {
+                        } else if (OrdF64(pre), p) < *best.peek().expect("k > 0") {
+                            // Full (pre, id) eviction order — the same
+                            // tie-break as TopK — so the kept set is
+                            // independent of traversal order and thus
+                            // of tree structure; X-tree neighbour
+                            // lists equal LinearScan's bit for bit.
                             best.pop();
                             best.push((OrdF64(pre), p));
                         }
@@ -572,7 +612,7 @@ impl KnnEngine for XTree {
             match &self.nodes[id] {
                 Node::Leaf { points, .. } => {
                     for &p in points {
-                        if Some(p) == exclude {
+                        if Some(p) == exclude || !self.dataset.is_live(p) {
                             continue;
                         }
                         evals += 1;
@@ -598,6 +638,62 @@ impl KnnEngine for XTree {
 
     fn distance_evals(&self) -> u64 {
         self.evals.load(AtomicOrdering::Relaxed)
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
+        Some(self)
+    }
+}
+
+impl XTree {
+    /// Removals trigger a re-bulk-load once tombstones reach a quarter
+    /// of the points *held in the tree* (live + not-yet-dropped dead):
+    /// scans then never wade through more than 25% dead leaf entries,
+    /// and the O(n log n) rebuild amortises to O(log n) per removal.
+    /// The gate counts tombstones since the last rebuild — not the
+    /// dataset's cumulative dead count, which never resets here and
+    /// would re-trigger a full rebuild on every removal once crossed.
+    pub const REBULK_DEAD_FRACTION: f64 = 0.25;
+}
+
+/// Incremental maintenance for the X-tree.
+///
+/// * **Insert** — the native R*-style insertion path (`choose
+///   subtree → split or supernode`), exactly the routine sequential
+///   [`XTree::build`] uses per point.
+/// * **Remove** — tombstone; leaf scans skip dead points (their MBRs
+///   stay conservative, so the MINDIST bounds stay valid), and a
+///   bounded re-bulk-load rebuilds the structure over the live points
+///   once the dead fraction crosses [`XTree::REBULK_DEAD_FRACTION`].
+///
+/// Either way, queries stay exact: best-first search with valid lower
+/// bounds plus the full `(distance, id)` eviction order returns the
+/// true top-k regardless of tree shape, which is why incremental
+/// results match a cold rebuild bit for bit.
+impl IncrementalEngine for XTree {
+    fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
+        validate_insert(&self.dataset, row)?;
+        let was_dimless = self.dataset.dim() == 0;
+        let pid = self.dataset.push_row(row)?;
+        if was_dimless {
+            // First row fixed the arity: the placeholder root leaf has
+            // the wrong MBR dimensionality, so rebuild from scratch.
+            self.rebulk();
+        } else {
+            self.insert(pid);
+        }
+        Ok(pid)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
+        validate_remove(&self.dataset, id)?;
+        self.dataset.remove_row(id)?;
+        self.stale += 1;
+        let in_tree = (self.dataset.live_len() + self.stale) as f64;
+        if self.stale as f64 >= Self::REBULK_DEAD_FRACTION * in_tree {
+            self.rebulk();
+        }
+        Ok(())
     }
 }
 
@@ -789,6 +885,49 @@ mod tests {
         assert!(s.height <= 3, "bulk height {}", s.height);
         let inserted = XTree::build(ds, Metric::L2, XTreeConfig::default());
         assert!(s.height <= inserted.stats().height);
+    }
+
+    #[test]
+    fn rebulk_cadence_is_bounded_not_per_removal() {
+        // Regression: the rebuild gate counts tombstones in the TREE
+        // (reset by each re-bulk-load), not the dataset's cumulative
+        // dead count — otherwise, once the dead fraction crossed 25%,
+        // every later removal would rebuild the whole tree.
+        let ds = random_dataset(400, 4, 31);
+        let mut t = XTree::build(ds, Metric::L2, XTreeConfig::default());
+        let mut rebuilds = 0usize;
+        let mut gaps_without_rebuild = 0usize;
+        let mut prev_stale = 0usize;
+        for id in 0..300usize {
+            IncrementalEngine::remove(&mut t, id).unwrap();
+            if t.stale_points() == 0 {
+                rebuilds += 1;
+            } else {
+                assert_eq!(
+                    t.stale_points(),
+                    prev_stale + 1,
+                    "stale must only grow by 1"
+                );
+                gaps_without_rebuild += 1;
+            }
+            prev_stale = t.stale_points();
+            t.check_invariants().unwrap();
+        }
+        // Far fewer rebuilds than removals, and plenty of removals
+        // that did not rebuild — the amortisation actually happens.
+        assert!(rebuilds >= 2, "gate never fired: {rebuilds}");
+        assert!(
+            rebuilds <= 20,
+            "rebuilding nearly every removal: {rebuilds} rebuilds / 300 removals"
+        );
+        assert!(gaps_without_rebuild > 250);
+        // Queries stay exact throughout (spot check at the end).
+        let lin = LinearScan::new(t.dataset().clone(), Metric::L2);
+        let q: Vec<f64> = t.dataset().row(350).to_vec();
+        assert_eq!(
+            t.knn(&q, 5, Subspace::full(4), Some(350)),
+            lin.knn(&q, 5, Subspace::full(4), Some(350))
+        );
     }
 
     #[test]
