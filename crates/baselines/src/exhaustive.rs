@@ -141,6 +141,7 @@ pub fn exhaustive_search(
             rounds,
             lattice_size: Subspace::lattice_size(d),
             seconds: start.elapsed().as_secs_f64(),
+            ..SearchStats::default()
         },
         level_outlier_fraction,
     }

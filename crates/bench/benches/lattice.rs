@@ -1,11 +1,118 @@
-//! Criterion benchmarks for the lattice machinery (feeds E3): pruning
-//! closures and per-round TSF computation, the bookkeeping overhead
-//! the dynamic search pays on top of OD evaluations.
+//! Criterion benchmarks for the lattice machinery (feeds E3): the
+//! prefix-stack lattice kernel against the direct per-subspace
+//! combine (the headline `>= 2x` full-lattice target), per-node cost
+//! across levels (the `|s|`-independence claim), plus pruning closures
+//! and per-round TSF computation — the bookkeeping overhead the
+//! dynamic search pays on top of OD evaluations.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hos_core::priors::Priors;
-use hos_data::Subspace;
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::QueryContext;
 use hos_lattice::{Lattice, TsfComputer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 2000;
+const K: usize = 10;
+
+fn dataset(d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(7);
+    let flat: Vec<f64> = (0..N * d).map(|_| rng.gen_range(0.0..100.0)).collect();
+    Dataset::from_flat(flat, d).unwrap()
+}
+
+/// Full-lattice query workload (all `2^d - 1` subspace ODs of one
+/// query point, the cost of one worst-case dynamic search): the
+/// pre-PR baseline recombines `|s|` cached columns per node
+/// (`QueryContext::od`); the prefix-stack walker folds exactly one
+/// column per node. Both paths produce bit-identical ODs — asserted
+/// here, so the bench can never silently compare different work.
+fn bench_full_lattice_kernel(c: &mut Criterion) {
+    for d in [10usize, 12] {
+        let ds = dataset(d);
+        let query: Vec<f64> = ds.row(17).to_vec();
+        let ctx = QueryContext::build(&ds, Metric::L2, &query);
+        let mut ordered: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        ordered.sort_by(|a, b| a.walk_cmp(*b));
+
+        // Equivalence guard: identical sums, bit for bit.
+        {
+            let mut w = ctx.walker();
+            let direct: f64 = ordered.iter().map(|&s| ctx.od(K, s, Some(17))).sum();
+            let walked: f64 = ordered
+                .iter()
+                .map(|&s| {
+                    w.seek(s);
+                    w.od(K, Some(17))
+                })
+                .sum();
+            assert_eq!(direct, walked, "kernel must stay bit-identical");
+        }
+
+        let mut group = c.benchmark_group(format!("full_lattice_n{N}_d{d}_k{K}"));
+        group.sample_size(10);
+        group.bench_function("direct_combine", |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for &s in &ordered {
+                    total += ctx.od(K, s, Some(17));
+                }
+                black_box(total)
+            });
+        });
+        group.bench_function("prefix_walker", |b| {
+            b.iter(|| {
+                let mut w = ctx.walker();
+                let mut total = 0.0;
+                for &s in &ordered {
+                    w.seek(s);
+                    total += w.od(K, Some(17));
+                }
+                black_box(total)
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Per-node cost across single levels of a d=12 lattice: the direct
+/// combine grows linearly in `|s| = m`; the walker's per-node cost is
+/// one fold per distinct trie prefix — flat in `m`. Ids encode the
+/// level so the summary JSON tracks the shape across PRs.
+fn bench_per_node_level_cost(c: &mut Criterion) {
+    let d = 12usize;
+    let ds = dataset(d);
+    let query: Vec<f64> = ds.row(17).to_vec();
+    let ctx = QueryContext::build(&ds, Metric::L2, &query);
+    let mut group = c.benchmark_group(format!("level_walk_n{N}_d{d}_k{K}"));
+    group.sample_size(10);
+    for m in [2usize, 6, 10] {
+        let mut level: Vec<Subspace> = Subspace::all_of_dim(d, m).collect();
+        level.sort_by(|a, b| a.walk_cmp(*b));
+        group.bench_with_input(BenchmarkId::new("direct_combine", m), &m, |b, _| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for &s in &level {
+                    total += ctx.od(K, s, Some(17));
+                }
+                black_box(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_walker", m), &m, |b, _| {
+            b.iter(|| {
+                let mut w = ctx.walker();
+                let mut total = 0.0;
+                for &s in &level {
+                    w.seek(s);
+                    total += w.od(K, Some(17));
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_prune_closures(c: &mut Criterion) {
     let mut group = c.benchmark_group("prune_closure");
@@ -60,6 +167,8 @@ fn bench_open_at_level(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_full_lattice_kernel,
+    bench_per_node_level_cost,
     bench_prune_closures,
     bench_tsf_round,
     bench_open_at_level

@@ -32,7 +32,11 @@ USAGE:
                      [--window 500] [--every 200] [--top 3] [--reestimate]
                      [... tuning flags]
   hos-miner bench    (--data FILE | --n 5000 --d 8) [--queries 16]
-                     [--threads 1] [--shards 1] [... tuning flags]
+                     [--threads 1] [--shards 1] [--summary FILE]
+                     [... tuning flags]
+  hos-miner bench compare [--baseline BENCH_BASELINE.json]
+                     [--summary BENCH_SUMMARY.json]
+                     [--tolerance 0.5] [--strict]
   hos-miner help
 
 With --model, the threshold and learned priors come from a file written
@@ -46,7 +50,10 @@ changes any result: sharded and threaded answers are bit-identical to
 the serial ones.
 `bench` fits a miner and times a batch of member queries end to end
 (reporting queries/s) — point it at a real CSV or let it generate a
-synthetic workload with --n/--d.
+synthetic workload with --n/--d. Every run writes a machine-readable
+summary (default BENCH_SUMMARY.json; --summary - disables). `bench
+compare` diffs a summary against a committed baseline snapshot within
+--tolerance: a non-blocking report unless --strict.
 `stream` consumes rows one at a time (CSV file or stdin), maintains a
 sliding window of the last --window rows with incremental engine
 updates (no refits), and reports the window's top outlying points
@@ -271,11 +278,12 @@ fn print_outcome(out: &hos_core::QueryOutcome, threshold: f64) {
         );
     }
     println!(
-        "search: {} OD evals, {} pruned-in, {} pruned-out, lattice {}, {:.1} ms",
+        "search: {} OD evals, {} pruned-in, {} pruned-out, lattice {}, {} kernel folds, {:.1} ms",
         out.stats.od_evals,
         out.stats.pruned_outlier,
         out.stats.pruned_non_outlier,
         out.stats.lattice_size,
+        out.stats.nodes_visited,
         out.stats.seconds * 1e3
     );
 }
@@ -610,7 +618,17 @@ fn cmd_stream(args: &Args) -> CmdResult {
 /// scaling story cares about: the same workload re-run with
 /// `--threads`/`--shards` varied shows exactly what each buys, with
 /// results guaranteed identical.
+///
+/// Every run also writes a machine-readable summary (default
+/// `BENCH_SUMMARY.json`, overridable with `--summary PATH`, disabled
+/// with `--summary -`): the workload config plus fit/query timings,
+/// one JSON field per line so the `bench compare` parser — and any
+/// CI script — can read it without a JSON library. `bench compare`
+/// diffs a summary against a committed baseline with a tolerance.
 fn cmd_bench(args: &Args) -> CmdResult {
+    if args.positional().get(1).map(String::as_str) == Some("compare") {
+        return cmd_bench_compare(args);
+    }
     let ds = if args.get("data").is_some() {
         load(args)?
     } else {
@@ -663,14 +681,151 @@ fn cmd_bench(args: &Args) -> CmdResult {
         fit_seconds,
         fmt_f64(miner.threshold())
     );
+    let queries_per_s = ids.len() as f64 / query_seconds.max(1e-12);
     println!(
         "query: {} queries in {:.3} s  ->  {:.1} queries/s  ({} OD evals, {} outliers)",
         ids.len(),
         query_seconds,
-        ids.len() as f64 / query_seconds.max(1e-12),
+        queries_per_s,
         od_evals,
         outliers
     );
+
+    let summary_path = args.get("summary").unwrap_or("BENCH_SUMMARY.json");
+    if summary_path != "-" {
+        let summary = format!(
+            "{{\n  \"config\": {{\n    \"n\": {},\n    \"d\": {},\n    \"k\": {},\n    \
+             \"engine\": \"{}\",\n    \"metric\": \"{}\",\n    \"threads\": {},\n    \
+             \"shards\": {},\n    \"queries\": {}\n  }},\n  \"results\": {{\n    \
+             \"fit_seconds\": {:.6},\n    \"query_seconds\": {:.6},\n    \
+             \"queries_per_s\": {:.3},\n    \"od_evals\": {},\n    \"outliers\": {}\n  }}\n}}\n",
+            n,
+            miner.engine().dataset().dim(),
+            miner.config().k,
+            miner.config().engine,
+            miner.config().metric.name(),
+            threads,
+            shards,
+            ids.len(),
+            fit_seconds,
+            query_seconds,
+            queries_per_s,
+            od_evals,
+            outliers
+        );
+        std::fs::write(summary_path, summary)
+            .map_err(|e| format!("writing {summary_path}: {e}"))?;
+        println!("wrote {summary_path}");
+    }
+    Ok(())
+}
+
+/// One numeric field out of a bench summary: scans for `"key":` and
+/// parses the number that follows. Line-oriented and dependency-free,
+/// matching the exact shape `cmd_bench` writes.
+fn summary_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// One string field out of a bench summary.
+fn summary_string(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = text.find(&needle)? + needle.len();
+    text[start..].split('"').next().map(str::to_string)
+}
+
+/// `bench compare`: diffs the current `BENCH_SUMMARY.json` against a
+/// committed `BENCH_BASELINE.json` within `--tolerance` (a relative
+/// fraction, default 0.5 — generous because the baseline was captured
+/// on one particular machine). Reports per-metric ratios; exits
+/// successfully even on regressions — this is a *report*, wired into
+/// CI as a non-blocking step — unless `--strict` is passed.
+fn cmd_bench_compare(args: &Args) -> CmdResult {
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_BASELINE.json");
+    let summary_path = args.get("summary").unwrap_or("BENCH_SUMMARY.json");
+    let tolerance = args.get_or("tolerance", 0.5f64)?;
+    if !(0.0..10.0).contains(&tolerance) {
+        return Err(format!("--tolerance {tolerance} out of range [0, 10)"));
+    }
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+    let current = std::fs::read_to_string(summary_path)
+        .map_err(|e| format!("reading summary {summary_path}: {e}"))?;
+
+    // Config drift makes the numbers incomparable; flag it loudly but
+    // still print the report (CI may intentionally scale the workload).
+    let mut config_drift = false;
+    for key in ["n", "d", "k", "threads", "shards", "queries"] {
+        let (b, c) = (
+            summary_number(&baseline, key),
+            summary_number(&current, key),
+        );
+        if b != c {
+            println!(
+                "note: config {key} differs (baseline {b:?}, current {c:?}) — ratios are indicative only"
+            );
+            config_drift = true;
+        }
+    }
+    if summary_string(&baseline, "engine") != summary_string(&current, "engine") {
+        println!("note: engines differ — ratios are indicative only");
+        config_drift = true;
+    }
+
+    let mut regressions = 0usize;
+    let mut t = Table::new(vec!["metric", "baseline", "current", "ratio", "verdict"]);
+    // (key, higher_is_better)
+    for (key, higher_is_better) in [("queries_per_s", true), ("fit_seconds", false)] {
+        let b = summary_number(&baseline, key)
+            .ok_or_else(|| format!("baseline {baseline_path} lacks {key}"))?;
+        let c = summary_number(&current, key)
+            .ok_or_else(|| format!("summary {summary_path} lacks {key}"))?;
+        let ratio = c / b.max(1e-12);
+        let regressed = if higher_is_better {
+            ratio < 1.0 - tolerance
+        } else {
+            ratio > 1.0 + tolerance
+        };
+        let improved = if higher_is_better {
+            ratio > 1.0 + tolerance
+        } else {
+            ratio < 1.0 - tolerance
+        };
+        let verdict = if regressed {
+            regressions += 1;
+            "REGRESSION"
+        } else if improved {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.push(vec![
+            key.to_string(),
+            fmt_f64(b),
+            fmt_f64(c),
+            format!("{ratio:.2}x"),
+            verdict.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "bench compare: {} regression(s) beyond ±{:.0}% vs {baseline_path}{}",
+        regressions,
+        tolerance * 100.0,
+        if config_drift { " (config drift!)" } else { "" }
+    );
+    if regressions > 0 && args.switch("strict") {
+        return Err(format!(
+            "{regressions} bench metric(s) regressed beyond tolerance {tolerance}"
+        ));
+    }
     Ok(())
 }
 
@@ -1049,6 +1204,8 @@ mod tests {
             "2",
             "--threads",
             "2",
+            "--summary",
+            "-",
         ])
         .unwrap();
         let path = tmp("bench.csv");
@@ -1056,7 +1213,18 @@ mod tests {
             "generate", "--out", &path, "--n", "200", "--d", "4", "--seed", "3",
         ])
         .unwrap();
-        run(&["bench", "--data", &path, "--queries", "3", "--samples", "0"]).unwrap();
+        run(&[
+            "bench",
+            "--data",
+            &path,
+            "--queries",
+            "3",
+            "--samples",
+            "0",
+            "--summary",
+            "-",
+        ])
+        .unwrap();
         // --normalize is honoured (and validated) like fit/query/scan.
         run(&[
             "bench",
@@ -1068,10 +1236,120 @@ mod tests {
             "0",
             "--normalize",
             "zscore",
+            "--summary",
+            "-",
         ])
         .unwrap();
         assert!(run(&["bench", "--data", &path, "--normalize", "log"]).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_summary_and_compare_roundtrip() {
+        let baseline = tmp("bench_baseline.json");
+        let summary = tmp("bench_summary.json");
+        run(&[
+            "bench",
+            "--n",
+            "250",
+            "--d",
+            "4",
+            "--queries",
+            "8",
+            "--samples",
+            "0",
+            "--summary",
+            &baseline,
+        ])
+        .unwrap();
+        // The summary is machine-readable: config and results fields
+        // present with parseable numbers.
+        let text = std::fs::read_to_string(&baseline).unwrap();
+        for key in [
+            "\"n\":",
+            "\"queries\":",
+            "\"fit_seconds\":",
+            "\"queries_per_s\":",
+            "\"od_evals\":",
+        ] {
+            assert!(text.contains(key), "summary lacks {key}: {text}");
+        }
+        assert!(summary_number(&text, "queries_per_s").unwrap() > 0.0);
+        assert_eq!(summary_string(&text, "engine").as_deref(), Some("linear"));
+
+        // Same workload again: compare passes within any tolerance.
+        run(&[
+            "bench",
+            "--n",
+            "250",
+            "--d",
+            "4",
+            "--queries",
+            "8",
+            "--samples",
+            "0",
+            "--summary",
+            &summary,
+        ])
+        .unwrap();
+        run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--tolerance",
+            "5.0",
+        ])
+        .unwrap();
+
+        // A fabricated 100x regression: still Ok as a report, an
+        // error under --strict.
+        let slow = text.replace(
+            &format!(
+                "\"queries_per_s\": {:.3}",
+                summary_number(&text, "queries_per_s").unwrap()
+            ),
+            "\"queries_per_s\": 0.001",
+        );
+        assert!(slow.contains("0.001"), "fabrication failed: {slow}");
+        std::fs::write(&summary, slow).unwrap();
+        run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+        ])
+        .unwrap();
+        assert!(run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--strict",
+        ])
+        .is_err());
+
+        // Validation: missing files and bad tolerances are errors.
+        assert!(run(&["bench", "compare", "--baseline", "/nonexistent.json"]).is_err());
+        assert!(run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--tolerance",
+            "-1",
+        ])
+        .is_err());
+        std::fs::remove_file(&baseline).ok();
+        std::fs::remove_file(&summary).ok();
     }
 
     #[test]

@@ -246,6 +246,8 @@ fn threads_flag_on_query_fit_and_bench() {
         "0",
         "--threads",
         "2",
+        "--summary",
+        "-",
     ]);
     assert!(
         out.status.success(),
@@ -337,6 +339,8 @@ fn shards_flag_on_query_fit_and_bench() {
         "0",
         "--shards",
         "4",
+        "--summary",
+        "-",
     ]);
     assert!(
         out.status.success(),
@@ -353,6 +357,52 @@ fn shards_flag_on_query_fit_and_bench() {
     assert!(!out.status.success());
     std::fs::remove_file(csv).ok();
     std::fs::remove_file(model).ok();
+}
+
+#[test]
+fn bench_summary_file_and_compare_via_binary() {
+    let baseline = tmp("bin_baseline.json");
+    let baseline_s = baseline.to_str().unwrap();
+    let out = run(&[
+        "bench",
+        "--n",
+        "300",
+        "--d",
+        "4",
+        "--queries",
+        "6",
+        "--samples",
+        "0",
+        "--summary",
+        baseline_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    assert!(text.contains("\"queries_per_s\":"), "summary:\n{text}");
+    // Self-compare: zero regressions, exit 0, the verdict table prints.
+    let out = run(&[
+        "bench",
+        "compare",
+        "--baseline",
+        baseline_s,
+        "--summary",
+        baseline_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("0 regression(s)"), "{report}");
+    // Missing baseline is a clean error.
+    let out = run(&["bench", "compare", "--baseline", "/nonexistent.json"]);
+    assert!(!out.status.success());
+    std::fs::remove_file(baseline).ok();
 }
 
 #[test]

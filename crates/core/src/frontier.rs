@@ -96,7 +96,7 @@ pub fn frontier_search(
         };
     }
 
-    // Level 1.
+    // Level 1 (singles ascending — already walker order).
     let mut open: Vec<Subspace> = (0..d).map(Subspace::single).collect();
     let mut level = 1usize;
     let exhausted_frontier;
@@ -149,7 +149,11 @@ pub fn frontier_search(
             exhausted_frontier = true;
             break;
         }
-        next.sort_by_key(|s| s.mask());
+        // Walker order (prefix-trie DFS): consecutive candidates share
+        // ascending-dim prefixes, so the evaluator's prefix-stack
+        // kernel pays O(n) per candidate. Equal masks compare equal
+        // under walk_cmp, so dedup still sees duplicates adjacent.
+        next.sort_by(|a, b| a.walk_cmp(*b));
         next.dedup();
         open = next;
         level += 1;
@@ -161,6 +165,7 @@ pub fn frontier_search(
         minimal,
         stats: SearchStats {
             od_evals: evals,
+            nodes_visited: evaluator.node_visits(),
             rounds,
             seconds: start.elapsed().as_secs_f64(),
             lattice_size: Subspace::lattice_size(d),

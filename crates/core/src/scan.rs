@@ -49,12 +49,21 @@ impl ScanReport {
 /// [`ScanReport::hit_ids`]), running the subspace search only for
 /// points whose full-space OD reaches the threshold, and reporting at
 /// most `limit` hits (use `usize::MAX` for all).
+///
+/// The ranking phase runs the **blocked all-points kernel**
+/// ([`hos_index::all_points_full_od`]): one SoA transpose, then
+/// block-of-queries × column streaming with reused top-k heaps,
+/// instead of `n` independent engine queries. The kernel folds
+/// per-dimension terms in the same ascending order and selects/sums in
+/// the same `(distance, id)` order as every engine, so the ranked ODs
+/// are bit-identical to the per-point path on any engine (all engines
+/// are pinned bit-identical to `LinearScan`); only the cost changes.
+/// Engine `distance_evals` counters do not observe the ranking pass.
 pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
     let engine = miner.engine();
     let ds = engine.dataset();
     let k = miner.config().k;
     let t = miner.threshold();
-    let full = ds.full_space();
 
     // Every ranked OD self-excludes, so the window must hold more
     // than k live points — the same typed error the query paths
@@ -66,10 +75,7 @@ pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
         ));
     }
 
-    let mut ranked: Vec<(PointId, f64)> = ds
-        .live_ids()
-        .map(|i| (i, engine.od(ds.row(i), k, full, Some(i))))
-        .collect();
+    let mut ranked: Vec<(PointId, f64)> = hos_index::all_points_full_od(ds, engine.metric(), k);
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
 
     let total = ranked.len();
@@ -162,6 +168,37 @@ mod tests {
         for h in &report.hits {
             assert!(h.full_od >= report.threshold);
             assert!(h.outcome.is_outlier());
+        }
+    }
+
+    #[test]
+    fn blocked_ranking_bit_identical_to_per_point_engine_ods() {
+        // The ranking phase now runs the blocked all-points kernel;
+        // every reported full_od must still equal a per-point engine
+        // query bit for bit — across engines and shard counts, since
+        // the scan serves whichever engine the miner was fitted with.
+        use hos_index::Engine;
+        let (m, _) = miner();
+        let ds = m.engine().dataset().clone();
+        let report = scan_outliers(&m, usize::MAX).unwrap();
+        let full = ds.full_space();
+        for engine_kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+            let cfg = HosMinerConfig {
+                k: 5,
+                threshold: ThresholdPolicy::Fixed(m.threshold()),
+                sample_size: 0,
+                engine: engine_kind,
+                ..HosMinerConfig::default()
+            };
+            let other = HosMiner::fit(ds.clone(), cfg).unwrap();
+            for h in &report.hits {
+                assert_eq!(
+                    h.full_od,
+                    other.engine().od(ds.row(h.id), 5, full, Some(h.id)),
+                    "{engine_kind} point {}",
+                    h.id
+                );
+            }
         }
     }
 

@@ -52,6 +52,15 @@ pub struct SearchStats {
     pub pruned_outlier: u64,
     /// Subspaces pruned out as certain non-outliers (Property 1).
     pub pruned_non_outlier: u64,
+    /// Lattice nodes entered by the prefix-stack kernel: one per
+    /// `O(n)` column fold (`hos_index::PrefixStack::node_visits`,
+    /// summed per shard for sharded engines, where each fold streams
+    /// `n / shards` rows). The testable cost claim of the kernel: a
+    /// direct per-subspace recombine would pay `Σ|s|` folds over the
+    /// evaluated subspaces; walker-order traversal pays at most that,
+    /// and exactly one fold per node on full-lattice walks. Stays 0 on
+    /// engine paths that never build a distance cache.
+    pub nodes_visited: u64,
     /// Search rounds (levels evaluated).
     pub rounds: u32,
     /// Total non-empty subspaces in the lattice (`2^d - 1`).
@@ -160,7 +169,12 @@ pub fn dynamic_search(
             })
             .expect("lattice not complete implies an open level");
 
-        let open = lattice.open_at_level(m);
+        // Walker-order enumeration: the level batch arrives at the
+        // evaluator already in prefix-trie DFS order, so the
+        // prefix-stack kernel shares accumulators across consecutive
+        // subspaces (and across rounds — the evaluator's stack
+        // persists between batches).
+        let open = lattice.open_at_level_walk(m);
         debug_assert!(!open.is_empty());
         let ods = evaluator.od_batch(&open, threads);
         for (&s, &od) in open.iter().zip(&ods) {
@@ -221,6 +235,7 @@ pub fn dynamic_search(
         wasted_evals,
         pruned_outlier: counters.pruned_outlier,
         pruned_non_outlier: counters.pruned_non_outlier,
+        nodes_visited: evaluator.node_visits(),
         rounds,
         lattice_size: Subspace::lattice_size(d),
         seconds: start.elapsed().as_secs_f64(),
@@ -395,6 +410,49 @@ mod tests {
             // subspaces, which live on other levels.
             assert_eq!(s.wasted_evals, 0, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn nodes_visited_bounded_by_direct_recombine_cost() {
+        // The prefix-stack cost claim at search level: the kernel's
+        // column folds never exceed what the direct per-subspace
+        // recombine would pay (Σ|s| over every batched subspace), and
+        // a search that reaches the cached phase reports a non-zero
+        // counter.
+        let mut rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| {
+                vec![
+                    (i % 9) as f64 * 0.3,
+                    (i % 7) as f64 * 0.3,
+                    (i % 5) as f64 * 0.3,
+                    (i % 4) as f64 * 0.3,
+                    (i % 3) as f64 * 0.3,
+                ]
+            })
+            .collect();
+        rows.push(vec![50.0, 0.3, 0.3, 0.3, 0.3]);
+        let e = LinearScan::new(Dataset::from_rows(&rows).unwrap(), Metric::L2);
+        let q: Vec<f64> = e.dataset().row(80).to_vec();
+        for threads in [1, 3] {
+            let out = dynamic_search(&e, &q, Some(80), 4, 1e-6, &Priors::uniform(5), threads);
+            // Threshold ~0: everything is outlying, level 1 prunes the
+            // rest in — but the first TSF rounds still batch enough
+            // dimensionality to build the cache in realistic searches.
+            let s = &out.stats;
+            assert!(
+                s.nodes_visited <= s.lattice_size * 5,
+                "threads={threads}: {} folds for a d=5 lattice",
+                s.nodes_visited
+            );
+        }
+        // A genuinely deep search (high threshold, everything below T:
+        // downward pruning from the top level) that walks many
+        // subspaces through the cached phase reports its folds, and
+        // they are bounded by the evaluated dimensionality.
+        let inlier: Vec<f64> = e.dataset().row(5).to_vec();
+        let out = dynamic_search(&e, &inlier, Some(5), 4, 1e9, &Priors::uniform(5), 1);
+        let s = &out.stats;
+        assert!(s.nodes_visited <= s.od_evals * 5 + 2 * 5);
     }
 
     #[test]

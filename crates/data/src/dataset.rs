@@ -227,6 +227,23 @@ impl Dataset {
         &self.data
     }
 
+    /// A column-major (structure-of-arrays) snapshot of the physical
+    /// matrix: `d` contiguous blocks of `n` values, block `j` holding
+    /// column `j` in row order (tombstoned rows included — callers
+    /// filter with [`Dataset::is_live`]). Kernels that stream one
+    /// dimension across many rows (the blocked all-points OD scan)
+    /// read this layout sequentially instead of striding the
+    /// row-major buffer by `d`.
+    pub fn to_column_major(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.n * self.d];
+        for (j, slot) in out.chunks_exact_mut(self.n.max(1)).enumerate() {
+            for (i, v) in slot.iter_mut().enumerate() {
+                *v = self.data[i * self.d + j];
+            }
+        }
+        out
+    }
+
     /// Optional column names.
     pub fn names(&self) -> Option<&[String]> {
         self.names.as_deref()

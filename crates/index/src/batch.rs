@@ -89,6 +89,40 @@ where
         .collect()
 }
 
+/// [`parallel_map`] over mutable items: applies `f` to every item with
+/// exclusive access, fanned across up to `threads` workers with static
+/// chunking; results are in input order. Used by the sharded evaluator
+/// to drive one mutable [`crate::walker::PrefixStack`] per shard in
+/// parallel.
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    crossbeam::scope(|scope| {
+        for (slice_in, slice_out) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (i, o) in slice_in.iter_mut().zip(slice_out.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +204,23 @@ mod tests {
             );
         }
         assert!(parallel_map(&[] as &[u64], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_every_item_in_order() {
+        let mut items: Vec<u64> = (0..53).collect();
+        for threads in [0, 1, 3, 64] {
+            let out = parallel_map_mut(&mut items, threads, |x| {
+                *x += 1;
+                *x * 2
+            });
+            let expected: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+        // Four rounds of +1 applied to each item exactly once.
+        assert_eq!(items[0], 4);
+        assert_eq!(items[52], 56);
+        assert!(parallel_map_mut(&mut [] as &mut [u64], 4, |&mut x| x).is_empty());
     }
 
     #[test]

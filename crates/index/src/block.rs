@@ -1,0 +1,160 @@
+//! Blocked all-points full-space OD kernel.
+//!
+//! Dataset-wide scans (`hos-core`'s `scan_outliers`, threshold
+//! quantile estimation) need the full-space OD of **every** live point
+//! — `n` independent queries that the per-query engines answer one at
+//! a time, re-striding the row-major matrix and allocating a neighbour
+//! list each. This kernel computes them together:
+//!
+//! * the matrix is transposed once into column-major (SoA) form
+//!   ([`hos_data::Dataset::to_column_major`]), so the inner loops
+//!   stream contiguous memory;
+//! * queries are processed in blocks of [`BLOCK`]: for each dimension
+//!   (ascending), each query in the block folds the whole column into
+//!   its accumulator row — one `|q_j - p_j|` pass per `(block, dim)`;
+//! * per query, bounded top-k selection runs over the finished
+//!   accumulator row with a reused [`TopK`] (cached-bound fast path,
+//!   zero allocation after the first block).
+//!
+//! # Bit-identity
+//!
+//! Per `(query, point)` pair the fold is `accumulate(acc, |q_j - p_j|)`
+//! over dimensions in ascending order starting from `0.0` — precisely
+//! [`Metric::pre_dist_sub`] on the full space, the op sequence every
+//! engine's scan performs (and every engine is pinned bit-identical to
+//! `LinearScan`). Selection and summation go through the shared
+//! `(pre, id)` order, so the ODs equal per-point
+//! [`crate::knn::KnnEngine::od`] calls **bit for bit**; the tests here
+//! assert that with `assert_eq!` across metrics and tombstones.
+//!
+//! The kernel reads the dataset directly, so engine
+//! `distance_evals` counters are not advanced — callers that need the
+//! accounting should stay on the per-point path.
+
+use crate::topk::TopK;
+use hos_data::{Dataset, Metric, PointId};
+
+/// Queries per block: big enough to amortise each column stream,
+/// small enough that a block of accumulator rows stays cache-resident.
+const BLOCK: usize = 32;
+
+/// Full-space OD of every **live** point against the live remainder of
+/// the dataset (each query excludes itself), as `(id, od)` pairs in
+/// ascending id order. Bit-identical to
+/// `engine.od(ds.row(i), k, full, Some(i))` per live `i` on any of the
+/// exact engines.
+pub fn all_points_full_od(ds: &Dataset, metric: Metric, k: usize) -> Vec<(PointId, f64)> {
+    let n = ds.len();
+    let d = ds.dim();
+    let live: Vec<PointId> = ds.live_ids().collect();
+    if live.is_empty() || d == 0 {
+        return live.into_iter().map(|i| (i, 0.0)).collect();
+    }
+    let cols = ds.to_column_major();
+    let mut out = Vec::with_capacity(live.len());
+    let mut acc = vec![0.0f64; BLOCK * n];
+    let mut top = TopK::new(k);
+    for block in live.chunks(BLOCK) {
+        let acc = &mut acc[..block.len() * n];
+        acc.fill(0.0);
+        // Ascending dimensions, exactly the pre_dist_sub fold order.
+        for j in 0..d {
+            let col = &cols[j * n..(j + 1) * n];
+            for (row, &q) in acc.chunks_exact_mut(n).zip(block) {
+                let qv = col[q];
+                for (slot, &p) in row.iter_mut().zip(col) {
+                    *slot = metric.accumulate(*slot, (qv - p).abs());
+                }
+            }
+        }
+        for (row, &q) in acc.chunks_exact(n).zip(block) {
+            top.reset(k);
+            for (i, &pre) in row.iter().enumerate() {
+                if i == q || !ds.is_live(i) {
+                    continue;
+                }
+                top.offer(pre, i);
+            }
+            // Ascending (pre, id) summation — the shared OD order.
+            let od: f64 = top.sorted().iter().map(|c| metric.finish(c.pre)).sum();
+            out.push((q, od));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{build_engine, Engine};
+    use crate::sharded::build_engine_sharded;
+    use hos_data::Subspace;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Coarse grid: exact distance ties exercise the (pre, id)
+        // tie-break through the blocked selection too.
+        let flat: Vec<f64> = (0..n * d)
+            .map(|_| (rng.gen_range(0..9) as f64) * 0.5)
+            .collect();
+        Dataset::from_flat(flat, d).unwrap()
+    }
+
+    #[test]
+    fn bit_identical_to_per_point_engine_queries() {
+        // 70 points spans multiple blocks (BLOCK = 32), so block
+        // boundaries are exercised.
+        let ds = dataset(70, 4, 1);
+        let full = Subspace::full(4);
+        for metric in [Metric::L1, Metric::L2, Metric::LInf, Metric::Lp(3.0)] {
+            let blocked = all_points_full_od(&ds, metric, 5);
+            assert_eq!(blocked.len(), 70);
+            for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+                let engine = build_engine(kind, ds.clone(), metric);
+                for &(i, od) in &blocked {
+                    assert_eq!(
+                        od,
+                        engine.od(ds.row(i), 5, full, Some(i)),
+                        "{metric:?} {kind} point {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_skip_both_sides() {
+        let mut ds = dataset(40, 3, 2);
+        for id in [0usize, 13, 39] {
+            ds.remove_row(id).unwrap();
+        }
+        let blocked = all_points_full_od(&ds, Metric::L2, 4);
+        // Dead rows neither rank nor serve as neighbours.
+        assert_eq!(blocked.len(), 37);
+        assert!(blocked.iter().all(|&(i, _)| ds.is_live(i)));
+        let engine = build_engine_sharded(Engine::Linear, ds.clone(), Metric::L2, 3, 2);
+        for &(i, od) in &blocked {
+            assert_eq!(
+                od,
+                engine.od(ds.row(i), 4, Subspace::full(3), Some(i)),
+                "point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_and_empty_edges() {
+        let empty = Dataset::empty();
+        assert!(all_points_full_od(&empty, Metric::L2, 3).is_empty());
+        let one = Dataset::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        // Single live point, self-excluded: zero neighbours, OD 0.
+        assert_eq!(all_points_full_od(&one, Metric::L2, 3), vec![(0, 0.0)]);
+        let two = Dataset::from_rows(&[vec![0.0], vec![3.0]]).unwrap();
+        assert_eq!(
+            all_points_full_od(&two, Metric::L1, 5),
+            vec![(0, 3.0), (1, 3.0)]
+        );
+    }
+}

@@ -26,6 +26,7 @@
 
 use crate::knn::Neighbor;
 use crate::topk::TopK;
+use crate::walker::PrefixWalker;
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
@@ -59,7 +60,14 @@ pub struct QueryContext<'a> {
     /// The owning engine's distance-evaluation counter, so cached OD
     /// work stays visible to the efficiency experiments.
     evals: Option<&'a AtomicU64>,
+    /// Process-unique build id, so a [`crate::walker::PrefixStack`]
+    /// can detect (and discard) accumulators computed under a
+    /// different context instead of silently reusing them.
+    uid: u64,
 }
+
+/// Source of [`QueryContext::uid`] values.
+static NEXT_CTX_UID: AtomicU64 = AtomicU64::new(1);
 
 impl<'a> QueryContext<'a> {
     /// Computes the pre-distance matrix for `query` against `dataset`:
@@ -91,7 +99,14 @@ impl<'a> QueryContext<'a> {
             cols,
             dead,
             evals: None,
+            uid: NEXT_CTX_UID.fetch_add(1, AtomicOrdering::Relaxed),
         }
+    }
+
+    /// The process-unique id of this build (see the `uid` field).
+    #[inline]
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Attaches an engine's distance counter: every subsequent OD /
@@ -116,14 +131,104 @@ impl<'a> QueryContext<'a> {
         self.metric
     }
 
+    /// A [`PrefixWalker`] over this context: the prefix-stack lattice
+    /// kernel that makes each visited node an `O(n)` column fold
+    /// instead of an `O(n · |s|)` recombine — bit-identical to
+    /// [`QueryContext::od`] because both fold the same cached columns
+    /// in the same ascending-dimension order.
+    pub fn walker(&self) -> PrefixWalker<'_> {
+        PrefixWalker::new(self)
+    }
+
     /// Folds one cached column term into a running accumulator —
     /// the cached analogue of [`Metric::accumulate`].
     #[inline]
-    fn combine(&self, acc: f64, term: f64) -> f64 {
+    pub(crate) fn combine(&self, acc: f64, term: f64) -> f64 {
         match self.metric {
             Metric::LInf => acc.max(term),
             _ => acc + term,
         }
+    }
+
+    /// The cached pre-distance column of dimension `j`: one term per
+    /// physical row, in row order.
+    #[inline]
+    pub(crate) fn col(&self, j: usize) -> &[f64] {
+        &self.cols[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Top-k selection over an externally accumulated pre-distance
+    /// vector (one slot per physical row) — the prefix-stack kernel's
+    /// selection step. Applies exactly the same exclusion, liveness
+    /// and eval-accounting rules as [`QueryContext::od`]'s own
+    /// selection, into a caller-owned reusable [`TopK`]; the kept
+    /// candidates are left in the scratch (read them via
+    /// [`TopK::sorted`]).
+    pub(crate) fn select_acc(
+        &self,
+        acc: &[f64],
+        k: usize,
+        exclude: Option<PointId>,
+        top: &mut TopK,
+    ) {
+        top.reset(k);
+        if k == 0 || self.n == 0 {
+            return;
+        }
+        debug_assert_eq!(acc.len(), self.n);
+        let count = if self.dead.is_empty() {
+            // All rows live: split the scan at the excluded id instead
+            // of testing it per element. Offer order stays ascending
+            // by id, so the kept set and tie-break are unchanged.
+            let ex = exclude.unwrap_or(usize::MAX);
+            let (head, tail) = if ex < acc.len() {
+                (&acc[..ex], &acc[ex + 1..])
+            } else {
+                (acc, &[][..])
+            };
+            for (i, &pre) in head.iter().enumerate() {
+                top.offer(pre, i);
+            }
+            for (i, &pre) in tail.iter().enumerate() {
+                top.offer(pre, ex + 1 + i);
+            }
+            (head.len() + tail.len()) as u64
+        } else {
+            let mut live = 0u64;
+            for (i, &pre) in acc.iter().enumerate() {
+                if Some(i) == exclude || self.dead[i] {
+                    continue;
+                }
+                live += 1;
+                top.offer(pre, i);
+            }
+            live
+        };
+        if let Some(evals) = self.evals {
+            evals.fetch_add(count, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Sums the finished distances of a selection produced by
+    /// [`QueryContext::select_acc`] in ascending `(pre, id)` order —
+    /// the same summation order as [`QueryContext::od`], so the result
+    /// is bit-identical to the direct combine.
+    #[inline]
+    pub(crate) fn finish_od(&self, top: &mut TopK) -> f64 {
+        top.sorted().iter().map(|c| self.metric.finish(c.pre)).sum()
+    }
+
+    /// Converts a selection produced by [`QueryContext::select_acc`]
+    /// into finished [`Neighbor`]s in ascending `(distance, id)` order.
+    #[inline]
+    pub(crate) fn finish_knn(&self, top: &mut TopK) -> Vec<Neighbor> {
+        top.sorted()
+            .iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                dist: self.metric.finish(c.pre),
+            })
+            .collect()
     }
 
     /// Pre-metric distance of point `i` in subspace `s`, from cache.

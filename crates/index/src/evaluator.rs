@@ -36,11 +36,12 @@
 use crate::batch::parallel_map;
 use crate::context::QueryContext;
 use crate::knn::KnnEngine;
+use crate::walker::{walk_order, PrefixStack};
 use hos_data::{PointId, Subspace};
 
 /// Evaluates the outlying degree of one fixed query point across many
-/// subspaces, amortising per-query state (distance caches, per-shard
-/// fan-out) across calls.
+/// subspaces, amortising per-query state (distance caches, prefix
+/// stacks, per-shard fan-out) across calls.
 ///
 /// An evaluator is the unit the search layers program against: build
 /// one per `(engine, query)` pair via [`KnnEngine::evaluator`], then
@@ -55,8 +56,21 @@ pub trait OdEvaluator {
     /// `OD(query, s)` for every subspace in `subspaces`, in input
     /// order, fanned across up to `threads` worker threads. Equals
     /// calling [`OdEvaluator::od`] per subspace, bit for bit,
-    /// regardless of `threads`.
+    /// regardless of `threads`. Batches are internally traversed in
+    /// walker order ([`Subspace::walk_cmp`]) so the prefix-stack
+    /// kernel pays `O(n)` per node; since every subspace's OD is a
+    /// pure function of the subspace, traversal order never shows in
+    /// the results.
     fn od_batch(&mut self, subspaces: &[Subspace], threads: usize) -> Vec<f64>;
+
+    /// Lattice nodes entered by the prefix-stack kernel so far (one
+    /// per `O(n)` column fold; see
+    /// [`crate::walker::PrefixStack::node_visits`]). `0` for
+    /// evaluators that never reached a cached phase — the uncached
+    /// engine path does not use the kernel.
+    fn node_visits(&self) -> u64 {
+        0
+    }
 }
 
 /// The default [`OdEvaluator`]: direct engine queries with a lazily
@@ -84,6 +98,15 @@ pub struct LazyContextEvaluator<'a, E: KnnEngine + ?Sized> {
     ctx_pending: bool,
     /// Cumulative `Σ|s|` over every subspace evaluated so far.
     dims_evaluated: usize,
+    /// The prefix-stack kernel state, reused across batches so
+    /// steady-state traversal allocates nothing (an owned sibling of
+    /// `ctx`, threaded into it per call — see [`PrefixStack`]).
+    stack: PrefixStack,
+    /// Reused walk-order index scratch.
+    order: Vec<usize>,
+    /// Node visits performed by throwaway per-chunk stacks on the
+    /// parallel path (the owned `stack` counts its own).
+    parallel_visits: u64,
 }
 
 impl<'a, E: KnnEngine + ?Sized> LazyContextEvaluator<'a, E> {
@@ -97,6 +120,9 @@ impl<'a, E: KnnEngine + ?Sized> LazyContextEvaluator<'a, E> {
             ctx: None,
             ctx_pending: true,
             dims_evaluated: 0,
+            stack: PrefixStack::new(),
+            order: Vec::new(),
+            parallel_visits: 0,
         }
     }
 
@@ -127,12 +153,56 @@ impl<E: KnnEngine + ?Sized> OdEvaluator for LazyContextEvaluator<'_, E> {
         self.note_dims(subspaces.iter().map(|s| s.dim()).sum());
         let (k, exclude) = (self.k, self.exclude);
         match &self.ctx {
-            Some(ctx) => parallel_map(subspaces, threads, |&s| ctx.od(k, s, exclude)),
+            Some(ctx) => {
+                // Prefix-stack kernel: traverse in walker order so
+                // consecutive subspaces share accumulator prefixes,
+                // scatter results back into input order. Each OD is a
+                // pure function of its subspace, so the reordering is
+                // invisible in the results.
+                walk_order(subspaces, &mut self.order);
+                let mut out = vec![0.0f64; subspaces.len()];
+                let threads = threads.max(1).min(subspaces.len());
+                if threads <= 1 {
+                    for &i in &self.order {
+                        self.stack.seek(ctx, subspaces[i]);
+                        out[i] = self.stack.od(ctx, k, exclude);
+                    }
+                } else {
+                    // Contiguous walk-order chunks, one throwaway
+                    // stack per worker: prefix sharing within each
+                    // chunk, allocation only on this (wide-batch)
+                    // path.
+                    let chunk = self.order.len().div_ceil(threads);
+                    let chunks: Vec<&[usize]> = self.order.chunks(chunk).collect();
+                    let results = parallel_map(&chunks, threads, |&idx| {
+                        let mut stack = PrefixStack::new();
+                        let ods: Vec<(usize, f64)> = idx
+                            .iter()
+                            .map(|&i| {
+                                stack.seek(ctx, subspaces[i]);
+                                (i, stack.od(ctx, k, exclude))
+                            })
+                            .collect();
+                        (ods, stack.node_visits())
+                    });
+                    for (ods, visits) in results {
+                        self.parallel_visits += visits;
+                        for (i, od) in ods {
+                            out[i] = od;
+                        }
+                    }
+                }
+                out
+            }
             None => {
                 let (engine, query) = (self.engine, self.query);
                 parallel_map(subspaces, threads, |&s| engine.od(query, k, s, exclude))
             }
         }
+    }
+
+    fn node_visits(&self) -> u64 {
+        self.stack.node_visits() + self.parallel_visits
     }
 }
 
@@ -210,6 +280,33 @@ mod tests {
         assert_eq!(ev.od_batch(&subspaces, 2), reference);
         // Repeat batch: still correct with ctx_pending resolved to None.
         assert_eq!(ev.od_batch(&subspaces, 1), reference);
+    }
+
+    #[test]
+    fn full_lattice_batch_visits_each_node_once() {
+        // The kernel's cost claim, exact: a full-lattice batch in the
+        // cached phase performs one O(n) column fold per node —
+        // node_visits == 2^d - 1 — versus Σ|s| = d·2^(d-1) folds for
+        // the per-subspace recombine it replaces.
+        let d = 7;
+        let ds = dataset(50, d, 9);
+        let engine = LinearScan::new(ds.clone(), Metric::L2);
+        let q: Vec<f64> = ds.row(3).to_vec();
+        let mut ev = engine.evaluator(&q, 4, Some(3));
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        let ods = ev.od_batch(&subspaces, 1);
+        assert_eq!(ods.len(), subspaces.len());
+        assert_eq!(ev.node_visits(), Subspace::lattice_size(d));
+        // A second identical batch re-walks the lattice: again one
+        // fold per node, same results bit for bit (steady-state
+        // traversal reuses every buffer).
+        let again = ev.od_batch(&subspaces, 1);
+        assert_eq!(again, ods);
+        assert_eq!(ev.node_visits(), 2 * Subspace::lattice_size(d));
+        // The parallel path agrees exactly, whatever the chunking.
+        let mut ev_par = engine.evaluator(&q, 4, Some(3));
+        assert_eq!(ev_par.od_batch(&subspaces, 4), ods);
+        assert!(ev_par.node_visits() >= Subspace::lattice_size(d));
     }
 
     #[test]

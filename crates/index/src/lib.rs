@@ -24,10 +24,17 @@
 //! * [`context`] — the per-query distance cache: one `n x d`
 //!   pre-distance matrix per query point turns every subspace OD into
 //!   a subset-combine over cached columns (no raw coordinate reads).
+//! * [`walker`] — the prefix-stack lattice kernel: a stack of partial
+//!   pre-distance accumulators makes every visited lattice node an
+//!   `O(n)` column fold (plus bounded top-k) instead of an
+//!   `O(n · |s|)` recombine, bit-identical to the direct path.
 //! * [`evaluator`] — the engine-agnostic OD-evaluation seam: one
 //!   [`evaluator::OdEvaluator`] per `(engine, query)` pair owns lazy
-//!   context construction and the amortisation cost model; every
-//!   search layer streams subspaces at it.
+//!   context construction, the amortisation cost model and the walker
+//!   traversal; every search layer streams subspaces at it.
+//! * [`block`] — the blocked all-points full-space OD kernel behind
+//!   dataset-wide scans: SoA layout, reused selection heaps,
+//!   bit-identical to per-point engine queries.
 //! * [`sharded`] — exact intra-query parallelism: [`ShardedEngine`]
 //!   fans each query over contiguous data shards and merges per-shard
 //!   top-k lists losslessly (bit-identical ODs).
@@ -36,6 +43,7 @@
 //!   provides a [`context::QueryContext`].
 
 pub mod batch;
+pub mod block;
 pub mod context;
 pub mod error;
 pub mod evaluator;
@@ -44,8 +52,10 @@ pub mod linear;
 pub mod sharded;
 mod topk;
 pub mod vafile;
+pub mod walker;
 pub mod xtree;
 
+pub use block::all_points_full_od;
 pub use context::QueryContext;
 pub use error::IndexError;
 pub use evaluator::{LazyContextEvaluator, OdEvaluator};
@@ -53,4 +63,5 @@ pub use knn::{Engine, IncrementalEngine, KnnEngine, Neighbor};
 pub use linear::LinearScan;
 pub use sharded::{build_engine_sharded, ShardedEngine};
 pub use vafile::{VaFile, VaFileConfig};
+pub use walker::{PrefixStack, PrefixWalker};
 pub use xtree::{XTree, XTreeConfig};

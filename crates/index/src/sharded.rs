@@ -38,12 +38,13 @@
 //! across shards — so a single full-space OD query also uses every
 //! core, which is precisely what the unsharded engine cannot do.
 
-use crate::batch::parallel_map;
+use crate::batch::{parallel_map, parallel_map_mut};
 use crate::context::QueryContext;
 use crate::error::{validate_insert, validate_remove, IndexError};
 use crate::evaluator::OdEvaluator;
 use crate::knn::{build_engine, Engine, IncrementalEngine, KnnEngine, Neighbor};
 use crate::topk::TopK;
+use crate::walker::{walk_order, PrefixStack};
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
@@ -257,13 +258,20 @@ impl KnnEngine for ShardedEngine {
             ctxs: None,
             ctx_pending: true,
             dims_evaluated: 0,
+            stacks: self.shards.iter().map(|_| PrefixStack::new()).collect(),
+            order: Vec::new(),
+            merge: TopK::new(k),
+            extra_visits: 0,
         })
     }
 }
 
 /// The sharded [`OdEvaluator`]: per-shard lazy query contexts plus the
-/// exact k-way merge, with two fan-out shapes — across subspaces for
-/// level-sized batches, across shards for single ODs.
+/// exact k-way merge. Single ODs fan across the shards; cached batches
+/// run the prefix-stack kernel **per shard** (one [`PrefixStack`] and
+/// one walk over the batch per shard, shards in parallel), so sharded
+/// lattice queries get the same `O(n/shards)`-per-node cost the
+/// unsharded walker gets over `n`.
 struct ShardedOdEvaluator<'a> {
     shards: &'a [Shard],
     query: &'a [f64],
@@ -278,6 +286,16 @@ struct ShardedOdEvaluator<'a> {
     ctxs: Option<Vec<Option<QueryContext<'a>>>>,
     ctx_pending: bool,
     dims_evaluated: usize,
+    /// One prefix stack per shard, reused across batches.
+    stacks: Vec<PrefixStack>,
+    /// Reused walk-order index scratch.
+    order: Vec<usize>,
+    /// Reused merge heap for the per-subspace k-way re-selection.
+    merge: TopK,
+    /// Node visits performed by throwaway per-segment stacks on the
+    /// oversubscribed parallel path (the persistent per-shard stacks
+    /// count their own).
+    extra_visits: u64,
 }
 
 impl ShardedOdEvaluator<'_> {
@@ -325,19 +343,169 @@ impl OdEvaluator for ShardedOdEvaluator<'_> {
             return Vec::new();
         }
         self.note_dims(subspaces.iter().map(|s| s.dim()).sum());
+        if self.ctxs.is_some() {
+            return self.od_batch_walked(subspaces, threads);
+        }
         if subspaces.len() >= threads.max(1) {
-            // Enough subspaces to saturate the workers on their own;
-            // nested shard fan-out would only oversubscribe.
+            // Uncached phase, wide batch: enough subspaces to saturate
+            // the workers on their own; nested shard fan-out would
+            // only oversubscribe.
             let this = &*self;
             parallel_map(subspaces, threads, |&s| this.od_merged(s, 1))
         } else {
-            // Few subspaces (e.g. the last open level): spread each
-            // one across the shards instead.
+            // Uncached phase, few subspaces (e.g. the last open
+            // level): spread each one across the shards instead.
             subspaces
                 .iter()
                 .map(|&s| self.od_merged(s, threads))
                 .collect()
         }
+    }
+
+    fn node_visits(&self) -> u64 {
+        // Summed across shards: each shard's fold streams its own
+        // `n / shards` rows, so the total O(n)-equivalent work is the
+        // sum divided by the shard count.
+        self.stacks.iter().map(|s| s.node_visits()).sum::<u64>() + self.extra_visits
+    }
+}
+
+/// Walk-order positions per block in the cached sharded batch path:
+/// bounds the per-shard top-k lists held at once to `shards × BLOCK`
+/// instead of `shards × batch`.
+const WALK_BLOCK: usize = 256;
+
+impl ShardedOdEvaluator<'_> {
+    /// One shard's top-k for one subspace inside a walked batch, with
+    /// global ids: through the shard's prefix stack when a context
+    /// exists, through the sub-engine's own search otherwise.
+    /// Bit-identical to [`Shard::topk`] either way — same candidates,
+    /// same `(pre, id)` selection.
+    fn lane_topk(
+        shard: &Shard,
+        ctx: Option<&QueryContext<'_>>,
+        stack: &mut PrefixStack,
+        query: &[f64],
+        k: usize,
+        s: Subspace,
+        exclude: Option<PointId>,
+    ) -> Vec<Neighbor> {
+        match ctx {
+            Some(ctx) => {
+                stack.seek(ctx, s);
+                let mut list = stack.knn(ctx, k, shard.local_exclude(exclude));
+                for n in &mut list {
+                    n.id += shard.offset;
+                }
+                list
+            }
+            // Context-less sub-engine (e.g. X-tree): the engine's own
+            // pruning search, as before.
+            None => shard.topk(None, query, k, s, exclude),
+        }
+    }
+
+    /// The cached batch path: every shard walks the batch in walker
+    /// order with its own prefix stack, shards in parallel; when more
+    /// threads than shards are available, each block additionally
+    /// splits into per-shard sub-segments on throwaway stacks (the
+    /// same trade the unsharded parallel path makes), so `--threads`
+    /// beyond the shard count still buys parallelism. The walk is
+    /// processed in [`WALK_BLOCK`]-sized blocks so at most
+    /// `shards × block` top-k lists are alive at once; per-shard
+    /// persistent stacks survive across blocks, keeping prefix sharing
+    /// intact at block boundaries. The exact `(distance, id)` k-way
+    /// merge then reduces each subspace and results scatter back into
+    /// input order. Bit-identical to `od_merged` per subspace — same
+    /// per-shard candidates, same merge, same summation order.
+    fn od_batch_walked(&mut self, subspaces: &[Subspace], threads: usize) -> Vec<f64> {
+        walk_order(subspaces, &mut self.order);
+        let (k, exclude, query) = (self.k, self.exclude, self.query);
+        let ctxs = self.ctxs.as_ref().expect("cached phase");
+        let nshards = self.shards.len();
+        let width = threads.max(1);
+        // Sub-segments per shard per block when oversubscribed
+        // (width > shards); 1 keeps the persistent-stack fast path.
+        // Blocks stay WALK_BLOCK positions either way — splitting
+        // *within* the block preserves the shards × WALK_BLOCK memory
+        // bound under any thread count.
+        let subsplit = width.div_ceil(nshards).min(WALK_BLOCK);
+        let mut out = vec![0.0f64; subspaces.len()];
+        let block_len = WALK_BLOCK;
+
+        let mut lanes: Vec<(&Shard, Option<&QueryContext<'_>>, &mut PrefixStack)> = self
+            .shards
+            .iter()
+            .zip(ctxs)
+            .zip(&mut self.stacks)
+            .map(|((shard, ctx), stack)| (shard, ctx.as_ref(), stack))
+            .collect();
+
+        let mut block_start = 0usize;
+        while block_start < self.order.len() {
+            let block = &self.order[block_start..(block_start + block_len).min(self.order.len())];
+            // Per-shard lists for this block, slot `s * block.len() + p`.
+            let per_shard: Vec<Vec<Neighbor>> = if subsplit <= 1 {
+                let rows = parallel_map_mut(&mut lanes, width, |(shard, ctx, stack)| {
+                    block
+                        .iter()
+                        .map(|&i| {
+                            Self::lane_topk(shard, *ctx, stack, query, k, subspaces[i], exclude)
+                        })
+                        .collect::<Vec<Vec<Neighbor>>>()
+                });
+                rows.into_iter().flatten().collect()
+            } else {
+                // Oversubscribed: (shard, sub-segment) tasks with
+                // throwaway stacks — allocation returns exactly where
+                // extra threads were requested.
+                let seg = block.len().div_ceil(subsplit).max(1);
+                let mut tasks: Vec<(usize, usize)> = Vec::new();
+                for s in 0..nshards {
+                    for (j, _) in block.chunks(seg).enumerate() {
+                        tasks.push((s, j));
+                    }
+                }
+                let shards = self.shards;
+                let results = parallel_map(&tasks, width, |&(s, j)| {
+                    let shard = &shards[s];
+                    let ctx = ctxs[s].as_ref();
+                    let mut stack = PrefixStack::new();
+                    let segment = &block[j * seg..((j + 1) * seg).min(block.len())];
+                    let lists: Vec<Vec<Neighbor>> = segment
+                        .iter()
+                        .map(|&i| {
+                            Self::lane_topk(shard, ctx, &mut stack, query, k, subspaces[i], exclude)
+                        })
+                        .collect();
+                    (s, j * seg, lists, stack.node_visits())
+                });
+                let mut flat: Vec<Vec<Neighbor>> = vec![Vec::new(); nshards * block.len()];
+                for (s, start, lists, visits) in results {
+                    self.extra_visits += visits;
+                    for (off, list) in lists.into_iter().enumerate() {
+                        flat[s * block.len() + start + off] = list;
+                    }
+                }
+                flat
+            };
+
+            for (pos, &i) in block.iter().enumerate() {
+                self.merge.reset(k);
+                for s in 0..nshards {
+                    for n in &per_shard[s * block.len() + pos] {
+                        self.merge.offer(n.dist, n.id);
+                    }
+                }
+                // Ordering by finished distance equals ordering by
+                // pre-metric distance (Metric::finish is strictly
+                // monotone), and the sum runs in the same ascending
+                // (distance, id) order as the unsharded engine.
+                out[i] = self.merge.sorted().iter().map(|c| c.pre).sum();
+            }
+            block_start += block.len();
+        }
+        out
     }
 }
 
@@ -487,6 +655,36 @@ mod tests {
             }
             // Small batch takes the shard-parallel branch.
             assert_eq!(ev.od_batch(&subspaces[..2], 8), reference[..2]);
+        }
+    }
+
+    #[test]
+    fn walked_batch_blocks_and_oversubscription_stay_exact() {
+        // d = 9: 511 subspaces — more than one WALK_BLOCK, so the
+        // blocked loop crosses a boundary; threads > shards exercises
+        // the throwaway-stack sub-segment path. Both must stay
+        // bit-identical to the unsharded reference.
+        let d = 9;
+        let ds = dataset(140, d, 11);
+        let linear = LinearScan::new(ds.clone(), Metric::L2);
+        let q: Vec<f64> = ds.row(9).to_vec();
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        assert!(subspaces.len() > WALK_BLOCK);
+        let reference: Vec<f64> = subspaces
+            .iter()
+            .map(|&s| linear.od(&q, 4, s, Some(9)))
+            .collect();
+        for shards in [2usize, 3] {
+            let engine = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, shards, 2);
+            for threads in [1usize, shards, 8] {
+                let mut ev = engine.evaluator(&q, 4, Some(9));
+                assert_eq!(
+                    ev.od_batch(&subspaces, threads),
+                    reference,
+                    "shards={shards} threads={threads}"
+                );
+                assert!(ev.node_visits() > 0, "shards={shards} threads={threads}");
+            }
         }
     }
 

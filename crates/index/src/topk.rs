@@ -1,16 +1,32 @@
 //! Bounded top-k selection over pre-metric distances, shared by the
-//! engines ([`crate::linear::LinearScan`]) and the query-context cache
-//! ([`crate::context::QueryContext`]).
+//! engines ([`crate::linear::LinearScan`]), the query-context cache
+//! ([`crate::context::QueryContext`]) and the prefix-stack lattice
+//! kernel ([`crate::walker::PrefixStack`]).
 //!
 //! A max-heap of capacity `k` keeps the *worst* current candidate on
 //! top, ready to be evicted; ties break on ascending point id so every
-//! consumer is deterministic. `into_sorted` returns candidates in
-//! ascending `(pre, id)` order — `BinaryHeap::into_sorted_vec` already
-//! yields exactly that, so no re-sort is ever needed.
+//! consumer is deterministic. The heap is a plain `Vec` with manual
+//! sift operations rather than `std::collections::BinaryHeap`, for two
+//! reasons the hot selection loops care about:
+//!
+//! * **Bound fast path** — once the heap is full, [`TopK::offer`]
+//!   rejects a losing candidate with at most two raw `f64`/id
+//!   compares against the cached root, before any `Candidate` is
+//!   built or any heap operation runs. (The reject must use the full
+//!   `(pre, id)` order, not `pre` alone: a candidate *tying* the worst
+//!   pre-distance still wins when its id is smaller, and VA-file
+//!   offers candidates in lower-bound order where that case is live.
+//!   `equal_pre_keeps_smaller_id_regardless_of_offer_order` pins it.)
+//! * **Reuse** — [`TopK::reset`] recycles the backing allocation, so a
+//!   walker evaluating thousands of lattice nodes performs zero heap
+//!   allocations after the first node.
+//!
+//! `into_sorted` returns candidates in ascending `(pre, id)` order —
+//! exactly what `BinaryHeap::into_sorted_vec` used to yield, pinned by
+//! the sorted-order regression tests here and in [`crate::linear`].
 
 use hos_data::PointId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// One candidate: pre-metric distance plus point id.
 #[derive(Clone, Copy, Debug)]
@@ -46,15 +62,28 @@ impl Ord for Candidate {
 /// Keeps the `k` smallest `(pre, id)` candidates seen so far.
 pub(crate) struct TopK {
     k: usize,
-    heap: BinaryHeap<Candidate>,
+    /// Max-heap by `(pre, id)`: `heap[0]` is the worst kept candidate.
+    /// After [`TopK::sorted`] the invariant is traded for ascending
+    /// order; [`TopK::reset`] restores a clean (empty) state.
+    heap: Vec<Candidate>,
 }
 
 impl TopK {
     pub fn new(k: usize) -> Self {
         TopK {
             k,
-            heap: BinaryHeap::with_capacity(k + 1),
+            heap: Vec::with_capacity(k),
         }
+    }
+
+    /// Empties the selection and retargets it to a new `k`, keeping
+    /// the backing allocation — the zero-alloc path for callers that
+    /// run one selection per lattice node.
+    #[inline]
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        self.heap.reserve(k);
     }
 
     /// Offers one candidate; keeps it only if it beats the current
@@ -64,13 +93,58 @@ impl TopK {
     /// offers in lower-bound order, not id order).
     #[inline]
     pub fn offer(&mut self, pre: f64, id: PointId) {
-        let cand = Candidate { pre, id };
         if self.heap.len() < self.k {
-            self.heap.push(cand);
-        } else if let Some(top) = self.heap.peek() {
-            if cand < *top {
-                self.heap.pop();
-                self.heap.push(cand);
+            self.heap.push(Candidate { pre, id });
+            self.sift_up(self.heap.len() - 1);
+            return;
+        }
+        if self.k == 0 {
+            return;
+        }
+        // Fast bound check against the cached worst: a candidate at or
+        // beyond `(worst.pre, worst.id)` can never be kept. This is
+        // the common case on sorted-ish data and costs one or two
+        // scalar compares, no heap traffic.
+        let worst = self.heap[0];
+        if pre > worst.pre || (pre == worst.pre && id >= worst.id) {
+            return;
+        }
+        self.heap[0] = Candidate { pre, id };
+        self.sift_down(0);
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] > self.heap[parent] {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let biggest = if r < len && self.heap[r] > self.heap[l] {
+                r
+            } else {
+                l
+            };
+            if self.heap[biggest] > self.heap[i] {
+                self.heap.swap(i, biggest);
+                i = biggest;
+            } else {
+                break;
             }
         }
     }
@@ -85,16 +159,24 @@ impl TopK {
     /// the filter bound for engines that can skip candidates.
     #[inline]
     pub fn worst(&self) -> Option<f64> {
-        self.heap.peek().map(|c| c.pre)
+        self.heap.first().map(|c| c.pre)
     }
 
-    /// The kept candidates in ascending `(pre, id)` order.
-    ///
-    /// `BinaryHeap::into_sorted_vec` returns ascending order under the
-    /// heap's own `Ord`, which is exactly `(pre, id)`: no further sort
-    /// is needed, and [`crate::linear`]'s regression test pins this.
-    pub fn into_sorted(self) -> Vec<Candidate> {
-        self.heap.into_sorted_vec()
+    /// The kept candidates in ascending `(pre, id)` order, sorted in
+    /// place. The heap invariant is consumed: call [`TopK::reset`]
+    /// before the next selection (which every reusing caller does
+    /// anyway).
+    #[inline]
+    pub fn sorted(&mut self) -> &[Candidate] {
+        self.heap.sort_unstable();
+        &self.heap
+    }
+
+    /// The kept candidates in ascending `(pre, id)` order, consuming
+    /// the selection.
+    pub fn into_sorted(mut self) -> Vec<Candidate> {
+        self.heap.sort_unstable();
+        self.heap
     }
 }
 
@@ -143,7 +225,9 @@ mod tests {
         // Ties resolve to the smaller id whether it arrives first
         // (LinearScan/QueryContext offer in id order) or last (VaFile
         // offers in lower-bound order): the kept set depends only on
-        // the candidates, not their sequence.
+        // the candidates, not their sequence. This is exactly the case
+        // the bound fast path must NOT reject: pre == worst.pre with a
+        // smaller id still enters the heap.
         for ids in [[0usize, 1], [1, 0]] {
             let mut t = TopK::new(1);
             for id in ids {
@@ -153,5 +237,72 @@ mod tests {
             assert_eq!(out.len(), 1);
             assert_eq!(out[0].id, 0, "offer order {ids:?}");
         }
+    }
+
+    /// The regression the bound fast path is pinned by: against a
+    /// sort-everything reference, the kept set AND its order are
+    /// identical on adversarial tie-heavy streams in several offer
+    /// orders (ascending id, descending id, interleaved) — i.e. the
+    /// cheap reject never changes behaviour, it only skips heap work.
+    #[test]
+    fn equivalent_to_full_sort_reference_under_ties() {
+        let base: Vec<(f64, usize)> = (0..64).map(|i| ((i % 5) as f64 * 0.25, i)).collect();
+        let mut shuffled = base.clone();
+        shuffled.reverse();
+        let mut interleaved: Vec<(f64, usize)> = Vec::new();
+        for i in 0..32 {
+            interleaved.push(base[i]);
+            interleaved.push(base[63 - i]);
+        }
+        for k in [0usize, 1, 3, 7, 64, 100] {
+            // Reference: full sort by (pre, id), take k.
+            let mut reference = base.clone();
+            reference.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+            reference.truncate(k);
+            for (label, stream) in [
+                ("ascending", &base),
+                ("descending", &shuffled),
+                ("interleaved", &interleaved),
+            ] {
+                let mut t = TopK::new(k);
+                for &(pre, id) in stream {
+                    t.offer(pre, id);
+                }
+                let got: Vec<(f64, usize)> =
+                    t.into_sorted().iter().map(|c| (c.pre, c.id)).collect();
+                assert_eq!(got, reference, "k={k} order={label}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_for_the_next_selection() {
+        let mut t = TopK::new(2);
+        for (pre, id) in [(9.0, 0), (1.0, 1), (5.0, 2)] {
+            t.offer(pre, id);
+        }
+        assert_eq!(t.sorted().len(), 2);
+        // sorted() consumed the heap order; reset restores a clean
+        // selection with a different k.
+        t.reset(3);
+        assert!(!t.is_full());
+        for (pre, id) in [(4.0, 4), (2.0, 5), (8.0, 6), (3.0, 7)] {
+            t.offer(pre, id);
+        }
+        let pairs: Vec<(f64, usize)> = t.sorted().iter().map(|c| (c.pre, c.id)).collect();
+        assert_eq!(pairs, vec![(2.0, 5), (3.0, 7), (4.0, 4)]);
+    }
+
+    #[test]
+    fn worst_tracks_the_kth_best() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.worst(), None);
+        t.offer(5.0, 0);
+        assert_eq!(t.worst(), Some(5.0));
+        t.offer(1.0, 1);
+        assert_eq!(t.worst(), Some(5.0));
+        t.offer(2.0, 2);
+        assert_eq!(t.worst(), Some(2.0));
+        assert!(t.is_full());
     }
 }

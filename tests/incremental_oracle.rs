@@ -141,15 +141,51 @@ fn assert_equivalent(
             );
         }
         // The evaluator path (what the dynamic search actually calls)
-        // agrees too, through its cached and uncached phases.
+        // agrees too, through its cached and uncached phases — and,
+        // since the prefix-stack port, the batch runs the walker
+        // kernel: pin it against BOTH the cold rebuild and the direct
+        // per-subspace engine queries (no walker, no cache), so the
+        // walker is bit-identical to the canonical combine across
+        // engines, metrics, shard counts and mutation histories.
         let subspaces: Vec<Subspace> = Subspace::all_nonempty(D).collect();
+        let direct: Vec<f64> = subspaces
+            .iter()
+            .map(|&s| inc.od(&q, k, s, inc_exclude))
+            .collect();
         let mut ev_inc = inc.evaluator(&q, k, inc_exclude);
         let mut ev_cold = cold.evaluator(&q, k, cold_exclude);
+        let batch = ev_inc.od_batch(&subspaces, 2);
         assert_eq!(
-            ev_inc.od_batch(&subspaces, 2),
+            batch,
             ev_cold.od_batch(&subspaces, 2),
             "{ctx}: evaluator batch differs"
         );
+        assert_eq!(batch, direct, "{ctx}: walker batch != direct engine ODs");
+
+        // Where the engine hands out a distance cache, drive the
+        // standalone PrefixWalker over the whole lattice (walker order
+        // AND adversarial mask order) and pin ODs and top-k neighbour
+        // lists against the direct QueryContext combine, bit for bit.
+        if let Some(walk_ctx) = inc.query_context(&q) {
+            let mut w = walk_ctx.walker();
+            let mut ordered = subspaces.clone();
+            ordered.sort_by(|a, b| a.walk_cmp(*b));
+            for pass in [&ordered, &subspaces] {
+                for &s in pass {
+                    w.seek(s);
+                    assert_eq!(
+                        w.od(k, inc_exclude),
+                        walk_ctx.od(k, s, inc_exclude),
+                        "{ctx} {s}: walker OD != direct combine"
+                    );
+                    assert_eq!(
+                        w.knn(k, inc_exclude),
+                        walk_ctx.knn(k, s, inc_exclude),
+                        "{ctx} {s}: walker top-k != direct combine"
+                    );
+                }
+            }
+        }
     }
 }
 
