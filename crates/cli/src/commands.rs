@@ -33,10 +33,10 @@ USAGE:
                      [... tuning flags]
   hos-miner bench    (--data FILE | --n 5000 --d 8) [--queries 16]
                      [--threads 1] [--shards 1] [--summary FILE]
-                     [... tuning flags]
+                     [--kernel] [... tuning flags]
   hos-miner bench compare [--baseline BENCH_BASELINE.json]
                      [--summary BENCH_SUMMARY.json]
-                     [--tolerance 0.5] [--strict]
+                     [--tolerance 0.5] [--strict] [--keys a,b,...]
   hos-miner help
 
 With --model, the threshold and learned priors come from a file written
@@ -51,9 +51,13 @@ the serial ones.
 `bench` fits a miner and times a batch of member queries end to end
 (reporting queries/s) — point it at a real CSV or let it generate a
 synthetic workload with --n/--d. Every run writes a machine-readable
-summary (default BENCH_SUMMARY.json; --summary - disables). `bench
-compare` diffs a summary against a committed baseline snapshot within
---tolerance: a non-blocking report unless --strict.
+summary (default BENCH_SUMMARY.json; --summary - disables). With
+--kernel it also times the fixed deterministic kernel workloads (the
+blocked all-points scan and the full-lattice prefix walker) and adds
+their millisecond keys to the summary. `bench compare` diffs a summary
+against a committed baseline snapshot within --tolerance: a
+non-blocking report unless --strict; --keys restricts the comparison
+to a comma-separated key list (each then required in both files).
 `stream` consumes rows one at a time (CSV file or stdin), maintains a
 sliding window of the last --window rows with incremental engine
 updates (no refits), and reports the window's top outlying points
@@ -691,6 +695,14 @@ fn cmd_bench(args: &Args) -> CmdResult {
         outliers
     );
 
+    let mut kernel_fields = String::new();
+    if args.switch("kernel") {
+        for (key, ms) in kernel_benchmarks() {
+            println!("kernel: {key} = {ms:.3} ms");
+            kernel_fields.push_str(&format!(",\n    \"{key}\": {ms:.3}"));
+        }
+    }
+
     let summary_path = args.get("summary").unwrap_or("BENCH_SUMMARY.json");
     if summary_path != "-" {
         let summary = format!(
@@ -698,7 +710,7 @@ fn cmd_bench(args: &Args) -> CmdResult {
              \"engine\": \"{}\",\n    \"metric\": \"{}\",\n    \"threads\": {},\n    \
              \"shards\": {},\n    \"queries\": {}\n  }},\n  \"results\": {{\n    \
              \"fit_seconds\": {:.6},\n    \"query_seconds\": {:.6},\n    \
-             \"queries_per_s\": {:.3},\n    \"od_evals\": {},\n    \"outliers\": {}\n  }}\n}}\n",
+             \"queries_per_s\": {:.3},\n    \"od_evals\": {},\n    \"outliers\": {}{}\n  }}\n}}\n",
             n,
             miner.engine().dataset().dim(),
             miner.config().k,
@@ -711,13 +723,81 @@ fn cmd_bench(args: &Args) -> CmdResult {
             query_seconds,
             queries_per_s,
             od_evals,
-            outliers
+            outliers,
+            kernel_fields
         );
         std::fs::write(summary_path, summary)
             .map_err(|e| format!("writing {summary_path}: {e}"))?;
         println!("wrote {summary_path}");
     }
     Ok(())
+}
+
+/// Deterministic data for the kernel workloads: a fixed LCG, no
+/// dependence on the bench flags, so the timings are comparable across
+/// runs and machines (same work, always).
+fn kernel_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut state = seed;
+    let flat: Vec<f64> = (0..n * d)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 10000) as f64 / 100.0
+        })
+        .collect();
+    Dataset::from_flat(flat, d).expect("finite synthetic data")
+}
+
+/// The fixed kernel micro-workloads behind `bench --kernel`, as
+/// `(summary key, best-of-iters milliseconds)`:
+///
+/// * `blocked_scan_ms` — the blocked all-points full-space OD kernel
+///   (quantized admission path) on n=2002, d=8, k=5, L2;
+/// * `full_lattice_d{10,12}_ms` — the prefix-stack walker evaluating
+///   all `2^d - 1` subspace ODs of one query (k=10).
+///
+/// Best-of rather than mean: the workloads are deterministic, so the
+/// minimum is the cleanest estimate of the kernel's cost.
+fn kernel_benchmarks() -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    {
+        let ds = kernel_dataset(2002, 8, 0x243F6A8885A308D3);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            let scan = hos_index::all_points_full_od(&ds, Metric::L2, 5).expect("enough points");
+            let ms = t.elapsed().as_secs_f64() * 1000.0;
+            assert!(!scan.is_empty());
+            best = best.min(ms);
+        }
+        out.push(("blocked_scan_ms", best));
+    }
+    for (key, d) in [
+        ("full_lattice_d10_ms", 10usize),
+        ("full_lattice_d12_ms", 12),
+    ] {
+        let ds = kernel_dataset(2000, d, 0x9E3779B97F4A7C15);
+        let query: Vec<f64> = ds.row(17).to_vec();
+        let ctx = hos_index::QueryContext::build(&ds, Metric::L2, &query);
+        let mut ordered: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        ordered.sort_by(|a, b| a.walk_cmp(*b));
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            let mut w = ctx.walker();
+            let mut sink = 0.0;
+            for &s in &ordered {
+                w.seek(s);
+                sink += w.od(10, Some(17));
+            }
+            let ms = t.elapsed().as_secs_f64() * 1000.0;
+            assert!(sink.is_finite());
+            best = best.min(ms);
+        }
+        out.push((key, best));
+    }
+    out
 }
 
 /// One numeric field out of a bench summary: scans for `"key":` and
@@ -779,15 +859,66 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
         config_drift = true;
     }
 
+    // (key, higher_is_better, required): the kernel keys only exist in
+    // summaries written with `bench --kernel`, so by default a side
+    // lacking one is a note, not an error. Naming a key in --keys
+    // makes it required — a strict CI compare must never silently
+    // compare nothing.
+    let registry: [(&str, bool, bool); 5] = [
+        ("queries_per_s", true, true),
+        ("fit_seconds", false, true),
+        ("blocked_scan_ms", false, false),
+        ("full_lattice_d10_ms", false, false),
+        ("full_lattice_d12_ms", false, false),
+    ];
+    let requested: Option<Vec<&str>> = args.get("keys").map(|s| s.split(',').collect());
+    if let Some(keys) = &requested {
+        for key in keys {
+            if !registry.iter().any(|(k, _, _)| k == key) {
+                return Err(format!(
+                    "--keys: unknown metric {key:?}; known: {}",
+                    registry.map(|(k, _, _)| k).join(", ")
+                ));
+            }
+        }
+    }
+
+    // Additive epsilon floor on both sides of the ratio: the metrics
+    // are seconds/milliseconds-scale, so anything this small is timer
+    // noise. Without the floor a zero-valued baseline entry (a fast
+    // machine flooring a tiny fit to 0.000000) turns the ratio into
+    // `inf` and every such compare into a fake REGRESSION.
+    const ABS_EPS: f64 = 1e-3;
     let mut regressions = 0usize;
     let mut t = Table::new(vec!["metric", "baseline", "current", "ratio", "verdict"]);
-    // (key, higher_is_better)
-    for (key, higher_is_better) in [("queries_per_s", true), ("fit_seconds", false)] {
-        let b = summary_number(&baseline, key)
-            .ok_or_else(|| format!("baseline {baseline_path} lacks {key}"))?;
-        let c = summary_number(&current, key)
-            .ok_or_else(|| format!("summary {summary_path} lacks {key}"))?;
-        let ratio = c / b.max(1e-12);
+    for (key, higher_is_better, required) in registry {
+        let explicit = requested.as_ref().is_some_and(|keys| keys.contains(&key));
+        if requested.is_some() && !explicit {
+            continue;
+        }
+        let required = required || explicit;
+        let (b, c) = (
+            summary_number(&baseline, key),
+            summary_number(&current, key),
+        );
+        let (b, c) = match (b, c) {
+            (Some(b), Some(c)) => (b, c),
+            (b, _) if required => {
+                let (path, side) = if b.is_none() {
+                    (baseline_path, "baseline")
+                } else {
+                    (summary_path, "summary")
+                };
+                return Err(format!("{side} {path} lacks {key}"));
+            }
+            _ => {
+                println!(
+                    "note: {key} missing on one side — skipped (run `bench --kernel` to record it)"
+                );
+                continue;
+            }
+        };
+        let ratio = (c.abs() + ABS_EPS) / (b.abs() + ABS_EPS);
         let regressed = if higher_is_better {
             ratio < 1.0 - tolerance
         } else {
@@ -1346,6 +1477,108 @@ mod tests {
             &summary,
             "--tolerance",
             "-1",
+        ])
+        .is_err());
+        std::fs::remove_file(&baseline).ok();
+        std::fs::remove_file(&summary).ok();
+    }
+
+    /// Regression for the compare divide-by-zero family: a baseline
+    /// whose `fit_seconds` floored to 0.000000 (tiny dataset, coarse
+    /// timer) used to make `ratio = c / b.max(1e-12)` explode to ~1e9x
+    /// and fail every --strict compare. The additive epsilon floor
+    /// keeps the ratio finite and ~1 when both sides are timer noise.
+    #[test]
+    fn bench_compare_zero_baseline_and_kernel_keys() {
+        let write = |path: &str, fit: &str, kernel: &str| {
+            std::fs::write(
+                path,
+                format!(
+                    "{{\n  \"results\": {{\n    \"fit_seconds\": {fit},\n    \
+                     \"queries_per_s\": 5000.000{kernel}\n  }}\n}}\n"
+                ),
+            )
+            .unwrap();
+        };
+        let baseline = tmp("cmp_zero_baseline.json");
+        let summary = tmp("cmp_zero_summary.json");
+
+        // Zero-valued baseline entry, non-zero (but still noise-scale)
+        // current: no inf/NaN ratio, no false regression even strict.
+        write(&baseline, "0.000000", "");
+        write(&summary, "0.000100", "");
+        run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--strict",
+        ])
+        .unwrap();
+
+        // Kernel keys absent from both sides: skipped with a note by
+        // default, an error once --keys names them.
+        run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--keys",
+            "queries_per_s",
+            "--strict",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--keys",
+            "blocked_scan_ms",
+        ])
+        .is_err());
+        assert!(run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--keys",
+            "no_such_metric",
+        ])
+        .is_err());
+
+        // Kernel keys present on both sides: compared, and a genuine
+        // kernel regression trips --strict while the matched core
+        // keys alone would pass.
+        write(&baseline, "0.010000", ",\n    \"blocked_scan_ms\": 12.000");
+        write(&summary, "0.010000", ",\n    \"blocked_scan_ms\": 40.000");
+        run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+        ])
+        .unwrap();
+        assert!(run(&[
+            "bench",
+            "compare",
+            "--baseline",
+            &baseline,
+            "--summary",
+            &summary,
+            "--keys",
+            "blocked_scan_ms",
+            "--strict",
         ])
         .is_err());
         std::fs::remove_file(&baseline).ok();

@@ -35,6 +35,16 @@ pub struct ScanReport {
     pub skipped: usize,
     /// The threshold used.
     pub threshold: f64,
+    /// Exact pair folds the ranking kernel performed — the blocked
+    /// counterpart of engine `distance_evals`, reported here because
+    /// the kernel reads the dataset directly and engine counters never
+    /// observe the ranking pass.
+    pub ranking_evals: u64,
+    /// Live pairs the ranking kernel rejected via quantized admission
+    /// bounds without an exact fold. Together the two counters cover
+    /// every live ordered pair:
+    /// `ranking_evals + ranking_filtered == live * (live - 1)`.
+    pub ranking_filtered: u64,
 }
 
 impl ScanReport {
@@ -58,24 +68,22 @@ impl ScanReport {
 /// the same `(distance, id)` order as every engine, so the ranked ODs
 /// are bit-identical to the per-point path on any engine (all engines
 /// are pinned bit-identical to `LinearScan`); only the cost changes.
-/// Engine `distance_evals` counters do not observe the ranking pass.
+/// Engine `distance_evals` counters never observe the ranking pass —
+/// its work (exact folds plus quantized-admission rejects) is reported
+/// in [`ScanReport::ranking_evals`] / [`ScanReport::ranking_filtered`].
+///
+/// Every ranked OD self-excludes, so the window must hold more than
+/// `k` live points: the kernel returns the same typed
+/// `InsufficientPoints` error the per-point query paths do, instead of
+/// silently understating every OD.
 pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
     let engine = miner.engine();
     let ds = engine.dataset();
     let k = miner.config().k;
     let t = miner.threshold();
 
-    // Every ranked OD self-excludes, so the window must hold more
-    // than k live points — the same typed error the query paths
-    // return, instead of silently understating every OD.
-    let available = ds.live_len().saturating_sub(1);
-    if available < k {
-        return Err(crate::error::HosError::Index(
-            hos_index::IndexError::InsufficientPoints { available, k },
-        ));
-    }
-
-    let mut ranked: Vec<(PointId, f64)> = hos_index::all_points_full_od(ds, engine.metric(), k);
+    let scan = hos_index::all_points_full_od_counted(ds, engine.metric(), k)?;
+    let mut ranked: Vec<(PointId, f64)> = scan.ods;
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
 
     let total = ranked.len();
@@ -110,6 +118,8 @@ pub fn scan_outliers(miner: &HosMiner, limit: usize) -> Result<ScanReport> {
         truncated,
         skipped,
         threshold: t,
+        ranking_evals: scan.distance_evals,
+        ranking_filtered: scan.filtered,
     })
 }
 
@@ -282,6 +292,35 @@ mod tests {
                 k: 4
             }))
         ));
+    }
+
+    /// Satellite pin: the ranking pass's work accounting is complete —
+    /// exact folds plus quantized rejects cover every ordered live
+    /// pair, before and after churn, and the counters actually move
+    /// (the kernel no longer does its work invisibly).
+    #[test]
+    fn ranking_eval_accounting_covers_every_live_pair() {
+        let (mut m, planted) = miner();
+        let report = scan_outliers(&m, usize::MAX).unwrap();
+        let live = m.engine().dataset().live_len() as u64;
+        assert_eq!(
+            report.ranking_evals + report.ranking_filtered,
+            live * (live - 1)
+        );
+        assert!(
+            report.ranking_evals >= live * 5,
+            "at least k folds per query"
+        );
+        for &id in &planted {
+            m.retire_point(id).unwrap();
+        }
+        let after = scan_outliers(&m, usize::MAX).unwrap();
+        let live = m.engine().dataset().live_len() as u64;
+        assert_eq!(
+            after.ranking_evals + after.ranking_filtered,
+            live * (live - 1),
+            "accounting must track the live set through churn"
+        );
     }
 
     #[test]

@@ -69,6 +69,164 @@ pub struct QueryContext<'a> {
 /// Source of [`QueryContext::uid`] values.
 static NEXT_CTX_UID: AtomicU64 = AtomicU64::new(1);
 
+/// Accumulator lanes of the chunked column folds. Four `f64`s span a
+/// 256-bit vector register; rustc unrolls the fixed-width body into
+/// straight-line code the auto-vectorizer handles without any SIMD
+/// crate. The lanes run over *points* — each point's own fold order is
+/// untouched, so chunking cannot change a single result bit (the
+/// DESIGN.md §9 argument).
+const FOLD_LANES: usize = 4;
+
+/// `child[i] = parent[i] + col[i]` — the additive-metric column fold
+/// (L1/L2/Lp cached terms are all summed), chunked for the vectorizer.
+fn fold_add(child: &mut [f64], parent: &[f64], col: &[f64]) {
+    let head = child.len() - child.len() % FOLD_LANES;
+    for ((c, p), t) in child[..head]
+        .chunks_exact_mut(FOLD_LANES)
+        .zip(parent[..head].chunks_exact(FOLD_LANES))
+        .zip(col[..head].chunks_exact(FOLD_LANES))
+    {
+        c[0] = p[0] + t[0];
+        c[1] = p[1] + t[1];
+        c[2] = p[2] + t[2];
+        c[3] = p[3] + t[3];
+    }
+    for ((c, &p), &t) in child[head..]
+        .iter_mut()
+        .zip(&parent[head..])
+        .zip(&col[head..])
+    {
+        *c = p + t;
+    }
+}
+
+/// `child[i] = parent[i].max(col[i])` — the L∞ column fold.
+fn fold_max(child: &mut [f64], parent: &[f64], col: &[f64]) {
+    let head = child.len() - child.len() % FOLD_LANES;
+    for ((c, p), t) in child[..head]
+        .chunks_exact_mut(FOLD_LANES)
+        .zip(parent[..head].chunks_exact(FOLD_LANES))
+        .zip(col[..head].chunks_exact(FOLD_LANES))
+    {
+        c[0] = p[0].max(t[0]);
+        c[1] = p[1].max(t[1]);
+        c[2] = p[2].max(t[2]);
+        c[3] = p[3].max(t[3]);
+    }
+    for ((c, &p), &t) in child[head..]
+        .iter_mut()
+        .zip(&parent[head..])
+        .zip(&col[head..])
+    {
+        *c = p.max(t);
+    }
+}
+
+/// Candidate lanes of the chunked bounded selection below.
+const SEL_LANES: usize = 16;
+
+/// Scalar elements offered after the fill phase before chunk-skipping
+/// starts. Right after the fill the bound is the worst of the first
+/// `k` elements — loose enough that early chunks would nearly all be
+/// admitted (and pay per-element heap traffic). A short scalar warmup
+/// tightens the bound to the running kth-best before the chunked loop
+/// relies on it, capping total admissions near the k·log(n/k) optimum.
+const SEL_WARMUP: usize = 32;
+
+/// Offers a contiguous accumulator run (point ids `base..`) into
+/// `top`, skipping [`SEL_LANES`]-wide chunks whose every pre-distance
+/// lies strictly beyond the admission bound. The bound is the tighter
+/// of [`TopK::bound`] and `w0`, a caller-supplied *seed*: any value
+/// known to be `>=` the true kth-smallest pre-distance of the run (the
+/// walker derives one from the previous lattice node's winners; pass
+/// `+inf` for none). A skipped element satisfies `pre > bound >=
+/// final kth-best`, which is exactly the condition [`TopK::offer`]'s
+/// fast path rejects on — so the kept set, the tie-break and therefore
+/// every downstream OD are bit-identical to offering every element;
+/// ties *at* the bound stay in the chunk's offer loop (a smaller id
+/// can still evict the worst). The bound is re-read only after a chunk
+/// lands an offer: it only tightens, so a stale bound skips less,
+/// never more.
+fn offer_bounded(acc: &[f64], base: usize, top: &mut TopK, warmup: bool, w0: f64) {
+    let mut i = 0usize;
+    if w0.is_infinite() {
+        // No seed: nothing can be skipped until the selection is full,
+        // so offer the fill directly.
+        while i < acc.len() && !top.is_full() {
+            top.offer(acc[i], base + i);
+            i += 1;
+        }
+        // Warmup phase: scalar offers that tighten the bound (see
+        // SEL_WARMUP) before the chunked loop starts trusting it.
+        // Callers resuming a selection whose bound is already tight
+        // skip it.
+        if warmup {
+            let warm = (i + SEL_WARMUP).min(acc.len());
+            while i < warm {
+                top.offer(acc[i], base + i);
+                i += 1;
+            }
+        }
+    }
+    // With a seed, the chunked loop runs from element 0: the heap
+    // fills with survivors only (offer pushes while slots remain), and
+    // the guaranteed >= k elements at or under `w0` ensure it fills by
+    // the end of the run(s).
+    let mut w = top.bound().min(w0);
+    while i + SEL_LANES <= acc.len() {
+        let c = &acc[i..i + SEL_LANES];
+        // Tree-reduced chunk minimum: `min <= w` iff some lane is
+        // admissible. Raw comparisons (not f64::min) keep the lowered
+        // code branch-free (minpd), and the whole test vectorizes;
+        // pre-distances are finite by construction.
+        let mut m = [0.0f64; SEL_LANES / 2];
+        for j in 0..SEL_LANES / 2 {
+            m[j] = if c[j] < c[j + SEL_LANES / 2] {
+                c[j]
+            } else {
+                c[j + SEL_LANES / 2]
+            };
+        }
+        let mut width = SEL_LANES / 2;
+        while width > 1 {
+            width /= 2;
+            for j in 0..width {
+                m[j] = if m[j] < m[j + width] {
+                    m[j]
+                } else {
+                    m[j + width]
+                };
+            }
+        }
+        let min = m[0];
+        if min <= w {
+            // Branchless compress of the chunk's true survivors: the
+            // unconditional store + conditional increment has no
+            // data-dependent control flow, so only the ~1-2 admissible
+            // lanes reach `offer`'s branchy fast path instead of all
+            // eight. The `& (SEL_LANES - 1)` is a no-op (len never
+            // exceeds the chunk length) that makes the store provably
+            // in-bounds — no per-lane panic branch.
+            let mut buf = [0u32; SEL_LANES];
+            let mut len = 0usize;
+            for (j, &v) in c.iter().enumerate() {
+                buf[len & (SEL_LANES - 1)] = j as u32;
+                len += (v <= w) as usize;
+            }
+            for &j in &buf[..len] {
+                top.offer(c[j as usize], base + i + j as usize);
+            }
+            if len > 0 {
+                w = top.bound().min(w0);
+            }
+        }
+        i += SEL_LANES;
+    }
+    for (j, &pre) in acc[i..].iter().enumerate() {
+        top.offer(pre, base + i + j);
+    }
+}
+
 impl<'a> QueryContext<'a> {
     /// Computes the pre-distance matrix for `query` against `dataset`:
     /// one pass over the raw coordinates, `n * d` stored terms.
@@ -157,6 +315,22 @@ impl<'a> QueryContext<'a> {
         &self.cols[j * self.n..(j + 1) * self.n]
     }
 
+    /// Folds the cached column of `dim` into `child` on top of
+    /// `parent` (`None` = the fold identity, i.e. the root level) —
+    /// the prefix-stack descend step, dispatched once per call to the
+    /// chunked per-metric kernel instead of matching on the metric per
+    /// element. `combine(0.0, term)` equals `term` bit for bit for
+    /// every metric (terms are absolute gaps, never `-0.0`), so the
+    /// root level is a plain chunk-friendly copy.
+    pub(crate) fn fold_column_into(&self, dim: usize, parent: Option<&[f64]>, child: &mut [f64]) {
+        let col = self.col(dim);
+        match (parent, self.metric) {
+            (None, _) => child.copy_from_slice(col),
+            (Some(p), Metric::LInf) => fold_max(child, p, col),
+            (Some(p), _) => fold_add(child, p, col),
+        }
+    }
+
     /// Top-k selection over an externally accumulated pre-distance
     /// vector (one slot per physical row) — the prefix-stack kernel's
     /// selection step. Applies exactly the same exclusion, liveness
@@ -178,20 +352,18 @@ impl<'a> QueryContext<'a> {
         debug_assert_eq!(acc.len(), self.n);
         let count = if self.dead.is_empty() {
             // All rows live: split the scan at the excluded id instead
-            // of testing it per element. Offer order stays ascending
-            // by id, so the kept set and tie-break are unchanged.
+            // of testing it per element, then run the chunked bounded
+            // offer over each contiguous run. Offer order stays
+            // ascending by id and skips only provably-rejected
+            // elements, so the kept set and tie-break are unchanged.
             let ex = exclude.unwrap_or(usize::MAX);
-            let (head, tail) = if ex < acc.len() {
-                (&acc[..ex], &acc[ex + 1..])
+            let (head, tail, tail_base) = if ex < acc.len() {
+                (&acc[..ex], &acc[ex + 1..], ex + 1)
             } else {
-                (acc, &[][..])
+                (acc, &[][..], 0)
             };
-            for (i, &pre) in head.iter().enumerate() {
-                top.offer(pre, i);
-            }
-            for (i, &pre) in tail.iter().enumerate() {
-                top.offer(pre, ex + 1 + i);
-            }
+            offer_bounded(head, 0, top, true, f64::INFINITY);
+            offer_bounded(tail, tail_base, top, head.len() < SEL_WARMUP, f64::INFINITY);
             (head.len() + tail.len()) as u64
         } else {
             let mut live = 0u64;
@@ -206,6 +378,122 @@ impl<'a> QueryContext<'a> {
         };
         if let Some(evals) = self.evals {
             evals.fetch_add(count, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Fused descend + selection: folds the cached column of `dim`
+    /// into `child` on top of `parent` *and* runs the same bounded
+    /// top-k selection as [`QueryContext::select_acc`], block by
+    /// block — each `child` block is offered while its lines are still
+    /// L1-resident from the fold's store. A fold over `n` points
+    /// streams `3·8n` bytes (parent + column + child) through the
+    /// cache, so by the time a separate selection pass starts, the
+    /// early two-thirds of `child` have been evicted to L2; fusing
+    /// removes that whole re-read (~half the per-node selection cost
+    /// on a 2000-point walk).
+    ///
+    /// Bit-identity: the fold performs the identical per-point
+    /// operation sequence as [`QueryContext::fold_column_into`] (the
+    /// blocks partition the same chunked loops), and the offers arrive
+    /// in the identical ascending-id order with the identical
+    /// bound-skip rule as `select_acc` — so the kept set, tie-breaks,
+    /// eval accounting and every downstream OD are unchanged bit for
+    /// bit. `child` is fully materialised on return in all paths
+    /// (callers reuse it as the parent of deeper folds).
+    ///
+    /// `seeds` are candidate point ids from a previous, related
+    /// selection (the walker passes the previous lattice node's
+    /// winners; empty = none). If `k` of them are live under the
+    /// current exclusion, the worst of their pre-distances *in this
+    /// subspace* — `O(1)` each from the parent accumulator plus the
+    /// column — is an upper bound on the true kth-smallest
+    /// pre-distance (any `k` distinct candidates majorise the true
+    /// top-k), so the scan starts with a near-optimal admission bound
+    /// instead of warming one up. Seeding never changes the kept set:
+    /// the bound-skip rule still rejects only provably-losing
+    /// elements, and [`TopK`]'s kept set is offer-order-independent.
+    #[allow(clippy::too_many_arguments)] // internal fused kernel: the args ARE the fusion
+    pub(crate) fn fold_select_acc(
+        &self,
+        dim: usize,
+        parent: Option<&[f64]>,
+        child: &mut [f64],
+        k: usize,
+        exclude: Option<PointId>,
+        top: &mut TopK,
+        seeds: &[PointId],
+    ) {
+        /// Per-block fused footprint: 3 streams × 8 bytes × 512 =
+        /// 12 KiB, comfortably inside a 32 KiB L1d.
+        const FUSE_BLOCK: usize = 512;
+        top.reset(k);
+        debug_assert_eq!(child.len(), self.n);
+        if k == 0 || self.n == 0 || !self.dead.is_empty() {
+            // Cold paths (empty selection, tombstones): materialise the
+            // child in one pass and reuse the scalar selection loop so
+            // liveness filtering and eval accounting stay one piece of
+            // code. (`select_acc` resets `top` again — harmless.)
+            self.fold_column_into(dim, parent, child);
+            if k != 0 && self.n != 0 {
+                self.select_acc(child, k, exclude, top);
+            }
+            return;
+        }
+        let col = self.col(dim);
+        let ex = exclude.unwrap_or(usize::MAX);
+        // Seed admission bound from prior winners, when a full set of
+        // k valid ids is on hand (see the doc comment).
+        let mut w0 = f64::INFINITY;
+        if !seeds.is_empty() {
+            let mut m = f64::NEG_INFINITY;
+            let mut cnt = 0usize;
+            for &id in seeds {
+                if id < self.n && id != ex {
+                    let pre = match parent {
+                        Some(p) => self.combine(p[id], col[id]),
+                        None => col[id],
+                    };
+                    m = if pre > m { pre } else { m };
+                    cnt += 1;
+                    if cnt == k {
+                        break;
+                    }
+                }
+            }
+            if cnt == k {
+                w0 = m;
+            }
+        }
+        let mut i = 0usize;
+        while i < self.n {
+            let end = (i + FUSE_BLOCK).min(self.n);
+            match (parent, self.metric) {
+                (None, _) => child[i..end].copy_from_slice(&col[i..end]),
+                (Some(p), Metric::LInf) => fold_max(&mut child[i..end], &p[i..end], &col[i..end]),
+                (Some(p), _) => fold_add(&mut child[i..end], &p[i..end], &col[i..end]),
+            }
+            // Warmup only in the first block — later blocks resume a
+            // selection whose bound is already tight.
+            let warm = i == 0;
+            if ex >= i && ex < end {
+                offer_bounded(&child[i..ex], i, top, warm, w0);
+                offer_bounded(
+                    &child[ex + 1..end],
+                    ex + 1,
+                    top,
+                    warm && ex < SEL_WARMUP,
+                    w0,
+                );
+            } else {
+                offer_bounded(&child[i..end], i, top, warm, w0);
+            }
+            i = end;
+        }
+        if let Some(evals) = self.evals {
+            evals.fetch_add(
+                (self.n - usize::from(ex < self.n)) as u64,
+                AtomicOrdering::Relaxed,
+            );
         }
     }
 

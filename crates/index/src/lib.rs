@@ -33,8 +33,10 @@
 //!   context construction, the amortisation cost model and the walker
 //!   traversal; every search layer streams subspaces at it.
 //! * [`block`] — the blocked all-points full-space OD kernel behind
-//!   dataset-wide scans: SoA layout, reused selection heaps,
-//!   bit-identical to per-point engine queries.
+//!   dataset-wide scans: SoA layout, reused selection heaps, and a
+//!   quantized `f32` admission filter that rejects provably-losing
+//!   pairs before any exact fold — bit-identical to per-point engine
+//!   queries, with typed errors and eval/filter accounting.
 //! * [`sharded`] — exact intra-query parallelism: [`ShardedEngine`]
 //!   fans each query over contiguous data shards and merges per-shard
 //!   top-k lists losslessly (bit-identical ODs).
@@ -55,7 +57,9 @@ pub mod vafile;
 pub mod walker;
 pub mod xtree;
 
-pub use block::all_points_full_od;
+pub use block::{
+    all_points_full_od, all_points_full_od_counted, quantized_lower_bounds, BlockedScan,
+};
 pub use context::QueryContext;
 pub use error::IndexError;
 pub use evaluator::{LazyContextEvaluator, OdEvaluator};

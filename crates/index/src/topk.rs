@@ -91,7 +91,12 @@ impl TopK {
     /// full `(pre, id)` order, so the kept set — and the tie-break —
     /// is independent of the order candidates are offered in (VaFile
     /// offers in lower-bound order, not id order).
-    #[inline]
+    ///
+    /// `inline(always)`: the chunked selection loop in
+    /// `context::offer_bounded` offers up to eight candidates per
+    /// accepted chunk; an outlined call there costs more than the two
+    /// compares of the fast path it guards.
+    #[inline(always)]
     pub fn offer(&mut self, pre: f64, id: PointId) {
         if self.heap.len() < self.k {
             self.heap.push(Candidate { pre, id });
@@ -160,6 +165,33 @@ impl TopK {
     #[inline]
     pub fn worst(&self) -> Option<f64> {
         self.heap.first().map(|c| c.pre)
+    }
+
+    /// The admission bound for candidate pre-distances: the cached
+    /// worst kept pre once the selection is full, `+inf` while free
+    /// slots remain (everything admissible), `-inf` for `k == 0`
+    /// (nothing ever kept). A candidate with `pre > bound()` is
+    /// provably rejected by [`TopK::offer`]'s fast path, so callers
+    /// may skip constructing it entirely; a candidate *at* the bound
+    /// must still be offered — a smaller id ties into the heap.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        if !self.is_full() {
+            f64::INFINITY
+        } else {
+            self.heap
+                .first()
+                .map(|c| c.pre)
+                .unwrap_or(f64::NEG_INFINITY)
+        }
+    }
+
+    /// The ids currently kept, in arbitrary (heap) order — used by the
+    /// lattice walker to seed the next node's admission bound with the
+    /// previous node's winners.
+    #[inline]
+    pub fn ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.heap.iter().map(|c| c.id)
     }
 
     /// The kept candidates in ascending `(pre, id)` order, sorted in

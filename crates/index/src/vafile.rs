@@ -49,45 +49,34 @@ pub struct VaFile {
     approx: Vec<u8>,
     cells: usize,
     evals: AtomicU64,
+    /// Removals since the marks were last rebuilt. Removals never
+    /// shrink marks in place, so after enough churn the cells are much
+    /// wider than the live value range and the filter degrades;
+    /// [`VaFile::requantise`] resets this.
+    stale_removals: usize,
 }
 
 impl VaFile {
-    /// Quantises the dataset.
+    /// Quantises the dataset. Marks span the **live** value range only
+    /// — a tombstoned extreme must not widen every cell and weaken the
+    /// filter brackets for the points that remain (the
+    /// `build_marks_span_live_range_only` regression).
     ///
     /// # Panics
     /// Panics if `bits` is outside `1..=8`.
     pub fn build(dataset: Dataset, metric: Metric, cfg: VaFileConfig) -> Self {
         assert!((1..=8).contains(&cfg.bits), "bits must be in 1..=8");
-        let d = dataset.dim();
-        let cells = 1usize << cfg.bits;
-        let mut marks = Vec::with_capacity(d);
-        for c in 0..d {
-            let col = dataset.column_vec(c);
-            let (lo, hi) = hos_data::stats::min_max(&col).unwrap_or((0.0, 1.0));
-            let span = (hi - lo).max(f64::MIN_POSITIVE);
-            // Equi-width marks; the last mark is nudged up so the max
-            // value falls in the top cell, not past it.
-            let mut m: Vec<f64> = (0..=cells)
-                .map(|i| lo + span * i as f64 / cells as f64)
-                .collect();
-            let last = m.len() - 1;
-            m[last] = hi + span * 1e-9;
-            marks.push(m);
-        }
-        let mut approx = vec![0u8; dataset.len() * d];
-        for (i, row) in dataset.iter() {
-            for (c, &v) in row.iter().enumerate() {
-                approx[i * d + c] = cell_of(&marks[c], v, cells) as u8;
-            }
-        }
-        VaFile {
+        let mut va = VaFile {
             dataset,
             metric,
-            marks,
-            approx,
-            cells,
+            marks: Vec::new(),
+            approx: Vec::new(),
+            cells: 1usize << cfg.bits,
             evals: AtomicU64::new(0),
-        }
+            stale_removals: 0,
+        };
+        va.requantise();
+        va
     }
 
     /// Number of quantisation cells per dimension.
@@ -127,6 +116,7 @@ impl VaFile {
                 self.approx[i * d + c] = cell_of(&self.marks[c], v, cells) as u8;
             }
         }
+        self.stale_removals = 0;
     }
 
     /// Lower and upper pre-metric distance bounds between `query` and
@@ -267,7 +257,9 @@ impl KnnEngine for VaFile {
 ///   bit-identical to a cold rebuild (whose marks differ).
 /// * **Remove** — tombstone; the filter and refine loops skip dead
 ///   rows. Approximation slots stay allocated until the dataset is
-///   compacted offline.
+///   compacted offline. Once removals outnumber the live set the
+///   marks are rebuilt over the live range (widening is never undone
+///   in place), restoring filter selectivity after heavy churn.
 impl IncrementalEngine for VaFile {
     fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
         validate_insert(&self.dataset, row)?;
@@ -299,6 +291,15 @@ impl IncrementalEngine for VaFile {
     fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
         validate_remove(&self.dataset, id)?;
         self.dataset.remove_row(id)?;
+        // Tombstoning alone keeps every bracket valid but never
+        // tightens one; once removals dominate the live set, rebuild
+        // the marks over what actually remains. Results are exact
+        // either way — only filter selectivity is at stake — so the
+        // trigger is a heuristic, not a correctness point.
+        self.stale_removals += 1;
+        if self.stale_removals > self.dataset.live_len().max(16) {
+            self.requantise();
+        }
         Ok(())
     }
 }
@@ -416,6 +417,73 @@ mod tests {
         let va = VaFile::build(ds, Metric::L2, VaFileConfig::default());
         let nn = va.knn(&[5.0, 2.1], 2, Subspace::full(2), None);
         assert_eq!(nn[0].id, 1);
+    }
+
+    /// Regression: `build` once derived marks from the *physical*
+    /// columns, so a tombstoned extreme row widened every cell for the
+    /// survivors. Marks must span the live range only — and the
+    /// brackets must still be valid for every live point.
+    #[test]
+    fn build_marks_span_live_range_only() {
+        let mut ds = random_dataset(120, 3, 21); // values in ±50
+        let outlier = ds.push_row(&[1.0e6, -1.0e6, 1.0e6]).unwrap();
+        ds.remove_row(outlier).unwrap();
+        let va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        for c in 0..3 {
+            let last = va.marks[c].len() - 1;
+            assert!(
+                va.marks[c][0] >= -51.0 && va.marks[c][last] <= 51.0,
+                "dim {c}: marks [{}, {}] span the tombstoned extreme",
+                va.marks[c][0],
+                va.marks[c][last]
+            );
+        }
+        // Tight marks are still correct marks.
+        let q: Vec<f64> = ds.row(7).to_vec();
+        for i in ds.live_ids() {
+            let (lo, hi) = va.bounds(&q, i, Subspace::full(3));
+            let exact = Metric::L2.pre_dist_sub(&q, ds.row(i), Subspace::full(3));
+            assert!(lo <= exact + 1e-9 && hi >= exact - 1e-9, "point {i}");
+        }
+    }
+
+    /// Heavy churn rebuilds the marks over the live range (an insert's
+    /// widening plus tombstoning alone never tightens them), and the
+    /// engine stays bit-exact against the linear-scan oracle
+    /// throughout.
+    #[test]
+    fn churn_requantises_marks_and_stays_exact() {
+        let ds = random_dataset(60, 2, 23); // values in ±50
+        let mut va = VaFile::build(ds.clone(), Metric::L2, VaFileConfig::default());
+        let far = va.insert(&[4.0e5, 4.0e5]).unwrap();
+        let last = va.marks[0].len() - 1;
+        assert!(va.marks[0][last] >= 4.0e5, "insert must widen the marks");
+        va.remove(far).unwrap();
+        // Remove until removals outnumber the live set; the rebuild
+        // trigger must fire and tighten the outer marks back down.
+        for id in 0..45 {
+            va.remove(id).unwrap();
+        }
+        let last = va.marks[0].len() - 1;
+        assert!(
+            va.marks[0][last] <= 51.0,
+            "marks still span the removed extreme after churn: {}",
+            va.marks[0][last]
+        );
+        // Oracle pin: same mutations on the raw dataset, exact answers.
+        let mut oracle = ds;
+        oracle.push_row(&[4.0e5, 4.0e5]).unwrap();
+        oracle.remove_row(far).unwrap();
+        for id in 0..45 {
+            oracle.remove_row(id).unwrap();
+        }
+        let lin = LinearScan::new(oracle.clone(), Metric::L2);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..10 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-60.0..60.0)).collect();
+            let s = Subspace::from_mask(rng.gen_range(1u64..4));
+            assert_eq!(va.knn(&q, 4, s, None), lin.knn(&q, 4, s, None), "{s}");
+        }
     }
 
     #[test]

@@ -74,8 +74,21 @@ pub struct PrefixStack {
     levels: Vec<Vec<f64>>,
     /// The dimensions of the current subspace, strictly ascending.
     path: Vec<usize>,
+    /// Whether the top of `path` has been pushed but its column fold
+    /// deferred. The fold runs at the first use of the top accumulator:
+    /// a deeper [`PrefixStack::descend`] materialises it standalone,
+    /// while [`PrefixStack::od`]/[`PrefixStack::knn`] materialise it
+    /// *fused* with their selection ([`QueryContext::fold_select_acc`])
+    /// so the selection reads each freshly folded block while it is
+    /// still L1-resident. A deferred top that is popped again was never
+    /// folded at all.
+    pending: bool,
     /// Scratch for [`PrefixStack::seek`]'s target dimension list.
     dims: Vec<usize>,
+    /// Scratch for the previous node's winning ids, used to seed the
+    /// next fused selection's admission bound
+    /// ([`QueryContext::fold_select_acc`]).
+    seed_ids: Vec<PointId>,
     /// Reused selection heap.
     top: TopK,
     /// Total `descend` calls: one per `O(n)` column fold.
@@ -101,9 +114,11 @@ impl PrefixStack {
             levels: Vec::new(),
             path: Vec::new(),
             dims: Vec::new(),
+            seed_ids: Vec::new(),
             top: TopK::new(0),
             visits: 0,
             ctx_uid: 0,
+            pending: false,
         }
     }
 
@@ -124,8 +139,14 @@ impl PrefixStack {
         self.visits
     }
 
-    /// Pushes `dim`, folding its cached column into the parent
-    /// accumulator. One streaming `O(n)` pass.
+    /// Pushes `dim`; the column fold itself is *deferred* until the
+    /// new accumulator is first used. A deeper descend materialises it
+    /// standalone (one streaming `O(n)` pass, exactly as before); an
+    /// [`PrefixStack::od`]/[`PrefixStack::knn`] materialises it fused
+    /// with the selection, which reads each folded block while it is
+    /// still L1-hot instead of re-streaming the whole accumulator. The
+    /// fold sequence per point is identical either way, so every
+    /// result bit is unchanged.
     ///
     /// # Panics
     /// Panics if `dim` is not strictly greater than the current top of
@@ -143,45 +164,62 @@ impl PrefixStack {
              accumulators were folded with — use seek(), which resets"
         );
         self.ctx_uid = ctx.uid();
-        let n = ctx.len();
+        if self.pending {
+            self.materialize(ctx);
+        }
+        self.path.push(dim);
+        self.pending = true;
+    }
+
+    /// Ensures the level buffer for the current top exists and is
+    /// sized, and hands it out with its parent for folding. Shared by
+    /// the standalone and fused materialisation paths.
+    fn top_buffers(&mut self, n: usize) -> (Option<&[f64]>, &mut Vec<f64>) {
         let depth = self.path.len();
-        if self.levels.len() <= depth {
+        debug_assert!(depth > 0 && self.pending);
+        if self.levels.len() < depth {
             self.levels.push(vec![0.0f64; n]);
         }
-        let (parents, rest) = self.levels.split_at_mut(depth);
+        let (parents, rest) = self.levels.split_at_mut(depth - 1);
         let child = &mut rest[0];
         if child.len() != n {
             child.clear();
             child.resize(n, 0.0);
         }
-        let col = ctx.col(dim);
-        match parents.last() {
-            None => {
-                for (slot, &term) in child.iter_mut().zip(col) {
-                    *slot = ctx.combine(0.0, term);
-                }
-            }
-            Some(parent) => {
-                for ((slot, &acc), &term) in child.iter_mut().zip(parent.iter()).zip(col) {
-                    *slot = ctx.combine(acc, term);
-                }
-            }
-        }
-        self.path.push(dim);
+        (parents.last().map(|v| v.as_slice()), child)
+    }
+
+    /// Runs the deferred column fold of the current top standalone —
+    /// one chunked `O(n)` pass ([`QueryContext::fold_column_into`]:
+    /// 4-lane fixed-width body the vectorizer handles, dispatched on
+    /// the metric once per fold instead of per element; lanes span
+    /// points, so each point's fold order — and every result bit — is
+    /// unchanged).
+    fn materialize(&mut self, ctx: &QueryContext<'_>) {
+        let dim = *self.path.last().expect("materialize at the root");
+        let (parent, child) = self.top_buffers(ctx.len());
+        ctx.fold_column_into(dim, parent, child);
+        self.pending = false;
         self.visits += 1;
     }
 
     /// Pops the top dimension; the parent accumulator is live again.
+    /// A deferred (never-used) top is simply dropped — its fold never
+    /// runs.
     ///
     /// # Panics
     /// Panics if the stack is empty.
     pub fn ascend(&mut self) {
         self.path.pop().expect("ascend from the root");
+        // Only the top can be deferred, so whatever is now on top has
+        // been materialised.
+        self.pending = false;
     }
 
     /// Pops everything: back to the empty subspace.
     pub fn reset(&mut self) {
         self.path.clear();
+        self.pending = false;
     }
 
     /// Moves the stack to subspace `s` with the fewest possible
@@ -194,6 +232,7 @@ impl PrefixStack {
     pub fn seek(&mut self, ctx: &QueryContext<'_>, s: Subspace) {
         if self.ctx_uid != ctx.uid() {
             self.path.clear();
+            self.pending = false;
         }
         self.dims.clear();
         self.dims.extend(s.dims());
@@ -203,7 +242,12 @@ impl PrefixStack {
             .zip(&self.dims)
             .take_while(|(a, b)| a == b)
             .count();
-        self.path.truncate(keep);
+        if keep < self.path.len() {
+            self.path.truncate(keep);
+            // A deferred top is gone (or no longer on top of a shorter
+            // path): everything kept is materialised.
+            self.pending = false;
+        }
         for i in keep..self.dims.len() {
             let dim = self.dims[i];
             self.descend(ctx, dim);
@@ -220,9 +264,57 @@ impl PrefixStack {
             // the direct path (every pre-distance is the fold identity).
             0 => ctx.od(k, Subspace::empty(), exclude),
             depth => {
-                ctx.select_acc(&self.levels[depth - 1], k, exclude, &mut self.top);
+                self.select_top(ctx, k, exclude, depth);
                 ctx.finish_od(&mut self.top)
             }
+        }
+    }
+
+    /// Selection over the current top accumulator into the reused
+    /// heap: fused with the deferred fold when one is pending
+    /// ([`QueryContext::fold_select_acc`]), plain bounded selection
+    /// otherwise. Both paths produce bit-identical kept sets.
+    fn select_top(
+        &mut self,
+        ctx: &QueryContext<'_>,
+        k: usize,
+        exclude: Option<PointId>,
+        depth: usize,
+    ) {
+        if self.pending {
+            debug_assert_eq!(self.ctx_uid, ctx.uid());
+            let dim = self.path[depth - 1];
+            // The previous node's winners seed the next admission
+            // bound: any k live non-excluded ids majorise the true
+            // kth-best, and lattice neighbours overlap heavily, so the
+            // bound starts near-optimal. (The heap still holds them —
+            // `fold_select_acc` resets it after reading the seeds.)
+            self.seed_ids.clear();
+            self.seed_ids.extend(self.top.ids());
+            let top = &mut self.top;
+            // Split borrows: buffers from levels, heap from self.
+            if self.levels.len() < depth {
+                self.levels.push(vec![0.0f64; ctx.len()]);
+            }
+            let (parents, rest) = self.levels.split_at_mut(depth - 1);
+            let child = &mut rest[0];
+            if child.len() != ctx.len() {
+                child.clear();
+                child.resize(ctx.len(), 0.0);
+            }
+            ctx.fold_select_acc(
+                dim,
+                parents.last().map(|v| v.as_slice()),
+                child,
+                k,
+                exclude,
+                top,
+                &self.seed_ids,
+            );
+            self.pending = false;
+            self.visits += 1;
+        } else {
+            ctx.select_acc(&self.levels[depth - 1], k, exclude, &mut self.top);
         }
     }
 
@@ -237,7 +329,7 @@ impl PrefixStack {
         match self.path.len() {
             0 => ctx.knn(k, Subspace::empty(), exclude),
             depth => {
-                ctx.select_acc(&self.levels[depth - 1], k, exclude, &mut self.top);
+                self.select_top(ctx, k, exclude, depth);
                 ctx.finish_knn(&mut self.top)
             }
         }

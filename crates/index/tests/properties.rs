@@ -4,8 +4,8 @@
 
 use hos_data::{Dataset, Metric, Subspace};
 use hos_index::{
-    Engine, KnnEngine, LinearScan, QueryContext, ShardedEngine, VaFile, VaFileConfig, XTree,
-    XTreeConfig,
+    all_points_full_od_counted, quantized_lower_bounds, Engine, KnnEngine, LinearScan,
+    QueryContext, ShardedEngine, VaFile, VaFileConfig, XTree, XTreeConfig,
 };
 use proptest::prelude::*;
 
@@ -18,6 +18,15 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
 
 fn arb_metric() -> impl Strategy<Value = Metric> {
     prop_oneof![Just(Metric::L1), Just(Metric::L2), Just(Metric::LInf)]
+}
+
+fn arb_metric_all() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::L1),
+        Just(Metric::L2),
+        Just(Metric::LInf),
+        Just(Metric::Lp(3.0)),
+    ]
 }
 
 proptest! {
@@ -191,6 +200,73 @@ proptest! {
                 prop_assert_eq!(ev.od(s), expected[i]);
             }
         }
+    }
+
+    /// The chunked/blocked all-points kernel is **bit-identical** to
+    /// per-point `LinearScan` queries — `==` on `f64`, no tolerance —
+    /// for arbitrary data, every metric (including `Lp`, which takes
+    /// the exact-fallback route), arbitrary k and arbitrary tombstone
+    /// patterns. This pins the two tentpole claims at once: chunking
+    /// lanes span points (so per-pair fold order is unchanged) and
+    /// the quantized admission filter only ever skips losers.
+    #[test]
+    fn blocked_kernel_bit_identical_to_linear_scan(ds in arb_dataset(),
+                                                   k in 0usize..12,
+                                                   kill_seed in 0u64..u64::MAX,
+                                                   metric in arb_metric_all()) {
+        let mut ds = ds;
+        // Tombstone a pseudo-random subset (never all rows).
+        for i in 0..ds.len() {
+            if (kill_seed >> (i % 64)) & 1 == 1 && ds.live_len() > 1 {
+                ds.remove_row(i).unwrap();
+            }
+        }
+        let live = ds.live_len();
+        match all_points_full_od_counted(&ds, metric, k) {
+            Err(_) => prop_assert!(live.saturating_sub(1) < k,
+                "errored with {} live points available for k={k}", live - 1),
+            Ok(scan) => {
+                prop_assert!(live.saturating_sub(1) >= k);
+                // Every live pair is either exactly evaluated or
+                // provably filtered — nothing is silently dropped.
+                prop_assert_eq!(
+                    scan.distance_evals + scan.filtered,
+                    (live * live.saturating_sub(1)) as u64);
+                let lin = LinearScan::new(ds.clone(), metric);
+                let full = ds.full_space();
+                prop_assert_eq!(scan.ods.len(), live);
+                for &(id, od) in &scan.ods {
+                    let direct = lin.od(ds.row(id), k, full, Some(id));
+                    prop_assert_eq!(od, direct,
+                        "row {} diverged under {:?}", id, metric);
+                }
+            }
+        }
+    }
+
+    /// The quantized `f32` admission bounds are *conservative*: for
+    /// every live row, the lower bound never exceeds the exact `f64`
+    /// pre-distance it stands in for. This is the property that makes
+    /// skipping on `lb > top.bound()` exact rather than approximate.
+    #[test]
+    fn quantized_bounds_never_exceed_exact_pre(ds in arb_dataset(),
+                                               qsel in 0usize..1024,
+                                               metric in arb_metric()) {
+        let q = qsel % ds.len();
+        let lbs = quantized_lower_bounds(&ds, metric, q)
+            .expect("small-magnitude data is always admissible");
+        let qrow: Vec<f64> = ds.row(q).to_vec();
+        for (i, &lb) in lbs.iter().enumerate() {
+            let mut exact = 0.0f64;
+            for (j, &qv) in qrow.iter().enumerate() {
+                exact = metric.accumulate(exact, (qv - ds.get(i, j)).abs());
+            }
+            prop_assert!(lb <= exact,
+                "bound {} exceeds exact pre {} for pair ({q},{i}) under {:?}",
+                lb, exact, metric);
+        }
+        // Lp admits no order-safe quantized bound: always exact-path.
+        prop_assert!(quantized_lower_bounds(&ds, Metric::Lp(3.0), q).is_none());
     }
 
     /// OD is monotone under subspace inclusion regardless of engine —
