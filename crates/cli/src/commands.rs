@@ -23,9 +23,10 @@ USAGE:
   hos-miner query    --data FILE (--id N | --ids N1,N2,... | --point \"x1,x2,...\")
                      [--model FILE]
                      [--k 5] [--threshold T | --quantile 0.95]
-                     [--engine linear|xtree|vafile] [--samples 20]
+                     [--engine linear|xtree|vafile|hnsw] [--samples 20]
                      [--metric l1|l2|linf] [--normalize none|minmax|zscore]
                      [--smoothing 1.0] [--threads 1] [--shards 1]
+                     [--ef N] [--recall-target 0.95]
                      [--seed 0] [--header]
   hos-miner scan     --data FILE [--top 5] [--model FILE] [... tuning flags]
   hos-miner stream   [--data FILE]  (no --data: rows from stdin)
@@ -48,6 +49,12 @@ results are identical to running each --id query on its own.
 also runs in parallel (per-shard k-NN, exact merge). Neither flag
 changes any result: sharded and threaded answers are bit-identical to
 the serial ones.
+--engine hnsw answers k-NN through an approximate graph index whose
+reported distances and ODs are still exact — only recall is
+approximate. --ef sets its candidate-pool width (wider = higher
+recall, slower); --recall-target T instead calibrates the width until
+a sampled recall@k reaches T. Both are machine-tuning knobs (like
+--threads) and are not persisted in models; exact engines ignore them.
 `bench` fits a miner and times a batch of member queries end to end
 (reporting queries/s) — point it at a real CSV or let it generate a
 synthetic workload with --n/--d. Every run writes a machine-readable
@@ -135,6 +142,26 @@ fn build_miner(args: &Args, ds: Dataset) -> Result<HosMiner, String> {
                 args.get_or("threads", 1usize)?,
             )
             .map_err(|e| e.to_string())?;
+        // Search width is machine tuning like --threads, so the model
+        // file never carries it: honour the flags at load time too.
+        if let Some(ef) = args.get_opt::<usize>("ef")? {
+            if ef == 0 {
+                return Err("--ef must be positive".into());
+            }
+            miner.engine().set_search_width(ef);
+        }
+        if let Some(target) = args.get_opt::<f64>("recall-target")? {
+            if !(target.is_finite() && target > 0.0 && target <= 1.0) {
+                return Err(format!("--recall-target {target} must be in (0, 1]"));
+            }
+            hos_index::calibrate_search_width(
+                miner.engine(),
+                miner.config().k,
+                target,
+                16,
+                args.get_or("seed", 0u64)?.wrapping_add(2),
+            );
+        }
         return Ok(miner);
     }
     fit_miner(args, ds)
@@ -170,6 +197,8 @@ fn miner_config(args: &Args) -> Result<HosMinerConfig, String> {
         prior_smoothing: args.get_or("smoothing", 1.0f64)?,
         threads: args.get_or("threads", 1usize)?,
         shards: args.get_or("shards", 1usize)?,
+        ef: args.get_opt("ef")?,
+        recall_target: args.get_opt("recall-target")?,
         seed: args.get_or("seed", 0u64)?,
     })
 }
@@ -697,9 +726,15 @@ fn cmd_bench(args: &Args) -> CmdResult {
 
     let mut kernel_fields = String::new();
     if args.switch("kernel") {
-        for (key, ms) in kernel_benchmarks() {
-            println!("kernel: {key} = {ms:.3} ms");
-            kernel_fields.push_str(&format!(",\n    \"{key}\": {ms:.3}"));
+        for (key, val) in kernel_benchmarks() {
+            // Non-`_ms` keys are counts (e.g. the crossover n), not
+            // durations.
+            if key.ends_with("_ms") {
+                println!("kernel: {key} = {val:.3} ms");
+            } else {
+                println!("kernel: {key} = {val:.0}");
+            }
+            kernel_fields.push_str(&format!(",\n    \"{key}\": {val:.3}"));
         }
     }
 
@@ -755,7 +790,13 @@ fn kernel_dataset(n: usize, d: usize, seed: u64) -> Dataset {
 /// * `blocked_scan_ms` — the blocked all-points full-space OD kernel
 ///   (quantized admission path) on n=2002, d=8, k=5, L2;
 /// * `full_lattice_d{10,12}_ms` — the prefix-stack walker evaluating
-///   all `2^d - 1` subspace ODs of one query (k=10).
+///   all `2^d - 1` subspace ODs of one query (k=10);
+/// * `hnsw_knn_ms` — 32 full-space hnsw k-NN queries (default `ef`)
+///   at the largest sweep size (n=8000, d=8, k=5, L2), graph build
+///   excluded;
+/// * `hnsw_crossover_n` — the smallest sweep n where that hnsw query
+///   batch beats the exact linear scan on the same batch (the
+///   approximate-first break-even point; `16000` = beyond the sweep).
 ///
 /// Best-of rather than mean: the workloads are deterministic, so the
 /// minimum is the cleanest estimate of the kernel's cost.
@@ -796,6 +837,46 @@ fn kernel_benchmarks() -> Vec<(&'static str, f64)> {
             best = best.min(ms);
         }
         out.push((key, best));
+    }
+    {
+        // Approximate-vs-exact crossover sweep: same query batch
+        // through HnswEngine (graph candidates + exact re-rank) and
+        // LinearScan, per dataset size. Build time is excluded — the
+        // key measures steady-state query cost, which is what the
+        // crossover argument is about.
+        let (d, k, queries) = (8usize, 5usize, 32usize);
+        let sizes = [1000usize, 2000, 4000, 8000];
+        let mut crossover = (2 * sizes[sizes.len() - 1]) as f64;
+        let mut hnsw_ms = 0.0;
+        for &n in &sizes {
+            let ds = kernel_dataset(n, d, 0xB529_7A4D_4496_CF3D);
+            let qids: Vec<usize> = (0..queries).map(|i| i * n / queries).collect();
+            let hnsw = hos_index::HnswEngine::build(ds.clone(), Metric::L2, Default::default());
+            let linear = hos_index::LinearScan::new(ds.clone(), Metric::L2);
+            let s = ds.full_space();
+            let time_batch = |engine: &dyn hos_index::KnnEngine| {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = std::time::Instant::now();
+                    let mut sink = 0usize;
+                    for &qid in &qids {
+                        sink += engine.knn(ds.row(qid), k, s, Some(qid)).len();
+                    }
+                    let ms = t.elapsed().as_secs_f64() * 1000.0;
+                    assert_eq!(sink, queries * k);
+                    best = best.min(ms);
+                }
+                best
+            };
+            let approx = time_batch(&hnsw);
+            let exact = time_batch(&linear);
+            if approx < exact && crossover > n as f64 {
+                crossover = n as f64;
+            }
+            hnsw_ms = approx;
+        }
+        out.push(("hnsw_knn_ms", hnsw_ms));
+        out.push(("hnsw_crossover_n", crossover));
     }
     out
 }
@@ -864,12 +945,18 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
     // lacking one is a note, not an error. Naming a key in --keys
     // makes it required — a strict CI compare must never silently
     // compare nothing.
-    let registry: [(&str, bool, bool); 5] = [
+    let registry: [(&str, bool, bool); 7] = [
         ("queries_per_s", true, true),
         ("fit_seconds", false, true),
         ("blocked_scan_ms", false, false),
         ("full_lattice_d10_ms", false, false),
         ("full_lattice_d12_ms", false, false),
+        // hnsw keys are optional for the same reason the kernel keys
+        // are: baselines recorded before the hnsw tier (or without
+        // --kernel) simply lack them, and that must read as a
+        // skip-with-note, not a REGRESSION.
+        ("hnsw_knn_ms", false, false),
+        ("hnsw_crossover_n", false, false),
     ];
     let requested: Option<Vec<&str>> = args.get("keys").map(|s| s.split(',').collect());
     if let Some(keys) = &requested {

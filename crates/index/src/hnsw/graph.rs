@@ -1,0 +1,434 @@
+//! The layered navigable-small-world graph behind [`crate::hnsw`].
+//!
+//! A from-scratch, dependency-free HNSW (Malkov & Yashunin,
+//! TPAMI 2020): every point gets a geometrically distributed top
+//! level, each level holds a bounded-degree proximity graph, and a
+//! query greedily descends the sparse upper levels before running a
+//! best-first beam of width `ef` over the dense bottom level. The
+//! graph stores **ids only** — all distances are supplied by the
+//! caller through closures, so the same structure serves full-space
+//! construction and per-subspace navigation without knowing either.
+//!
+//! Determinism: levels derive from a hash of `(seed, id)` (no RNG
+//! state, so a bounded rebuild reassigns identical levels), and every
+//! frontier/result ordering ties on ascending id, so two searches over
+//! the same graph always visit the same nodes in the same order.
+//!
+//! Tombstones: removed points stay in the graph as *routable* vertices
+//! until the owning engine triggers a bounded rebuild — their edges
+//! keep the small-world connectivity intact, and the engine filters
+//! them from every candidate set it returns.
+
+use hos_data::PointId;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Levels are capped so a pathological hash cannot allocate an
+/// unbounded level vector; `2^24` points would be needed to reach it.
+const MAX_LEVEL: usize = 24;
+
+/// One `(pre-distance, id)` pair with the total order every selection
+/// in this crate uses: ascending distance, ties on ascending id.
+/// `Ord` is total because dataset validation guarantees finite
+/// coordinates, hence finite pre-distances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct ScoredId {
+    pub pre: f64,
+    pub id: PointId,
+}
+
+impl Eq for ScoredId {}
+
+impl PartialOrd for ScoredId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoredId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pre
+            .partial_cmp(&other.pre)
+            .expect("finite pre-distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Per-node adjacency: one bounded neighbour list per level the node
+/// participates in (`lists[l]` for levels `0..=top`).
+#[derive(Clone, Debug, Default)]
+struct Links {
+    lists: Vec<Vec<PointId>>,
+}
+
+/// The layered graph. Slot `i` of `nodes` belongs to dataset row `i`;
+/// `None` marks rows that are not graph members (tombstoned before the
+/// last rebuild). Membership only ever references member slots, so
+/// traversal never consults the dataset's liveness.
+pub(crate) struct Graph {
+    nodes: Vec<Option<Links>>,
+    /// Highest-level member and its level — the search entry point.
+    entry: Option<(PointId, usize)>,
+    /// Degree bound on levels `> 0`; level 0 allows `2 * m`.
+    m: usize,
+    /// Beam width during construction.
+    ef_construction: usize,
+    /// Level-assignment seed.
+    seed: u64,
+    /// Current member count (tombstoned members included until the
+    /// engine rebuilds).
+    members: usize,
+}
+
+/// SplitMix64: the deterministic level hash. One multiply-xor-shift
+/// chain per insert; no RNG state to diverge between a streamed build
+/// and a rebuild.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Graph {
+    pub fn new(capacity: usize, m: usize, ef_construction: usize, seed: u64) -> Self {
+        Graph {
+            nodes: vec![None; capacity],
+            entry: None,
+            m: m.max(2),
+            ef_construction: ef_construction.max(4),
+            seed,
+            members: 0,
+        }
+    }
+
+    /// Members inserted since construction/rebuild (live + tombstoned).
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// The geometric level of `id`: `floor(-ln(U) / ln(m))` with `U`
+    /// uniform from the `(seed, id)` hash — the standard HNSW level
+    /// distribution, derandomised so rebuilds reproduce it.
+    fn level_for(&self, id: PointId) -> usize {
+        let h = splitmix64(self.seed ^ (id as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+        // 53 uniform bits in (0, 1]; the +1 keeps ln() finite.
+        let u = ((h >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let level = (-u.ln() / (self.m as f64).ln()) as usize;
+        level.min(MAX_LEVEL)
+    }
+
+    #[inline]
+    fn degree_bound(&self, level: usize) -> usize {
+        if level == 0 {
+            2 * self.m
+        } else {
+            self.m
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, id: PointId, level: usize) -> &[PointId] {
+        match &self.nodes[id] {
+            Some(links) if level < links.lists.len() => &links.lists[level],
+            _ => &[],
+        }
+    }
+
+    /// Greedy descent at one level: moves to the closest neighbour
+    /// until no neighbour improves. `dist` is called once per
+    /// previously unseen neighbour.
+    fn greedy_step(
+        &self,
+        dist: &mut impl FnMut(PointId) -> f64,
+        level: usize,
+        mut cur: PointId,
+        mut cur_pre: f64,
+    ) -> (PointId, f64) {
+        loop {
+            let mut improved = false;
+            for &nb in self.neighbors(cur, level) {
+                let pre = dist(nb);
+                if (ScoredId { pre, id: nb })
+                    < (ScoredId {
+                        pre: cur_pre,
+                        id: cur,
+                    })
+                {
+                    cur = nb;
+                    cur_pre = pre;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return (cur, cur_pre);
+            }
+        }
+    }
+
+    /// Best-first beam search at one level: expands the closest
+    /// frontier node until the frontier cannot improve the worst of
+    /// `ef` kept results. Returns the kept `(pre, id)` set in
+    /// arbitrary order (callers re-select exactly). Tombstoned members
+    /// are kept too — the *caller* filters; dropping them here would
+    /// shrink the beam below `ef`.
+    fn search_level(
+        &self,
+        dist: &mut impl FnMut(PointId) -> f64,
+        level: usize,
+        entries: &[ScoredId],
+        ef: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<ScoredId> {
+        let mut frontier: BinaryHeap<Reverse<ScoredId>> = BinaryHeap::new();
+        let mut results: BinaryHeap<ScoredId> = BinaryHeap::new();
+        visited.clear();
+        for &e in entries {
+            if visited.insert(e.id) {
+                frontier.push(Reverse(e));
+                results.push(e);
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            let worst = results.peek().copied();
+            if results.len() >= ef && worst.is_some_and(|w| cand > w) {
+                break;
+            }
+            for &nb in self.neighbors(cand.id, level) {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let scored = ScoredId {
+                    pre: dist(nb),
+                    id: nb,
+                };
+                if results.len() < ef || scored < *results.peek().expect("non-empty") {
+                    frontier.push(Reverse(scored));
+                    results.push(scored);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results.into_vec()
+    }
+
+    /// Inserts `id` as a new member. `dist` measures the (full-space)
+    /// pre-distance between two member ids; the new id is always one
+    /// of the pair, so implementations may cache its row.
+    pub fn insert(&mut self, id: PointId, dist: &mut impl FnMut(PointId, PointId) -> f64) {
+        if id >= self.nodes.len() {
+            self.nodes.resize(id + 1, None);
+        }
+        let level = self.level_for(id);
+        self.nodes[id] = Some(Links {
+            lists: vec![Vec::new(); level + 1],
+        });
+        self.members += 1;
+        let Some((entry, max_level)) = self.entry else {
+            self.entry = Some((id, level));
+            return;
+        };
+
+        let mut visited = VisitedSet::new(self.nodes.len());
+        let mut cur = ScoredId {
+            pre: dist(id, entry),
+            id: entry,
+        };
+        // Greedy descent through levels above the new node's top.
+        for l in (level + 1..=max_level).rev() {
+            let (c, p) = self.greedy_step(&mut |o| dist(id, o), l, cur.id, cur.pre);
+            cur = ScoredId { pre: p, id: c };
+        }
+        // Beam search + bounded linking on each shared level.
+        let mut entries = vec![cur];
+        for l in (0..=level.min(max_level)).rev() {
+            let found = self.search_level(
+                &mut |o| dist(id, o),
+                l,
+                &entries,
+                self.ef_construction,
+                &mut visited,
+            );
+            let bound = self.degree_bound(l);
+            let mut closest = found.clone();
+            closest.sort_unstable();
+            closest.truncate(bound);
+            for &nb in closest.iter().map(|s| &s.id) {
+                self.link(id, nb, l, dist);
+            }
+            entries = closest;
+        }
+        if level > max_level {
+            self.entry = Some((id, level));
+        }
+    }
+
+    /// Adds the bidirectional edge `a <-> b` at `level`, pruning
+    /// either endpoint back to its degree bound by keeping the
+    /// closest neighbours (ascending `(pre, id)`).
+    fn link(
+        &mut self,
+        a: PointId,
+        b: PointId,
+        level: usize,
+        dist: &mut impl FnMut(PointId, PointId) -> f64,
+    ) {
+        if a == b {
+            return;
+        }
+        let bound = self.degree_bound(level);
+        for (from, to) in [(a, b), (b, a)] {
+            let list = match &mut self.nodes[from] {
+                Some(links) if level < links.lists.len() => &mut links.lists[level],
+                _ => continue,
+            };
+            if list.contains(&to) {
+                continue;
+            }
+            list.push(to);
+            if list.len() > bound {
+                let mut scored: Vec<ScoredId> = list
+                    .iter()
+                    .map(|&nb| ScoredId {
+                        pre: dist(from, nb),
+                        id: nb,
+                    })
+                    .collect();
+                scored.sort_unstable();
+                scored.truncate(bound);
+                let pruned = match &mut self.nodes[from] {
+                    Some(links) => &mut links.lists[level],
+                    None => unreachable!("member checked above"),
+                };
+                pruned.clear();
+                pruned.extend(scored.iter().map(|s| s.id));
+            }
+        }
+    }
+
+    /// The candidate pool for one query: greedy descent from the entry
+    /// point through the upper levels, then an `ef`-wide beam over
+    /// level 0. `dist` is the query's (subspace-projected)
+    /// pre-distance to a member id. Empty when the graph has no
+    /// members.
+    pub fn search(&self, dist: &mut impl FnMut(PointId) -> f64, ef: usize) -> Vec<ScoredId> {
+        let Some((entry, max_level)) = self.entry else {
+            return Vec::new();
+        };
+        let mut cur = ScoredId {
+            pre: dist(entry),
+            id: entry,
+        };
+        for l in (1..=max_level).rev() {
+            let (c, p) = self.greedy_step(dist, l, cur.id, cur.pre);
+            cur = ScoredId { pre: p, id: c };
+        }
+        let mut visited = VisitedSet::new(self.nodes.len());
+        self.search_level(dist, 0, &[cur], ef.max(1), &mut visited)
+    }
+}
+
+/// A reusable id bitset: one bit per dataset row.
+struct VisitedSet {
+    bits: Vec<u64>,
+}
+
+impl VisitedSet {
+    fn new(capacity: usize) -> Self {
+        VisitedSet {
+            bits: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Marks `id`; returns `true` if it was previously unmarked.
+    fn insert(&mut self, id: PointId) -> bool {
+        let (word, bit) = (id / 64, 1u64 << (id % 64));
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let seen = self.bits[word] & bit != 0;
+        self.bits[word] |= bit;
+        !seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_graph(n: usize) -> (Graph, Vec<f64>) {
+        // 1-d points 0, 1, ..., n-1: distances are |a - b|.
+        let coords: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut g = Graph::new(n, 4, 16, 7);
+        let c = coords.clone();
+        let mut dist = move |a: PointId, b: PointId| (c[a] - c[b]).abs();
+        for i in 0..n {
+            g.insert(i, &mut dist);
+        }
+        (g, coords)
+    }
+
+    #[test]
+    fn search_finds_the_true_neighbourhood_on_a_line() {
+        let (g, coords) = toy_graph(200);
+        let q = 57.3;
+        let mut dist = |i: PointId| (coords[i] - q).abs();
+        let mut found = g.search(&mut dist, 16);
+        found.sort_unstable();
+        // The closest point on the line must head the beam.
+        assert_eq!(found[0].id, 57);
+        // And the top-5 of the beam must be the true 5 closest.
+        let ids: Vec<PointId> = found.iter().take(5).map(|s| s.id).collect();
+        assert_eq!(ids, vec![57, 58, 56, 59, 55]);
+    }
+
+    #[test]
+    fn levels_are_deterministic_and_bounded() {
+        let g = Graph::new(0, 8, 16, 42);
+        for id in 0..10_000 {
+            let l1 = g.level_for(id);
+            let l2 = g.level_for(id);
+            assert_eq!(l1, l2);
+            assert!(l1 <= MAX_LEVEL);
+        }
+    }
+
+    #[test]
+    fn degree_bounds_hold_after_many_inserts() {
+        let (g, _) = toy_graph(300);
+        for (id, node) in g.nodes.iter().enumerate() {
+            let links = node.as_ref().expect("all inserted");
+            for (l, list) in links.lists.iter().enumerate() {
+                assert!(
+                    list.len() <= g.degree_bound(l),
+                    "node {id} level {l} degree {}",
+                    list.len()
+                );
+                assert!(!list.contains(&id), "self-loop at {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_member_edges() {
+        let g = Graph::new(4, 4, 8, 1);
+        let mut dist = |_: PointId| 0.0;
+        assert!(g.search(&mut dist, 8).is_empty());
+        let mut g = Graph::new(4, 4, 8, 1);
+        g.insert(2, &mut |_, _| 0.0);
+        let found = g.search(&mut |_| 1.5, 8);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, 2);
+        assert_eq!(g.members(), 1);
+    }
+}

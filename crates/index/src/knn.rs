@@ -17,9 +17,16 @@ pub struct Neighbor {
 
 /// A k-NN engine over a fixed dataset and metric.
 ///
-/// Implementations must return **exact** neighbours: HOS-Miner's
-/// pruning arguments rely on true OD values, so approximate engines
-/// would silently invalidate Property 1/2 reasoning.
+/// Implementations must report **exact** distances and ODs: HOS-Miner's
+/// pruning arguments rely on true OD values, so an engine that
+/// estimated them would silently invalidate Property 1/2 reasoning.
+/// The exact-scan engines additionally guarantee exact *recall* (the
+/// returned set is the true k-NN set); [`crate::hnsw::HnswEngine`]
+/// relaxes only that half of the contract — its candidate set may miss
+/// a true neighbour, but every number attached to what it returns is
+/// computed with the same exact f64 arithmetic and `(distance, id)`
+/// ordering, and its recall is measured and gated by the recall-oracle
+/// tests.
 pub trait KnnEngine: Send + Sync {
     /// The indexed dataset.
     fn dataset(&self) -> &Dataset;
@@ -80,6 +87,22 @@ pub trait KnnEngine: Send + Sync {
     /// any result — only how many workers compute it.
     fn set_threads(&self, threads: usize) {
         let _ = threads;
+    }
+
+    /// Sets the candidate-pool width (`ef_search`) for engines whose
+    /// recall is tunable ([`crate::hnsw::HnswEngine`]; the sharded
+    /// engine forwards to its shards). Exact engines ignore it — their
+    /// recall is identically 1 at any width. Like
+    /// [`KnnEngine::set_threads`] this is a machine-tuning knob, not
+    /// part of the model: it is never persisted.
+    fn set_search_width(&self, ef: usize) {
+        let _ = ef;
+    }
+
+    /// The current candidate-pool width, or `None` for engines whose
+    /// recall is not width-tunable.
+    fn search_width(&self) -> Option<usize> {
+        None
     }
 
     /// An [`OdEvaluator`] for one `(engine, query)` pair: the object
@@ -191,6 +214,9 @@ pub enum Engine {
     XTree,
     /// VA-file (quantised filter-and-refine scan).
     VaFile,
+    /// HNSW graph (approximate-recall candidate generation with exact
+    /// re-rank; see [`crate::hnsw`]).
+    Hnsw,
 }
 
 impl std::str::FromStr for Engine {
@@ -201,8 +227,9 @@ impl std::str::FromStr for Engine {
             "linear" | "scan" => Ok(Engine::Linear),
             "xtree" | "x-tree" => Ok(Engine::XTree),
             "vafile" | "va-file" | "va" => Ok(Engine::VaFile),
+            "hnsw" => Ok(Engine::Hnsw),
             other => Err(format!(
-                "unknown engine {other:?} (expected linear|xtree|vafile)"
+                "unknown engine {other:?} (expected linear|xtree|vafile|hnsw)"
             )),
         }
     }
@@ -214,6 +241,7 @@ impl std::fmt::Display for Engine {
             Engine::Linear => write!(f, "linear"),
             Engine::XTree => write!(f, "xtree"),
             Engine::VaFile => write!(f, "vafile"),
+            Engine::Hnsw => write!(f, "hnsw"),
         }
     }
 }
@@ -232,6 +260,11 @@ pub fn build_engine(engine: Engine, dataset: Dataset, metric: Metric) -> Box<dyn
             metric,
             crate::vafile::VaFileConfig::default(),
         )),
+        Engine::Hnsw => Box::new(crate::hnsw::HnswEngine::build(
+            dataset,
+            metric,
+            crate::hnsw::HnswConfig::default(),
+        )),
     }
 }
 
@@ -246,17 +279,20 @@ mod tests {
         assert_eq!("x-tree".parse::<Engine>().unwrap(), Engine::XTree);
         assert_eq!("va".parse::<Engine>().unwrap(), Engine::VaFile);
         assert_eq!("VA-FILE".parse::<Engine>().unwrap(), Engine::VaFile);
+        assert_eq!("hnsw".parse::<Engine>().unwrap(), Engine::Hnsw);
+        assert_eq!("HNSW".parse::<Engine>().unwrap(), Engine::Hnsw);
         assert!("quadtree".parse::<Engine>().is_err());
         assert_eq!(Engine::Linear.to_string(), "linear");
         assert_eq!(Engine::XTree.to_string(), "xtree");
         assert_eq!(Engine::VaFile.to_string(), "vafile");
+        assert_eq!(Engine::Hnsw.to_string(), "hnsw");
         assert_eq!(Engine::default(), Engine::Linear);
     }
 
     #[test]
     fn build_engine_returns_working_engines() {
         let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
-        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile, Engine::Hnsw] {
             let e = build_engine(kind, ds.clone(), Metric::L2);
             let nn = e.knn(&[0.1, 0.1], 1, Subspace::full(2), None);
             assert_eq!(nn[0].id, 0, "{kind}");
@@ -275,7 +311,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i % 3) as f64]).collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let s = Subspace::full(2);
-        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile, Engine::Hnsw] {
             for shards in [1usize, 3] {
                 let label = format!("{kind} shards={shards}");
                 let mut e = build_engine_sharded(kind, ds.clone(), Metric::L2, shards, 2);
@@ -355,7 +391,7 @@ mod tests {
     #[test]
     fn incremental_insert_into_empty_engine() {
         use crate::sharded::build_engine_sharded;
-        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile] {
+        for kind in [Engine::Linear, Engine::XTree, Engine::VaFile, Engine::Hnsw] {
             for shards in [1usize, 2] {
                 let mut e = build_engine_sharded(kind, Dataset::empty(), Metric::L2, shards, 1);
                 let inc = e.as_incremental().unwrap();

@@ -48,20 +48,44 @@ use crate::walker::{walk_order, PrefixStack};
 use hos_data::{Dataset, Metric, PointId, Subspace};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
-/// One data shard: a sub-engine over a contiguous row slice plus the
-/// global id of its first row.
+/// One data shard: a sub-engine over a contiguous base row slice
+/// (`offset .. offset + base_len` in global ids) plus the global ids
+/// of rows routed here by later inserts (`extra`, one per local id
+/// `base_len..`). Global ids only grow, and each insert appends to
+/// exactly one shard, so `extra` is always sorted — the global→local
+/// translation stays a range check plus a binary search.
 struct Shard {
     engine: Box<dyn KnnEngine>,
     offset: PointId,
+    /// Rows the shard was built with (its contiguous global range).
+    base_len: usize,
+    /// Global ids of rows inserted after the build, in local id order.
+    extra: Vec<PointId>,
 }
 
 impl Shard {
+    /// The global id of one of this shard's local row ids.
+    #[inline]
+    fn global_of(&self, local: PointId) -> PointId {
+        if local < self.base_len {
+            self.offset + local
+        } else {
+            self.extra[local - self.base_len]
+        }
+    }
+
+    /// The local row id owning global id `g`, if this shard owns it.
+    fn local_of(&self, g: PointId) -> Option<PointId> {
+        if g >= self.offset && g < self.offset + self.base_len {
+            return Some(g - self.offset);
+        }
+        self.extra.binary_search(&g).ok().map(|i| self.base_len + i)
+    }
+
     /// Translates a global exclusion id into this shard's local id
     /// space (None if the excluded point lives elsewhere).
     fn local_exclude(&self, exclude: Option<PointId>) -> Option<PointId> {
-        exclude
-            .and_then(|g| g.checked_sub(self.offset))
-            .filter(|&local| local < self.engine.dataset().len())
+        exclude.and_then(|g| self.local_of(g))
     }
 
     /// The shard's top-k for one subspace, with **global** ids and
@@ -83,7 +107,7 @@ impl Shard {
             None => self.engine.knn(query, k, s, local),
         };
         for n in &mut list {
-            n.id += self.offset;
+            n.id = self.global_of(n.id);
         }
         list
     }
@@ -152,6 +176,8 @@ impl ShardedEngine {
             .into_iter()
             .map(|p| Shard {
                 offset: p.offset,
+                base_len: p.dataset.len(),
+                extra: Vec::new(),
                 engine: build_engine(inner, p.dataset, metric),
             })
             .collect();
@@ -216,7 +242,7 @@ impl KnnEngine for ShardedEngine {
         let lists = parallel_map(&self.shards, self.threads(), |sh| {
             let mut list = sh.engine.range(query, radius, s, sh.local_exclude(exclude));
             for n in &mut list {
-                n.id += sh.offset;
+                n.id = sh.global_of(n.id);
             }
             list
         });
@@ -232,6 +258,16 @@ impl KnnEngine for ShardedEngine {
 
     fn set_threads(&self, threads: usize) {
         self.threads.store(threads.max(1), AtomicOrdering::Relaxed);
+    }
+
+    fn set_search_width(&self, ef: usize) {
+        for sh in &self.shards {
+            sh.engine.set_search_width(ef);
+        }
+    }
+
+    fn search_width(&self) -> Option<usize> {
+        self.shards.iter().find_map(|sh| sh.engine.search_width())
     }
 
     // No whole-dataset query context: a single `n x d` matrix would
@@ -395,7 +431,7 @@ impl ShardedOdEvaluator<'_> {
                 stack.seek(ctx, s);
                 let mut list = stack.knn(ctx, k, shard.local_exclude(exclude));
                 for n in &mut list {
-                    n.id += shard.offset;
+                    n.id = shard.global_of(n.id);
                 }
                 list
             }
@@ -511,25 +547,31 @@ impl ShardedOdEvaluator<'_> {
 
 /// Incremental maintenance by per-shard routing.
 ///
-/// Shards are contiguous global-id ranges, so every mutation has
-/// exactly one owner:
+/// Every global id has exactly one owning shard: its contiguous base
+/// range, or the shard an insert was routed to (tracked in
+/// [`Shard::extra`]).
 ///
-/// * **Insert** — a new point takes the next global id (the end of the
-///   id space), which by construction belongs to the **last** shard;
-///   the row is appended to both the engine-level dataset and the last
-///   shard's sub-engine. Shards drift out of balance under sustained
-///   insertion — results are unaffected (the top-k merge is lossless
-///   for *any* partition of the points), only parallel speedup
-///   degrades; rebalancing is an offline rebuild.
-/// * **Remove** — routed to the shard whose id range contains the
-///   point; tombstoned in both the sub-engine and the engine-level
-///   dataset (which the `dataset()` contract and `try_knn`'s
-///   live-count validation read).
+/// * **Insert** — routed to the **least-loaded** shard by live row
+///   count (ties to the lowest shard index, for determinism), so
+///   long-running streams keep the shards balanced and the per-query
+///   fan-out keeps its speedup. Correctness never depended on the
+///   placement — the top-k merge is lossless for *any* partition of
+///   the points — but the old route-to-last policy ground parallel
+///   efficiency down as one shard absorbed the whole stream. The row
+///   is appended to both the engine-level dataset (which issues the
+///   global id) and the chosen shard's sub-engine.
+/// * **Remove** — routed to the owning shard; tombstoned in both the
+///   sub-engine and the engine-level dataset (which the `dataset()`
+///   contract and `try_knn`'s live-count validation read).
 impl IncrementalEngine for ShardedEngine {
     fn insert(&mut self, row: &[f64]) -> Result<PointId, IndexError> {
         validate_insert(&self.dataset, row)?;
-        let last = self.shards.last_mut().expect("at least one shard");
-        let local = last
+        let shard = self
+            .shards
+            .iter_mut()
+            .min_by_key(|sh| sh.engine.dataset().live_len())
+            .expect("at least one shard");
+        let local = shard
             .engine
             .as_incremental()
             .ok_or(IndexError::Immutable("sharded sub-engine"))?
@@ -538,18 +580,18 @@ impl IncrementalEngine for ShardedEngine {
             .dataset
             .push_row(row)
             .expect("row validated before insert");
-        debug_assert_eq!(global, last.offset + local);
+        debug_assert_eq!(local, shard.base_len + shard.extra.len());
+        shard.extra.push(global);
         Ok(global)
     }
 
     fn remove(&mut self, id: PointId) -> Result<(), IndexError> {
         validate_remove(&self.dataset, id)?;
-        let shard = self
+        let (shard, local) = self
             .shards
             .iter_mut()
-            .find(|sh| id >= sh.offset && id < sh.offset + sh.engine.dataset().len())
-            .expect("contiguous shards cover the whole id space");
-        let local = id - shard.offset;
+            .find_map(|sh| sh.local_of(id).map(|local| (sh, local)))
+            .expect("every id has an owning shard");
         shard
             .engine
             .as_incremental()
@@ -762,6 +804,64 @@ mod tests {
         let empty = ShardedEngine::build(Dataset::empty(), Metric::L2, Engine::Linear, 3, 2);
         assert!(empty.knn(&[], 3, Subspace::empty(), None).is_empty());
         assert_eq!(empty.shard_count(), 1);
+    }
+
+    /// Satellite regression: a long insert stream must spread across
+    /// the shards (least-loaded routing), not pile onto the last one —
+    /// and every query over the rebalanced layout must stay
+    /// bit-identical to an unsharded mirror.
+    #[test]
+    fn insert_stream_balances_across_shards_and_stays_exact() {
+        let d = 3;
+        let ds = dataset(40, d, 8);
+        let mut e = ShardedEngine::build(ds.clone(), Metric::L2, Engine::Linear, 4, 2);
+        let mut mirror = LinearScan::new(ds, Metric::L2);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..60 {
+            let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let a = e.as_incremental().unwrap().insert(&row).unwrap();
+            let b = mirror.as_incremental().unwrap().insert(&row).unwrap();
+            assert_eq!(a, b);
+        }
+        // 100 live rows over 4 shards: balanced routing caps the
+        // spread at 1 row. The old route-to-last policy put all 60
+        // inserts on one shard (70 vs 10).
+        let live: Vec<usize> = e
+            .shards
+            .iter()
+            .map(|sh| sh.engine.dataset().live_len())
+            .collect();
+        let (lo, hi) = (*live.iter().min().unwrap(), *live.iter().max().unwrap());
+        assert!(hi - lo <= 1, "unbalanced shards: {live:?}");
+        // Rebalanced ids resolve correctly on every query path.
+        let s = Subspace::full(d);
+        for qid in [0usize, 45, 99] {
+            let q: Vec<f64> = mirror.dataset().row(qid).to_vec();
+            assert_eq!(
+                e.knn(&q, 7, s, Some(qid)),
+                mirror.knn(&q, 7, s, Some(qid)),
+                "qid={qid}"
+            );
+        }
+        // Removing an insert-routed id reaches its owning shard (the
+        // first extra row cannot live on the last shard under balanced
+        // routing of this layout) and the engine stays exact.
+        e.as_incremental().unwrap().remove(41).unwrap();
+        mirror.as_incremental().unwrap().remove(41).unwrap();
+        assert_eq!(
+            e.as_incremental().unwrap().remove(41),
+            Err(IndexError::DeadPoint(41))
+        );
+        let q: Vec<f64> = mirror.dataset().row(0).to_vec();
+        assert_eq!(e.knn(&q, 9, s, None), mirror.knn(&q, 9, s, None));
+        // The evaluator's cached walked path sees the extra rows too.
+        let subspaces: Vec<Subspace> = Subspace::all_nonempty(d).collect();
+        let reference: Vec<f64> = subspaces
+            .iter()
+            .map(|&s| mirror.od(&q, 5, s, Some(0)))
+            .collect();
+        let mut ev = e.evaluator(&q, 5, Some(0));
+        assert_eq!(ev.od_batch(&subspaces, 2), reference);
     }
 
     #[test]

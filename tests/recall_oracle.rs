@@ -1,0 +1,172 @@
+//! Recall-contract oracle for the approximate kNN tier: the
+//! tentpole's pinning test.
+//!
+//! `HnswEngine` relaxes exactly one half of the engine contract —
+//! *recall* (which points come back), never *values* (every reported
+//! distance and OD is an exact f64 over real rows). This file pins
+//! both halves against exhaustive ground truth on seeded workloads:
+//!
+//! * **Recall**: mean recall@k at the default search width clears the
+//!   0.95 contract for every metric × shard count × subspace dim
+//!   combination, and stays there after a churn burst (tombstones +
+//!   fresh graph inserts). Ground truth is a `LinearScan` sweep over
+//!   the same rows.
+//! * **Exactness**: reported neighbour distances equal a from-scratch
+//!   `Metric::dist_sub` recomputation bit for bit, and approximate ODs
+//!   are never *below* the exact OD — a missed true neighbour can only
+//!   be replaced by a farther candidate, so the approximation errs
+//!   exclusively toward flagging points as *more* outlying.
+//! * **Calibration**: `calibrate_search_width` drives any engine —
+//!   including a sharded one, through the `dyn KnnEngine` seam — to a
+//!   width whose measured recall meets the requested target, and
+//!   leaves that width applied.
+//!
+//! Churned op-sequences with per-step differential checks live in
+//! `incremental_oracle.rs`; this file owns the breadth sweep.
+
+use hos_miner::data::{Dataset, Metric, Subspace};
+use hos_miner::index::{
+    build_engine_sharded, calibrate_search_width, recall_at_k, Engine, KnnEngine,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D: usize = 8;
+const K: usize = 5;
+const N: usize = 600;
+
+fn seeded_dataset(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat: Vec<f64> = (0..n * D).map(|_| rng.gen_range(0.0..100.0)).collect();
+    Dataset::from_flat(flat, D).unwrap()
+}
+
+/// Mean recall@k of `approx` against `exact` over member probes in
+/// subspace `s`, with the exactness invariants asserted on the way:
+/// both engines share one global id space, so no translation is
+/// needed.
+fn checked_mean_recall(
+    exact: &dyn KnnEngine,
+    approx: &dyn KnnEngine,
+    s: Subspace,
+    ctx: &str,
+) -> f64 {
+    let ds = approx.dataset();
+    let metric = approx.metric();
+    let live: Vec<usize> = (0..ds.len()).filter(|&i| ds.is_live(i)).collect();
+    let probes: Vec<usize> = (0..24).map(|i| live[i * live.len() / 24]).collect();
+    let mut sum = 0.0;
+    for &qid in &probes {
+        let q = ds.row(qid);
+        let a = approx.knn(q, K, s, Some(qid));
+        for nb in &a {
+            assert_eq!(
+                nb.dist,
+                metric.dist_sub(q, ds.row(nb.id), s),
+                "{ctx} {s}: reported distance not exact"
+            );
+        }
+        let e = exact.knn(q, K, s, Some(qid));
+        // Sum of the k returned distances can only meet or exceed the
+        // true minimum the exact engine attains.
+        let (a_od, e_od) = (approx.od(q, K, s, Some(qid)), exact.od(q, K, s, Some(qid)));
+        assert!(
+            a_od >= e_od,
+            "{ctx} {s}: approximate OD {a_od} below exact {e_od}"
+        );
+        sum += recall_at_k(&e, &a);
+    }
+    sum / probes.len() as f64
+}
+
+/// The breadth sweep: default-width recall clears the contract for
+/// every metric, shard count, and subspace dimensionality.
+#[test]
+fn default_width_recall_clears_contract_across_metrics_shards_subspaces() {
+    let subspaces = [
+        Subspace::from_dims(&[1, 6]),
+        Subspace::from_dims(&[0, 2, 4, 7]),
+        Subspace::full(D),
+    ];
+    for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+        let ds = seeded_dataset(0xC0FF_EE00 ^ metric.name().len() as u64, N);
+        let exact = build_engine_sharded(Engine::Linear, ds.clone(), metric, 1, 1);
+        for shards in [1usize, 2, 4] {
+            let approx = build_engine_sharded(Engine::Hnsw, ds.clone(), metric, shards, 1);
+            for s in subspaces {
+                let ctx = format!("metric={metric:?} shards={shards}");
+                let recall = checked_mean_recall(exact.as_ref(), approx.as_ref(), s, &ctx);
+                assert!(
+                    recall >= 0.95,
+                    "{ctx} {s}: mean recall {recall} below the 0.95 contract"
+                );
+            }
+        }
+    }
+}
+
+/// Recall holds after churn: a removal burst (tombstones the search
+/// must skip) plus fresh inserts (graph links added after build), with
+/// the exact oracle maintained through the same ops so the id spaces
+/// stay aligned.
+#[test]
+fn default_width_recall_survives_churn_burst() {
+    let ds = seeded_dataset(0x5EED_CAFE, N);
+    let metric = Metric::L2;
+    let mut exact = build_engine_sharded(Engine::Linear, ds.clone(), metric, 1, 1);
+    let mut approx = build_engine_sharded(Engine::Hnsw, ds, metric, 2, 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    for i in 0..100usize {
+        let id = (i * 31 + 7) % N;
+        // Both sides see the identical op stream, so inserted rows get
+        // the same ids in both engines.
+        if !exact.dataset().is_live(id) {
+            continue;
+        }
+        exact.as_incremental().unwrap().remove(id).unwrap();
+        approx.as_incremental().unwrap().remove(id).unwrap();
+        if i % 2 == 0 {
+            let row: Vec<f64> = (0..D).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let a = exact.as_incremental().unwrap().insert(&row).unwrap();
+            let b = approx.as_incremental().unwrap().insert(&row).unwrap();
+            assert_eq!(a, b, "engines disagree on appended ids");
+        }
+    }
+    for s in [Subspace::from_dims(&[2, 5]), Subspace::full(D)] {
+        let recall = checked_mean_recall(exact.as_ref(), approx.as_ref(), s, "churned");
+        assert!(
+            recall >= 0.95,
+            "churned {s}: mean recall {recall} below the 0.95 contract"
+        );
+    }
+}
+
+/// `calibrate_search_width` reaches the requested target through the
+/// trait object — sharded or not — and leaves the width applied, so
+/// an independently drawn probe set measures at or near the target.
+#[test]
+fn calibration_hits_target_through_dyn_trait_and_shards() {
+    let metric = Metric::L2;
+    let ds = seeded_dataset(0xBEEF_0001, N);
+    let exact = build_engine_sharded(Engine::Linear, ds.clone(), metric, 1, 1);
+    for shards in [1usize, 3] {
+        let approx = build_engine_sharded(Engine::Hnsw, ds.clone(), metric, shards, 1);
+        let ef = calibrate_search_width(approx.as_ref(), K, 0.98, 24, 0x1234_5678);
+        assert_eq!(
+            approx.search_width(),
+            Some(ef),
+            "shards={shards}: calibrated width not left applied"
+        );
+        assert!(ef >= 2 * K, "shards={shards}: ladder started below 2k");
+        let recall = checked_mean_recall(
+            exact.as_ref(),
+            approx.as_ref(),
+            Subspace::full(D),
+            "calibrated",
+        );
+        assert!(
+            recall >= 0.95,
+            "shards={shards}: post-calibration recall {recall} under ef={ef}"
+        );
+    }
+}
