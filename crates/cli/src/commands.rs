@@ -35,6 +35,10 @@ USAGE:
   hos-miner bench    (--data FILE | --n 5000 --d 8) [--queries 16]
                      [--threads 1] [--shards 1] [--summary FILE]
                      [--kernel] [... tuning flags]
+  hos-miner bench serve (--data FILE | --n 20000 --d 8)
+                     [--clients 8] [--requests 25] [--threads CORES]
+                     [--min-speedup 1.5] [--summary FILE]
+                     [... tuning flags]
   hos-miner bench compare [--baseline BENCH_BASELINE.json]
                      [--summary BENCH_SUMMARY.json]
                      [--tolerance 0.5] [--strict] [--keys a,b,...]
@@ -61,7 +65,13 @@ synthetic workload with --n/--d. Every run writes a machine-readable
 summary (default BENCH_SUMMARY.json; --summary - disables). With
 --kernel it also times the fixed deterministic kernel workloads (the
 blocked all-points scan and the full-lattice prefix walker) and adds
-their millisecond keys to the summary. `bench compare` diffs a summary
+their millisecond keys to the summary. `bench serve` drives an
+in-process hos-serve instance with concurrent clients under a 90/10
+read/write mix, batched (cross-request windows) vs unbatched, and
+merges serve_qps / serve_p99_ms into the summary; --min-speedup gates
+the batched/unbatched ratio, enforced only on multi-core machines
+(batching fans a window out across cores — on one core there is
+nothing to win). `bench compare` diffs a summary
 against a committed baseline snapshot within --tolerance: a
 non-blocking report unless --strict; --keys restricts the comparison
 to a comma-separated key list (each then required in both files).
@@ -659,8 +669,10 @@ fn cmd_stream(args: &Args) -> CmdResult {
 /// CI script — can read it without a JSON library. `bench compare`
 /// diffs a summary against a committed baseline with a tolerance.
 fn cmd_bench(args: &Args) -> CmdResult {
-    if args.positional().get(1).map(String::as_str) == Some("compare") {
-        return cmd_bench_compare(args);
+    match args.positional().get(1).map(String::as_str) {
+        Some("compare") => return cmd_bench_compare(args),
+        Some("serve") => return cmd_bench_serve(args),
+        _ => {}
     }
     let ds = if args.get("data").is_some() {
         load(args)?
@@ -881,6 +893,195 @@ fn kernel_benchmarks() -> Vec<(&'static str, f64)> {
     out
 }
 
+/// `bench serve`: sustained-load benchmark of the resident query
+/// server under a 90/10 read/write mix, batched (cross-request
+/// windows through the `batch_search` fan-out) versus unbatched
+/// (`batch_max 1`), reporting throughput and tail latency. The two
+/// modes answer bit-identically (pinned by the serve concurrency
+/// oracle); only the schedule differs, so the comparison isolates
+/// what dynamic batching buys.
+///
+/// The speedup gate (`--min-speedup`) is enforced only when the
+/// machine has more than one core: batching converts concurrent
+/// requests into one parallel fan-out, so on a single core the
+/// batched schedule has nothing to win and the gate is reported, not
+/// enforced.
+fn cmd_bench_serve(args: &Args) -> CmdResult {
+    let ds = if args.get("data").is_some() {
+        load(args)?
+    } else {
+        // Default to a workload where one query costs real work (a
+        // full 20k x 8 OD scan minimum): dynamic batching buys
+        // throughput by fanning execution out across cores, so the
+        // benchmark must not be dominated by per-request socket
+        // overhead the way a toy dataset would be.
+        let n = args.get_or("n", 20_000usize)?;
+        let d = args.get_or("d", 8usize)?;
+        let spec = PlantedSpec {
+            n_background: n,
+            d,
+            n_clusters: 3,
+            cluster_sigma: 1.0,
+            extent: 100.0,
+            targets: vec![Subspace::from_dims(&[0, 1])],
+            shift_sigmas: 12.0,
+            seed: args.get_or("seed", 0u64)?,
+        };
+        generate(&spec).map_err(|e| e.to_string())?.dataset
+    };
+    let (ds, _) = parse_normalizer(args, &ds)?;
+    let clients = args.get_or("clients", 8usize)?.max(1);
+    let per_client = args.get_or("requests", 25usize)?.max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Batching wins by turning a window of concurrent requests into
+    // one parallel fan-out — give the miner the machine's cores
+    // unless --threads says otherwise.
+    let threads = args.get_or("threads", cores)?;
+
+    let fit_start = std::time::Instant::now();
+    let mut miner = build_miner(args, ds)?;
+    miner.set_threads(threads);
+    let fit_seconds = fit_start.elapsed().as_secs_f64();
+    let n = miner.engine().dataset().len();
+    let dim = miner.engine().dataset().dim();
+    println!(
+        "bench serve: {n} points x {dim} dims, k={}, engine={}, threads={threads}, \
+         {clients} clients x {per_client} requests, 90/10 read/write",
+        miner.config().k,
+        miner.config().engine,
+    );
+
+    /// One sustained run against a fresh in-process server; returns
+    /// `(qps, p99_ms)`.
+    fn drive(
+        miner: hos_core::HosMiner,
+        batch_max: usize,
+        clients: usize,
+        per_client: usize,
+        n: usize,
+        dim: usize,
+    ) -> Result<(f64, f64), String> {
+        let config = hos_serve::ServeConfig {
+            workers: clients.min(16),
+            batch_window: std::time::Duration::from_millis(2),
+            batch_max,
+            ..hos_serve::ServeConfig::default()
+        };
+        let server = hos_serve::Server::start(miner, &config).map_err(|e| e.to_string())?;
+        let addr = server.addr();
+        let start = std::time::Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        let mut inserted: Vec<usize> = Vec::new();
+                        for i in 0..per_client {
+                            // 90/10 read/write; writes alternate
+                            // insert / retire-own-insert so the live
+                            // set stays near its starting size.
+                            let (path, body) = if i % 10 == 9 {
+                                match inserted.pop() {
+                                    Some(id) => ("/retire", format!("{{\"id\":{id}}}")),
+                                    None => {
+                                        let v = ((c * 131 + i * 17) % 100) as f64;
+                                        let row: Vec<String> =
+                                            (0..dim).map(|j| format!("{}", v + j as f64)).collect();
+                                        ("/insert", format!("{{\"row\":[{}]}}", row.join(",")))
+                                    }
+                                }
+                            } else {
+                                ("/query", format!("{{\"id\":{}}}", (c * 97 + i * 13) % n))
+                            };
+                            let t = std::time::Instant::now();
+                            let (status, resp) =
+                                tinyhttp::client_request(addr, "POST", path, body.as_bytes())
+                                    .expect("server reachable");
+                            lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                            assert!(
+                                status == 200,
+                                "unexpected status {status} on {path}: {}",
+                                String::from_utf8_lossy(&resp)
+                            );
+                            if path == "/insert" {
+                                let text = String::from_utf8_lossy(&resp);
+                                if let Some(id) = summary_number(&text, "id") {
+                                    inserted.push(id as usize);
+                                }
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        server.initiate_shutdown();
+        let report = server.join();
+        let total = latencies.len();
+        assert_eq!(report.http_requests as usize, total);
+        let mut sorted = latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let p99 = sorted[((total as f64 * 0.99).ceil() as usize).clamp(1, total) - 1];
+        Ok((total as f64 / elapsed.max(1e-12), p99))
+    }
+
+    // The server consumes its miner; fit an identical twin for the
+    // second mode (fitting is deterministic, so the workloads match).
+    let twin = {
+        let mut m = build_miner(args, miner.engine().dataset().clone())?;
+        m.set_threads(threads);
+        m
+    };
+    let (unbatched_qps, unbatched_p99) = drive(twin, 1, clients, per_client, n, dim)?;
+    let (serve_qps, serve_p99) = drive(miner, 64, clients, per_client, n, dim)?;
+    let speedup = serve_qps / unbatched_qps.max(1e-12);
+    println!("serve unbatched: {unbatched_qps:.1} req/s, p99 {unbatched_p99:.2} ms  (batch_max 1)");
+    println!("serve batched:   {serve_qps:.1} req/s, p99 {serve_p99:.2} ms  (batch_max 64)");
+    println!("serve speedup:   {speedup:.2}x batched over unbatched");
+    if let Some(min) = args.get_opt::<f64>("min-speedup")? {
+        if cores > 1 && speedup < min {
+            return Err(format!(
+                "batched serve throughput only {speedup:.2}x unbatched (gate: {min}x)"
+            ));
+        }
+        if cores <= 1 {
+            println!(
+                "note: single core — the {min}x speedup gate is report-only here \
+                 (batching needs cores to fan out across)"
+            );
+        }
+    }
+
+    // Merge the serve keys into the bench summary so `bench compare`
+    // sees one file; standalone summaries (no prior `bench` run) still
+    // carry enough structure for the optional-key path.
+    let summary_path = args.get("summary").unwrap_or("BENCH_SUMMARY.json");
+    if summary_path != "-" {
+        let serve_fields = format!(
+            "\"serve_qps\": {serve_qps:.3},\n    \"serve_p99_ms\": {serve_p99:.3},\n    \
+             \"serve_unbatched_qps\": {unbatched_qps:.3},\n    \"serve_speedup\": {speedup:.3}"
+        );
+        let merged = match std::fs::read_to_string(summary_path) {
+            Ok(text) if text.contains("\n  }\n}") && !text.contains("\"serve_qps\"") => {
+                text.replacen("\n  }\n}", &format!(",\n    {serve_fields}\n  }}\n}}"), 1)
+            }
+            _ => format!(
+                "{{\n  \"config\": {{\n    \"n\": {n},\n    \"d\": {dim},\n    \
+                 \"serve_clients\": {clients}\n  }},\n  \"results\": {{\n    \
+                 \"fit_seconds\": {fit_seconds:.6},\n    {serve_fields}\n  }}\n}}\n"
+            ),
+        };
+        std::fs::write(summary_path, merged).map_err(|e| format!("writing {summary_path}: {e}"))?;
+        println!("wrote {summary_path}");
+    }
+    Ok(())
+}
+
 /// One numeric field out of a bench summary: scans for `"key":` and
 /// parses the number that follows. Line-oriented and dependency-free,
 /// matching the exact shape `cmd_bench` writes.
@@ -945,7 +1146,7 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
     // lacking one is a note, not an error. Naming a key in --keys
     // makes it required — a strict CI compare must never silently
     // compare nothing.
-    let registry: [(&str, bool, bool); 7] = [
+    let registry: [(&str, bool, bool); 9] = [
         ("queries_per_s", true, true),
         ("fit_seconds", false, true),
         ("blocked_scan_ms", false, false),
@@ -957,6 +1158,10 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
         // skip-with-note, not a REGRESSION.
         ("hnsw_knn_ms", false, false),
         ("hnsw_crossover_n", false, false),
+        // serve keys exist only in summaries touched by `bench
+        // serve`; older baselines skip-with-note.
+        ("serve_qps", true, false),
+        ("serve_p99_ms", false, false),
     ];
     let requested: Option<Vec<&str>> = args.get("keys").map(|s| s.split(',').collect());
     if let Some(keys) = &requested {
@@ -999,9 +1204,12 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
                 return Err(format!("{side} {path} lacks {key}"));
             }
             _ => {
-                println!(
-                    "note: {key} missing on one side — skipped (run `bench --kernel` to record it)"
-                );
+                let how = if key.starts_with("serve_") {
+                    "bench serve"
+                } else {
+                    "bench --kernel"
+                };
+                println!("note: {key} missing on one side — skipped (run `{how}` to record it)");
                 continue;
             }
         };

@@ -20,6 +20,19 @@ pub enum HosError {
     Query(String),
 }
 
+impl HosError {
+    /// Stable machine-readable tag for error envelopes (the serve
+    /// layer's JSON errors carry this as `error.kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HosError::Data(_) => "data",
+            HosError::Index(_) => "index",
+            HosError::Config(_) => "config",
+            HosError::Query(_) => "query",
+        }
+    }
+}
+
 impl fmt::Display for HosError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

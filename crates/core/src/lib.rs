@@ -41,7 +41,7 @@ pub use explain::{explain, Explanation};
 pub use filter::minimal_subspaces;
 pub use frontier::{frontier_search, FrontierOutcome};
 pub use learning::{learn, learn_full, learn_with_smoothing, FractionMode, LearnedModel};
-pub use miner::{HosMiner, HosMinerConfig, QueryOutcome};
+pub use miner::{HosMiner, HosMinerConfig, QueryOutcome, QuerySpec};
 pub use model_io::ModelFile;
 pub use od::{OdMode, ThresholdPolicy};
 pub use priors::Priors;

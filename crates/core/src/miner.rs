@@ -109,6 +109,21 @@ fn apply_search_width(engine: &dyn KnnEngine, config: &HosMinerConfig) -> Result
     Ok(())
 }
 
+/// One query in a mixed service batch: either a dataset member
+/// (excluded from its own neighbourhoods) or an arbitrary point.
+///
+/// The serving layer coalesces concurrent requests of both shapes
+/// into one admission window and drives them through
+/// [`HosMiner::query_each`]; this enum is that seam's unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// A dataset member by id (self-excluded, like
+    /// [`HosMiner::query_id`]).
+    Member(PointId),
+    /// An arbitrary query point (like [`HosMiner::query_point`]).
+    Point(Vec<f64>),
+}
+
 /// Result of one query: the answer set, its minimal frontier, and the
 /// cost accounting.
 #[derive(Clone, Debug)]
@@ -489,6 +504,66 @@ impl HosMiner {
         Ok(self.run_batch(&queries))
     }
 
+    /// Evaluates a **mixed** batch of member/point queries with
+    /// per-item error reporting: every spec is validated
+    /// independently, the valid ones run through one
+    /// [`batch_search`] fan-out (across `config.threads` pooled
+    /// workers), and each slot gets either its outcome or the same
+    /// typed error the corresponding [`HosMiner::query_id`] /
+    /// [`HosMiner::query_point`] call would return.
+    ///
+    /// This is the serving seam: an admission batcher coalesces
+    /// concurrent requests into one `query_each` call, and because
+    /// `dynamic_search` is deterministic and the fan-out preserves
+    /// input order, every outcome is **bit-identical** to running
+    /// that query alone — one slow or invalid request can neither
+    /// change nor fail its batch-mates.
+    pub fn query_each(&self, specs: &[QuerySpec]) -> Vec<Result<QueryOutcome>> {
+        let ds = self.engine.dataset();
+        let d = ds.dim();
+        let validated: Vec<Result<()>> = specs
+            .iter()
+            .map(|spec| match spec {
+                QuerySpec::Member(id) => {
+                    self.ensure_member(*id)?;
+                    self.ensure_enough_live(true)
+                }
+                QuerySpec::Point(p) => {
+                    if p.len() != d {
+                        return Err(HosError::Query(format!(
+                            "query has {} coordinates, dataset has {d} dimensions",
+                            p.len()
+                        )));
+                    }
+                    if p.iter().any(|v| !v.is_finite()) {
+                        return Err(HosError::Query("query contains non-finite values".into()));
+                    }
+                    self.ensure_enough_live(false)
+                }
+            })
+            .collect();
+        let queries: Vec<BatchQuery<'_>> = specs
+            .iter()
+            .zip(&validated)
+            .filter(|(_, v)| v.is_ok())
+            .map(|(spec, _)| match spec {
+                QuerySpec::Member(id) => BatchQuery {
+                    point: ds.row(*id),
+                    exclude: Some(*id),
+                },
+                QuerySpec::Point(p) => BatchQuery {
+                    point: p,
+                    exclude: None,
+                },
+            })
+            .collect();
+        let mut outcomes = self.run_batch(&queries).into_iter();
+        validated
+            .into_iter()
+            .map(|v| v.map(|()| outcomes.next().expect("one outcome per valid spec")))
+            .collect()
+    }
+
     fn run_batch(&self, queries: &[BatchQuery<'_>]) -> Vec<QueryOutcome> {
         batch_search(
             self.engine.as_ref(),
@@ -718,6 +793,52 @@ mod tests {
         // Validation happens before any search.
         assert!(miner.query_points(&[vec![0.0; 5], vec![1.0]]).is_err());
         assert!(miner.query_points(&[vec![f64::NAN; 5]]).is_err());
+    }
+
+    #[test]
+    fn query_each_matches_individual_queries_and_isolates_errors() {
+        let (miner, truth) = fitted(Engine::Linear);
+        let specs = vec![
+            QuerySpec::Member(truth[0].0),
+            QuerySpec::Point(vec![1e4; 5]),
+            QuerySpec::Member(10_000),           // dead/unknown id
+            QuerySpec::Point(vec![1.0]),         // wrong arity
+            QuerySpec::Point(vec![f64::NAN; 5]), // non-finite
+            QuerySpec::Member(0),
+        ];
+        let results = miner.query_each(&specs);
+        assert_eq!(results.len(), specs.len());
+
+        // Valid entries are bit-identical to the per-call paths.
+        let solo_member = miner.query_id(truth[0].0).unwrap();
+        let got = results[0].as_ref().unwrap();
+        assert_eq!(got.outlying, solo_member.outlying);
+        assert_eq!(got.minimal, solo_member.minimal);
+        assert_eq!(got.stats.od_evals, solo_member.stats.od_evals);
+
+        let solo_point = miner.query_point(&[1e4; 5]).unwrap();
+        let got = results[1].as_ref().unwrap();
+        assert_eq!(got.outlying, solo_point.outlying);
+        assert_eq!(got.minimal, solo_point.minimal);
+
+        let solo_bg = miner.query_id(0).unwrap();
+        let got = results[5].as_ref().unwrap();
+        assert_eq!(got.outlying, solo_bg.outlying);
+        assert_eq!(got.minimal, solo_bg.minimal);
+
+        // Invalid entries fail individually with the same message the
+        // per-call path produces, without poisoning their neighbours.
+        for (idx, solo) in [
+            (2usize, miner.query_id(10_000).unwrap_err()),
+            (3, miner.query_point(&[1.0]).unwrap_err()),
+            (4, miner.query_point(&[f64::NAN; 5]).unwrap_err()),
+        ] {
+            let got = results[idx].as_ref().unwrap_err();
+            assert_eq!(got.to_string(), solo.to_string(), "spec {idx}");
+            assert_eq!(got.kind(), solo.kind(), "spec {idx}");
+        }
+
+        assert!(miner.query_each(&[]).is_empty());
     }
 
     #[test]

@@ -3,11 +3,15 @@
 //! The dynamic subspace search evaluates OD for a whole *level* of the
 //! lattice at a time (all unpruned subspaces with the same
 //! dimensionality), which parallelises embarrassingly: each subspace's
-//! k-NN query is independent. Crossbeam scoped threads split the
-//! subspace list across `threads` workers.
+//! k-NN query is independent. The subspace list is split into
+//! `threads` chunks executed on the persistent [`crate::pool`] worker
+//! pool — threads are spawned once per process and reused across
+//! every call, so a resident server pays no spawn/join latency per
+//! admission batch.
 
 use crate::context::QueryContext;
 use crate::knn::KnnEngine;
+use crate::pool::run_scoped;
 use hos_data::{PointId, Subspace};
 
 /// Evaluates `OD(query, s)` for every subspace in `subspaces`,
@@ -55,11 +59,14 @@ pub fn batch_od_with_context(
 }
 
 /// Applies `f` to every item, fanned out across up to `threads`
-/// crossbeam scoped workers with static chunking; results are in
-/// input order. `threads <= 1` (or a single item) short-circuits to
-/// a serial loop, where thread spawn overhead would dominate small
-/// batches. The shared scatter behind [`batch_od`],
-/// [`batch_od_with_context`] and `hos-core`'s `batch_search`.
+/// pooled workers with static chunking; results are in input order.
+/// `threads <= 1` (or a single item) short-circuits to a serial loop,
+/// where even pool hand-off overhead would dominate small batches.
+/// The chunk boundaries are identical to the serial iteration order
+/// and every chunk writes its own disjoint output slice, so results
+/// are **bit-identical** to the serial path for any thread count. The
+/// shared scatter behind [`batch_od`], [`batch_od_with_context`] and
+/// `hos-core`'s `batch_search`.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -73,27 +80,31 @@ where
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    crossbeam::scope(|scope| {
-        for (slice_in, slice_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (i, o) in slice_in.iter().zip(slice_out.iter_mut()) {
-                    *o = Some(f(i));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .map(|(slice_in, slice_out)| {
+                Box::new(move || {
+                    for (i, o) in slice_in.iter().zip(slice_out.iter_mut()) {
+                        *o = Some(f(i));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+    }
     out.into_iter()
         .map(|o| o.expect("every slot filled"))
         .collect()
 }
 
 /// [`parallel_map`] over mutable items: applies `f` to every item with
-/// exclusive access, fanned across up to `threads` workers with static
-/// chunking; results are in input order. Used by the sharded evaluator
-/// to drive one mutable [`crate::walker::PrefixStack`] per shard in
-/// parallel.
+/// exclusive access, fanned across up to `threads` pooled workers with
+/// static chunking; results are in input order. Used by the sharded
+/// evaluator to drive one mutable [`crate::walker::PrefixStack`] per
+/// shard in parallel.
 pub fn parallel_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -107,17 +118,21 @@ where
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    crossbeam::scope(|scope| {
-        for (slice_in, slice_out) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (i, o) in slice_in.iter_mut().zip(slice_out.iter_mut()) {
-                    *o = Some(f(i));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .map(|(slice_in, slice_out)| {
+                Box::new(move || {
+                    for (i, o) in slice_in.iter_mut().zip(slice_out.iter_mut()) {
+                        *o = Some(f(i));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+    }
     out.into_iter()
         .map(|o| o.expect("every slot filled"))
         .collect()

@@ -46,9 +46,13 @@
 //! * [`sharded`] — exact intra-query parallelism: [`ShardedEngine`]
 //!   fans each query over contiguous data shards and merges per-shard
 //!   top-k lists losslessly (bit-identical ODs).
-//! * [`batch`] — multi-threaded batch OD evaluation over subspaces
-//!   (crossbeam scoped threads), cache-accelerated when the engine
-//!   provides a [`context::QueryContext`].
+//! * [`batch`] — multi-threaded batch OD evaluation over subspaces,
+//!   cache-accelerated when the engine provides a
+//!   [`context::QueryContext`].
+//! * [`pool`] — the persistent worker pool behind every parallel
+//!   region: threads spawn once per process and are reused across
+//!   calls (and shared between the CLI and `hos-serve`), so parallel
+//!   batches pay queue hand-off instead of thread spawn + join.
 
 pub mod batch;
 pub mod block;
@@ -58,6 +62,7 @@ pub mod evaluator;
 pub mod hnsw;
 pub mod knn;
 pub mod linear;
+pub mod pool;
 pub mod sharded;
 mod topk;
 pub mod vafile;

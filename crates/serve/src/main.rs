@@ -1,0 +1,186 @@
+//! `hos-serve` binary: fit a miner once, serve it until `/shutdown`.
+
+use hos_core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_data::csv::{read_csv_path, CsvOptions};
+use hos_data::synth::planted::{generate, PlantedSpec};
+use hos_data::{Dataset, Metric, Subspace};
+use hos_index::Engine;
+use hos_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+const HELP: &str = "\
+hos-serve — resident HTTP query server for HOS-Miner
+
+USAGE:
+  hos-serve (--data FILE [--header] | --n 2000 --d 6) [--seed 0]
+            [--k 5] [--threshold T | --quantile 0.95]
+            [--engine linear|xtree|vafile|hnsw] [--metric l1|l2|linf]
+            [--threads 1] [--shards 1] [--samples 20]
+            [--addr 127.0.0.1:7878] [--workers 0]
+            [--batch-window-ms 2] [--batch-max 64] [--queue-cap 1024]
+
+Fits once at startup, then serves POST /query /scan /insert /retire
+/explain and GET /stats /healthz until POST /shutdown, which drains
+gracefully: admitted work finishes, new work gets 503. --workers 0
+means one HTTP worker per core. --batch-max 1 disables cross-request
+batching (answers are bit-identical either way).";
+
+struct Flags {
+    map: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut map = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            if name == "header" || name == "help" {
+                switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                map.push((name.to_string(), value.clone()));
+                i += 2;
+            }
+        }
+        Ok(Flags { map, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value {v:?}")),
+        }
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    if let Some(path) = flags.get("data") {
+        let opts = CsvOptions {
+            delimiter: ',',
+            has_header: flags.switch("header"),
+        };
+        return read_csv_path(path, &opts).map_err(|e| format!("loading {path}: {e}"));
+    }
+    let n: usize = flags.num("n", 2000)?;
+    let d: usize = flags.num("d", 6)?;
+    let seed: u64 = flags.num("seed", 0)?;
+    let spec = PlantedSpec {
+        n_background: n,
+        d,
+        n_clusters: 3,
+        cluster_sigma: 1.0,
+        extent: 60.0,
+        targets: vec![Subspace::from_dims(&[0, 1])],
+        shift_sigmas: 12.0,
+        seed,
+    };
+    generate(&spec)
+        .map(|w| w.dataset)
+        .map_err(|e| e.to_string())
+}
+
+fn build_miner(flags: &Flags) -> Result<HosMiner, String> {
+    let ds = load_dataset(flags)?;
+    let threshold = match (flags.get("threshold"), flags.get("quantile")) {
+        (Some(t), _) => ThresholdPolicy::Fixed(
+            t.parse()
+                .map_err(|_| format!("--threshold: bad value {t:?}"))?,
+        ),
+        (None, q) => ThresholdPolicy::FullSpaceQuantile {
+            q: q.map_or(Ok(0.95), |v| {
+                v.parse()
+                    .map_err(|_| format!("--quantile: bad value {v:?}"))
+            })?,
+            sample: 200,
+        },
+    };
+    let engine: Engine = flags.get("engine").unwrap_or("linear").parse()?;
+    let metric = match flags.get("metric").unwrap_or("l2") {
+        "l1" => Metric::L1,
+        "l2" => Metric::L2,
+        "linf" => Metric::LInf,
+        other => return Err(format!("unknown metric {other:?}")),
+    };
+    let config = HosMinerConfig {
+        k: flags.num("k", 5)?,
+        threshold,
+        metric,
+        engine,
+        sample_size: flags.num("samples", 20)?,
+        threads: flags.num("threads", 1)?,
+        shards: flags.num("shards", 1)?,
+        seed: flags.num("seed", 0)?,
+        ..HosMinerConfig::default()
+    };
+    HosMiner::fit(ds, config).map_err(|e| e.to_string())
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    if flags.switch("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let miner = build_miner(&flags)?;
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: flags.num("workers", 0)?,
+        batch_window: Duration::from_millis(flags.num("batch-window-ms", 2)?),
+        batch_max: flags.num("batch-max", 64)?,
+        query_queue_cap: flags.num("queue-cap", 1024)?,
+        write_queue_cap: flags.num("queue-cap", 1024)?,
+    };
+    let live = miner.live_len();
+    let dim = miner.engine().dataset().dim();
+    let server = Server::start(miner, &config).map_err(|e| e.to_string())?;
+    println!(
+        "hos-serve listening on {} (live={live} dim={dim} workers={} batch_max={} window={}ms)",
+        server.addr(),
+        if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        },
+        config.batch_max,
+        config.batch_window.as_millis()
+    );
+    let report = server.wait();
+    println!(
+        "hos-serve drained: requests={} specs={} batches={} max_batch={} writes={} rejected={}",
+        report.http_requests,
+        report.specs,
+        report.batches,
+        report.max_batch,
+        report.writes,
+        report.rejected
+    );
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&argv) {
+        eprintln!("hos-serve: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,622 @@
+//! The HTTP server: thread-per-core accept workers, route dispatch
+//! and response serialization.
+//!
+//! Each worker thread owns the connection it accepted end to end
+//! (keep-alive loop included) plus a reusable response buffer — no
+//! per-request allocation of the body `String`. Query routes go
+//! through the admission batcher in [`crate::state`]; scan/explain
+//! run on the worker under the read lock; insert/retire go through
+//! the single-writer queue.
+//!
+//! Error mapping, uniform across routes (`{"error":{"kind":K,
+//! "message":M}}` envelope):
+//!
+//! | source                      | status | kind                  |
+//! |-----------------------------|--------|-----------------------|
+//! | malformed HTTP              | per [`HttpError::status`] | per [`HttpError::kind`] |
+//! | malformed JSON body         | 400    | `bad_json`            |
+//! | missing/invalid fields      | 400    | `bad_request`         |
+//! | `HosError::Query`/`Config`  | 400    | `query` / `config`    |
+//! | `HosError::Index`/`Data`    | 422    | `index` / `data`      |
+//! | queue full                  | 429    | `backpressure`        |
+//! | draining                    | 503    | `draining`            |
+//! | unknown path                | 404    | `not_found`           |
+//! | wrong method                | 405    | `method_not_allowed`  |
+
+use crate::json::{error_body, fmt_f64_roundtrip, push_json_string, Json};
+use crate::state::{ServeError, SharedState, WriteOk, WriteOp};
+use hos_core::{explain, HosError, HosMiner, QueryOutcome, QuerySpec};
+use hos_data::Subspace;
+use std::fmt::Write as _;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+use tinyhttp::{Conn, HttpServer, Request, Response};
+
+/// Tuning knobs of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads; `0` = one per available core.
+    pub workers: usize,
+    /// How long the batcher holds a window open after the first
+    /// request arrives.
+    pub batch_window: Duration,
+    /// Maximum specs per batch; `1` disables cross-request batching.
+    pub batch_max: usize,
+    /// Admission queue capacity (requests, not specs).
+    pub query_queue_cap: usize,
+    /// Write queue capacity.
+    pub write_queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            batch_window: Duration::from_millis(2),
+            batch_max: 64,
+            query_queue_cap: 1024,
+            write_queue_cap: 1024,
+        }
+    }
+}
+
+/// Final tallies printed by the drain summary.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeReport {
+    /// HTTP requests served (any status).
+    pub http_requests: u64,
+    /// Query specs executed.
+    pub specs: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Writes applied.
+    pub writes: u64,
+    /// Requests rejected with backpressure.
+    pub rejected: u64,
+}
+
+/// A running server: bound address plus the handles needed to drain
+/// and join it. Dropping without [`Server::join`] leaks the threads —
+/// call `join` (tests, bench) or block forever in `main`.
+pub struct Server {
+    http: Arc<HttpServer>,
+    state: Arc<SharedState>,
+    addr: SocketAddr,
+    workers: Vec<thread::JoinHandle<()>>,
+    batcher: thread::JoinHandle<()>,
+    writer: thread::JoinHandle<()>,
+    done_rx: mpsc::Receiver<()>,
+}
+
+impl Server {
+    /// Binds, spawns the worker/batcher/writer threads and returns
+    /// immediately. `miner` must already be fitted.
+    pub fn start(miner: HosMiner, config: &ServeConfig) -> io::Result<Server> {
+        let workers = if config.workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let state = SharedState::new(
+            miner,
+            config.batch_window,
+            config.batch_max,
+            config.query_queue_cap,
+            config.write_queue_cap,
+        );
+        let http = Arc::new(HttpServer::bind(config.addr.as_str())?);
+        let addr = http.local_addr();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+
+        let batcher = {
+            let s = Arc::clone(&state);
+            thread::Builder::new()
+                .name("hos-serve-batch".into())
+                .spawn(move || s.batcher_loop())?
+        };
+        let writer = {
+            let s = Arc::clone(&state);
+            thread::Builder::new()
+                .name("hos-serve-write".into())
+                .spawn(move || s.writer_loop())?
+        };
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let http = Arc::clone(&http);
+            let state = Arc::clone(&state);
+            let done = done_tx.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("hos-serve-{i}"))
+                    .spawn(move || worker_loop(&http, &state, &done))?,
+            );
+        }
+        Ok(Server {
+            http,
+            state,
+            addr,
+            workers: handles,
+            batcher,
+            writer,
+            done_rx,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests and the bench reach in for counters).
+    pub fn state(&self) -> &Arc<SharedState> {
+        &self.state
+    }
+
+    /// Blocks until some client POSTs `/shutdown`, then drains and
+    /// returns the final tallies.
+    pub fn wait(self) -> ServeReport {
+        // A worker signals on the done channel once drain starts; the
+        // channel also closes if every worker dies, so a wedged server
+        // cannot block forever here.
+        let _ = self.done_rx.recv();
+        self.join()
+    }
+
+    /// Initiates drain from the host process (equivalent to
+    /// `/shutdown` but in-process — the bench uses this).
+    pub fn initiate_shutdown(&self) {
+        self.state.start_drain();
+        self.http.shutdown();
+    }
+
+    /// Drains and joins everything: stop accepting, finish in-flight
+    /// connections and queued work, join all threads.
+    pub fn join(self) -> ServeReport {
+        self.state.start_drain();
+        self.http.shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // Workers are gone, so nothing can enqueue; the queues drain
+        // to empty and both loops exit.
+        let _ = self.batcher.join();
+        let _ = self.writer.join();
+        let c = &self.state.counters;
+        ServeReport {
+            http_requests: c.http_requests.load(Ordering::Relaxed),
+            specs: c.specs.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One worker: accept → keep-alive request loop → dispatch. The
+/// response body buffer is the worker's reusable scratch.
+fn worker_loop(http: &HttpServer, state: &Arc<SharedState>, done: &mpsc::Sender<()>) {
+    let mut scratch = String::with_capacity(4 * 1024);
+    loop {
+        let conn = match http.accept() {
+            Ok(Some(conn)) => conn,
+            Ok(None) => return, // shutdown
+            Err(_) => continue,
+        };
+        serve_conn(conn, state, &mut scratch, http, done);
+    }
+}
+
+fn serve_conn(
+    mut conn: Conn,
+    state: &Arc<SharedState>,
+    scratch: &mut String,
+    http: &HttpServer,
+    done: &mpsc::Sender<()>,
+) {
+    loop {
+        match conn.next_request() {
+            Ok(Some(req)) => {
+                state.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+                let keep = req.keep_alive;
+                let shutdown = req.method == "POST" && req.path == "/shutdown";
+                let resp = dispatch(&req, state, scratch);
+                let _ = conn.respond(&resp);
+                if shutdown && resp.status == 200 {
+                    // Drain: stop accepting (this worker and all
+                    // others), wake the main thread, finish this
+                    // connection.
+                    http.shutdown();
+                    let _ = done.send(());
+                    return;
+                }
+                if !keep || resp.close {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close between requests
+            Err(e) => {
+                // Malformed bytes: answer with the typed error when
+                // the socket is still writable, then close. Never
+                // panics — the protocol property tests pin this.
+                let body = error_body(e.kind(), &e.to_string());
+                let _ = conn.respond(&Response::json(e.status(), body).closing());
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"ok\":true}"),
+        ("GET", "/stats") => handle_stats(state, scratch),
+        ("POST", "/query") => handle_query(req, state, scratch),
+        ("POST", "/scan") => handle_scan(req, state, scratch),
+        ("POST", "/insert") => handle_insert(req, state),
+        ("POST", "/retire") => handle_retire(req, state),
+        ("POST", "/explain") => handle_explain(req, state, scratch),
+        ("POST", "/shutdown") => {
+            state.start_drain();
+            Response::json(200, "{\"draining\":true}").closing()
+        }
+        ("GET" | "POST", _) => Response::json(
+            404,
+            error_body("not_found", &format!("no route {}", req.path)),
+        ),
+        (m, _) => Response::json(
+            405,
+            error_body("method_not_allowed", &format!("method {m} not supported")),
+        ),
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::json(400, error_body("bad_request", msg))
+}
+
+fn hos_error_response(e: &HosError) -> Response {
+    let status = match e {
+        HosError::Query(_) | HosError::Config(_) => 400,
+        HosError::Index(_) | HosError::Data(_) => 422,
+    };
+    Response::json(status, error_body(e.kind(), &e.to_string()))
+}
+
+fn serve_error_response(e: &ServeError) -> Response {
+    Response::json(e.status(), error_body(e.kind(), &e.to_string()))
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req.body_utf8();
+    Json::parse(&text).map_err(|e| Response::json(400, error_body("bad_json", &e.to_string())))
+}
+
+fn parse_point(v: &Json) -> Result<Vec<f64>, Response> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| bad_request("point must be an array of numbers"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| bad_request("point must be an array of numbers"))
+        })
+        .collect()
+}
+
+/// `{"id":N}` | `{"ids":[..]}` | `{"point":[..]}` | `{"points":[[..]]}`,
+/// mixable in one request; specs run in field order.
+fn parse_specs(body: &Json) -> Result<Vec<QuerySpec>, Response> {
+    let mut specs = Vec::new();
+    if let Some(v) = body.get("id") {
+        specs
+            .push(QuerySpec::Member(v.as_usize().ok_or_else(|| {
+                bad_request("id must be a non-negative integer")
+            })?));
+    }
+    if let Some(v) = body.get("ids") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| bad_request("ids must be an array of integers"))?;
+        for x in arr {
+            specs.push(QuerySpec::Member(x.as_usize().ok_or_else(|| {
+                bad_request("ids must be an array of non-negative integers")
+            })?));
+        }
+    }
+    if let Some(v) = body.get("point") {
+        specs.push(QuerySpec::Point(parse_point(v)?));
+    }
+    if let Some(v) = body.get("points") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| bad_request("points must be an array of arrays"))?;
+        for p in arr {
+            specs.push(QuerySpec::Point(parse_point(p)?));
+        }
+    }
+    if specs.is_empty() {
+        return Err(bad_request("query needs id, ids, point or points"));
+    }
+    Ok(specs)
+}
+
+fn push_subspace(out: &mut String, s: Subspace) {
+    out.push('[');
+    for (i, d) in s.dims().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{d}");
+    }
+    out.push(']');
+}
+
+/// Serializes one outcome. Dimensions are 0-based (machine API; the
+/// CLI's 1-based convention is presentation only). ODs use the
+/// round-trip `f64` format, so parsing the JSON back recovers the
+/// exact bits — the basis of the serve bit-identity oracle.
+fn push_outcome(out: &mut String, o: &QueryOutcome) {
+    out.push_str("{\"outlying\":[");
+    for (i, s) in o.outlying.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"subspace\":");
+        push_subspace(out, s.subspace);
+        out.push_str(",\"od\":");
+        match s.od {
+            Some(od) => {
+                let _ = write!(out, "{}", fmt_f64_roundtrip(od));
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"minimal\":[");
+    for (i, s) in o.minimal.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_subspace(out, *s);
+    }
+    let _ = write!(
+        out,
+        "],\"stats\":{{\"od_evals\":{},\"pruned_outlier\":{},\"pruned_non_outlier\":{}}}}}",
+        o.stats.od_evals, o.stats.pruned_outlier, o.stats.pruned_non_outlier
+    );
+}
+
+fn push_item_error(out: &mut String, e: &HosError) {
+    out.push_str("{\"error\":{\"kind\":");
+    push_json_string(out, e.kind());
+    out.push_str(",\"message\":");
+    push_json_string(out, &e.to_string());
+    out.push_str("}}");
+}
+
+fn handle_query(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let specs = match parse_specs(&body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let (version, results) = match state.submit_query(specs) {
+        Ok(r) => r,
+        Err(e) => return serve_error_response(&e),
+    };
+    scratch.clear();
+    let _ = write!(scratch, "{{\"version\":{version},\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            scratch.push(',');
+        }
+        match r {
+            Ok(outcome) => push_outcome(scratch, outcome),
+            Err(e) => push_item_error(scratch, e),
+        }
+    }
+    scratch.push_str("]}");
+    Response::json(200, scratch.as_str())
+}
+
+fn handle_scan(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let top = match body.get("top") {
+        None => 5,
+        Some(v) => match v.as_usize() {
+            Some(n) => n,
+            None => return bad_request("top must be a non-negative integer"),
+        },
+    };
+    if state.is_draining() {
+        return serve_error_response(&ServeError::Draining);
+    }
+    let (version, report) =
+        state.with_read(|miner, version| (version, hos_core::scan_outliers(miner, top)));
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return hos_error_response(&e),
+    };
+    scratch.clear();
+    let _ = write!(
+        scratch,
+        "{{\"version\":{version},\"threshold\":{},\"truncated\":{},\"skipped\":{},\"hits\":[",
+        fmt_f64_roundtrip(report.threshold),
+        report.truncated,
+        report.skipped
+    );
+    for (i, hit) in report.hits.iter().enumerate() {
+        if i > 0 {
+            scratch.push(',');
+        }
+        let _ = write!(
+            scratch,
+            "{{\"id\":{},\"full_od\":{},\"minimal\":[",
+            hit.id,
+            fmt_f64_roundtrip(hit.full_od)
+        );
+        for (j, s) in hit.outcome.minimal.iter().enumerate() {
+            if j > 0 {
+                scratch.push(',');
+            }
+            push_subspace(scratch, *s);
+        }
+        scratch.push_str("]}");
+    }
+    scratch.push_str("]}");
+    Response::json(200, scratch.as_str())
+}
+
+fn handle_insert(req: &Request, state: &Arc<SharedState>) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let row = match body.get("row") {
+        Some(v) => match parse_point(v) {
+            Ok(row) => row,
+            Err(resp) => return resp,
+        },
+        None => return bad_request("insert needs a row array"),
+    };
+    match state.submit_write(WriteOp::Insert(row)) {
+        Ok((version, Ok(WriteOk::Inserted(id)))) => {
+            Response::json(200, format!("{{\"version\":{version},\"id\":{id}}}"))
+        }
+        Ok((_, Ok(WriteOk::Retired))) => unreachable!("insert cannot retire"),
+        Ok((_, Err(e))) => hos_error_response(&e),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+fn handle_retire(req: &Request, state: &Arc<SharedState>) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let id = match body.get("id").and_then(Json::as_usize) {
+        Some(id) => id,
+        None => return bad_request("retire needs an integer id"),
+    };
+    match state.submit_write(WriteOp::Retire(id)) {
+        Ok((version, Ok(_))) => Response::json(200, format!("{{\"version\":{version}}}")),
+        Ok((_, Err(e))) => hos_error_response(&e),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+fn handle_explain(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    if state.is_draining() {
+        return serve_error_response(&ServeError::Draining);
+    }
+    let result = state.with_read(|miner, version| {
+        let (query, exclude, outcome) = if let Some(v) = body.get("id") {
+            let Some(id) = v.as_usize() else {
+                return Err(bad_request("id must be a non-negative integer"));
+            };
+            let outcome = miner.query_id(id).map_err(|e| hos_error_response(&e))?;
+            let row = miner.engine().dataset().row(id).to_vec();
+            (row, Some(id), outcome)
+        } else if let Some(v) = body.get("point") {
+            let point = parse_point(v)?;
+            let outcome = miner
+                .query_point(&point)
+                .map_err(|e| hos_error_response(&e))?;
+            (point, None, outcome)
+        } else {
+            return Err(bad_request("explain needs id or point"));
+        };
+        let ex = explain(miner, &query, exclude, &outcome).map_err(|e| hos_error_response(&e))?;
+        Ok((version, ex))
+    });
+    let (version, ex) = match result {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    scratch.clear();
+    let _ = write!(
+        scratch,
+        "{{\"version\":{version},\"threshold\":{},\"deviations\":[",
+        fmt_f64_roundtrip(ex.threshold)
+    );
+    for (i, d) in ex.deviations.iter().enumerate() {
+        if i > 0 {
+            scratch.push(',');
+        }
+        let _ = write!(
+            scratch,
+            "{{\"dim\":{},\"value\":{},\"median\":{},\"robust_z\":{}}}",
+            d.dim,
+            fmt_f64_roundtrip(d.value),
+            fmt_f64_roundtrip(d.median),
+            fmt_f64_roundtrip(d.robust_z)
+        );
+    }
+    scratch.push_str("],\"subspaces\":[");
+    for (i, s) in ex.subspaces.iter().enumerate() {
+        if i > 0 {
+            scratch.push(',');
+        }
+        scratch.push_str("{\"subspace\":");
+        push_subspace(scratch, s.subspace);
+        let _ = write!(
+            scratch,
+            ",\"od\":{},\"margin\":{}}}",
+            fmt_f64_roundtrip(s.od),
+            fmt_f64_roundtrip(s.margin)
+        );
+    }
+    scratch.push_str("]}");
+    Response::json(200, scratch.as_str())
+}
+
+fn handle_stats(state: &Arc<SharedState>, scratch: &mut String) -> Response {
+    let (version, live, dim, threshold, threads) = state.with_read(|miner, version| {
+        (
+            version,
+            miner.live_len(),
+            miner.engine().dataset().dim(),
+            miner.threshold(),
+            miner.config().threads,
+        )
+    });
+    let c = &state.counters;
+    scratch.clear();
+    let _ = write!(
+        scratch,
+        "{{\"version\":{version},\"live\":{live},\"dim\":{dim},\"threshold\":{},\
+         \"threads\":{threads},\"draining\":{},\
+         \"queries\":{},\"specs\":{},\"batches\":{},\"max_batch\":{},\
+         \"writes\":{},\"rejected\":{},\"http_requests\":{}}}",
+        fmt_f64_roundtrip(threshold),
+        state.is_draining(),
+        c.queries.load(Ordering::Relaxed),
+        c.specs.load(Ordering::Relaxed),
+        c.batches.load(Ordering::Relaxed),
+        c.max_batch.load(Ordering::Relaxed),
+        c.writes.load(Ordering::Relaxed),
+        c.rejected.load(Ordering::Relaxed),
+        c.http_requests.load(Ordering::Relaxed)
+    );
+    Response::json(200, scratch.as_str())
+}

@@ -1,0 +1,517 @@
+//! Shared serving state: the miner behind a single-writer/many-reader
+//! lock, the cross-request dynamic batcher and the write queue.
+//!
+//! Concurrency discipline (DESIGN.md §11):
+//!
+//! * **Reads** (query batches, scans, explains, stats) take the
+//!   `RwLock` read side — any number run at once.
+//! * **Writes** (insert/retire) go through a bounded queue drained by
+//!   ONE writer thread that takes the write side, applies the
+//!   mutation, and bumps [`SharedState::version`] *while still
+//!   holding the lock*. A reader that loads `version` under the read
+//!   lock therefore observes the state exactly as of that version —
+//!   the serialization point the concurrency oracle replays against.
+//! * **Query batching**: requests enqueue their [`QuerySpec`]s on a
+//!   bounded admission queue; one batcher thread collects a window
+//!   (first arrival opens it, it closes after `batch_window` or at
+//!   `batch_max` specs) and drives the whole window through ONE
+//!   [`HosMiner::query_each`] call — the same `batch_search` fan-out
+//!   the CLI uses, so every answer is bit-identical to running that
+//!   query alone.
+//! * **Backpressure**: a full queue rejects immediately with a typed
+//!   error the HTTP layer maps to 429; nothing blocks unboundedly.
+//! * **Drain**: shutdown flips `draining` (new work is refused with a
+//!   503-mapped error), wakes both queues, and the batcher/writer
+//!   threads finish everything already admitted before exiting — no
+//!   admitted request is ever dropped.
+
+use hos_core::{HosError, HosMiner, QueryOutcome, QuerySpec};
+use hos_data::PointId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Why the serving layer refused or failed a request before (or
+/// while) the miner saw it.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission or write queue is full — try again later (429).
+    Backpressure(&'static str),
+    /// The server is draining and takes no new work (503).
+    Draining,
+    /// The executing thread disappeared without replying (500).
+    Internal(&'static str),
+}
+
+impl ServeError {
+    /// Stable tag for the JSON error envelope.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Backpressure(_) => "backpressure",
+            ServeError::Draining => "draining",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Backpressure(_) => 429,
+            ServeError::Draining => 503,
+            ServeError::Internal(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backpressure(which) => {
+                write!(f, "{which} queue full, retry later")
+            }
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+/// One admitted query request: its specs plus the channel its
+/// response goes back on. The batcher replies with the version the
+/// batch observed and one result per spec, in order.
+struct QueryJob {
+    specs: Vec<QuerySpec>,
+    reply: mpsc::Sender<(u64, Vec<Result<QueryOutcome, HosError>>)>,
+}
+
+/// A mutation for the writer thread.
+pub enum WriteOp {
+    /// Insert a row, returning its new id.
+    Insert(Vec<f64>),
+    /// Retire a live point.
+    Retire(PointId),
+}
+
+/// What a successful write produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOk {
+    /// The id the inserted row received.
+    Inserted(PointId),
+    /// The retire completed.
+    Retired,
+}
+
+struct WriteJob {
+    op: WriteOp,
+    reply: mpsc::Sender<(u64, Result<WriteOk, HosError>)>,
+}
+
+/// A bounded MPSC queue with condvar wakeups: `push` never blocks
+/// (full = typed backpressure), consumers wait on the condvar.
+struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&self, item: T, which: &'static str) -> Result<(), ServeError> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.len() >= self.cap {
+            return Err(ServeError::Backpressure(which));
+        }
+        q.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Monotonic counters exported by `/stats`.
+#[derive(Default)]
+pub struct Counters {
+    /// Query requests admitted (each may carry several specs).
+    pub queries: AtomicU64,
+    /// Individual query specs executed.
+    pub specs: AtomicU64,
+    /// Batches the batcher executed.
+    pub batches: AtomicU64,
+    /// Largest spec count any single batch reached.
+    pub max_batch: AtomicUsize,
+    /// Writes applied (insert + retire).
+    pub writes: AtomicU64,
+    /// Requests refused with backpressure (429).
+    pub rejected: AtomicU64,
+    /// HTTP requests served, any status.
+    pub http_requests: AtomicU64,
+}
+
+/// Everything the HTTP workers, batcher and writer share.
+pub struct SharedState {
+    miner: RwLock<HosMiner>,
+    /// Bumped under the write lock on every successful mutation;
+    /// queries report the version they observed.
+    version: AtomicU64,
+    draining: AtomicBool,
+    query_queue: BoundedQueue<QueryJob>,
+    write_queue: BoundedQueue<WriteJob>,
+    batch_window: Duration,
+    batch_max: usize,
+    /// Counters for `/stats` and the drain summary.
+    pub counters: Counters,
+}
+
+impl SharedState {
+    /// Wraps a fitted miner for serving.
+    pub fn new(
+        miner: HosMiner,
+        batch_window: Duration,
+        batch_max: usize,
+        query_queue_cap: usize,
+        write_queue_cap: usize,
+    ) -> Arc<SharedState> {
+        Arc::new(SharedState {
+            miner: RwLock::new(miner),
+            version: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            query_queue: BoundedQueue::new(query_queue_cap),
+            write_queue: BoundedQueue::new(write_queue_cap),
+            batch_window,
+            batch_max: batch_max.max(1),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The current dataset version (number of applied writes).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the draining flag and wakes both queue consumers so they
+    /// can finish admitted work and exit.
+    pub fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.query_queue.wake_all();
+        self.write_queue.wake_all();
+    }
+
+    /// Runs `f` under the read lock — scans, explains, stats.
+    pub fn with_read<R>(&self, f: impl FnOnce(&HosMiner, u64) -> R) -> R {
+        let guard = self.miner.read().expect("miner lock poisoned");
+        let version = self.version();
+        f(&guard, version)
+    }
+
+    /// Admits a query request: enqueues its specs and blocks until the
+    /// batcher replies. Returns the observed version and one result
+    /// per spec, in input order.
+    pub fn submit_query(
+        &self,
+        specs: Vec<QuerySpec>,
+    ) -> Result<(u64, Vec<Result<QueryOutcome, HosError>>), ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::Draining);
+        }
+        let (tx, rx) = mpsc::channel();
+        self.query_queue
+            .push(QueryJob { specs, reply: tx }, "query")
+            .inspect_err(|_| {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            })?;
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        rx.recv()
+            .map_err(|_| ServeError::Internal("batcher exited without replying"))
+    }
+
+    /// Admits a write: enqueues it for the single writer thread and
+    /// blocks until it is applied. Returns the version the write
+    /// produced (or, on a rejected write, the version it observed).
+    pub fn submit_write(
+        &self,
+        op: WriteOp,
+    ) -> Result<(u64, Result<WriteOk, HosError>), ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::Draining);
+        }
+        let (tx, rx) = mpsc::channel();
+        self.write_queue
+            .push(WriteJob { op, reply: tx }, "write")
+            .inspect_err(|_| {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            })?;
+        rx.recv()
+            .map_err(|_| ServeError::Internal("writer exited without replying"))
+    }
+
+    /// The batcher thread body: collect a window of admitted requests,
+    /// execute them as ONE `query_each` batch under the read lock,
+    /// scatter the results. Exits once draining AND the queue is empty.
+    pub fn batcher_loop(self: &Arc<SharedState>) {
+        loop {
+            // Block until at least one job is admitted (or drain).
+            let mut window: Vec<QueryJob> = Vec::new();
+            {
+                let mut q = self.query_queue.inner.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        window.push(job);
+                        break;
+                    }
+                    if self.is_draining() {
+                        return;
+                    }
+                    q = self.query_queue.ready.wait(q).expect("queue poisoned");
+                }
+            }
+            // The window is open: keep admitting until it is full or
+            // `batch_window` elapses. batch_max == 1 (or a zero
+            // window) degenerates to unbatched execution.
+            let deadline = Instant::now() + self.batch_window;
+            let mut nspecs = window[0].specs.len();
+            while nspecs < self.batch_max {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let mut q = self.query_queue.inner.lock().expect("queue poisoned");
+                if q.is_empty() {
+                    let (guard, timeout) = self
+                        .query_queue
+                        .ready
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue poisoned");
+                    q = guard;
+                    if q.is_empty() {
+                        if timeout.timed_out() || self.is_draining() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let job = q.pop_front().expect("non-empty");
+                nspecs += job.specs.len();
+                window.push(job);
+            }
+            // Execute the whole window as one batch. `version` is read
+            // under the read lock, so it names exactly the state these
+            // answers were computed from.
+            let all: Vec<QuerySpec> = window.iter().flat_map(|j| j.specs.clone()).collect();
+            let (version, mut results) =
+                self.with_read(|miner, version| (version, miner.query_each(&all).into_iter()));
+            self.counters.batches.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .specs
+                .fetch_add(all.len() as u64, Ordering::Relaxed);
+            self.counters
+                .max_batch
+                .fetch_max(all.len(), Ordering::Relaxed);
+            for job in window {
+                let part: Vec<_> = results.by_ref().take(job.specs.len()).collect();
+                // A receiver that gave up (client gone) is fine.
+                let _ = job.reply.send((version, part));
+            }
+        }
+    }
+
+    /// The single writer thread body: applies queued mutations one at
+    /// a time under the write lock, bumping the version before the
+    /// lock is released. Exits once draining AND the queue is empty.
+    pub fn writer_loop(self: &Arc<SharedState>) {
+        loop {
+            let job = {
+                let mut q = self.write_queue.inner.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    if self.is_draining() {
+                        return;
+                    }
+                    q = self.write_queue.ready.wait(q).expect("queue poisoned");
+                }
+            };
+            let mut miner = self.miner.write().expect("miner lock poisoned");
+            let res = match job.op {
+                WriteOp::Insert(row) => miner.insert_point(&row).map(WriteOk::Inserted),
+                WriteOp::Retire(id) => miner.retire_point(id).map(|()| WriteOk::Retired),
+            };
+            let version = if res.is_ok() {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                self.version.fetch_add(1, Ordering::SeqCst) + 1
+            } else {
+                self.version()
+            };
+            drop(miner);
+            let _ = job.reply.send((version, res));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_core::{HosMinerConfig, ThresholdPolicy};
+    use hos_data::Dataset;
+    use std::thread;
+
+    fn small_miner() -> HosMiner {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = (i % 7) as f64;
+                let y = (i % 5) as f64;
+                vec![x, y, x + y]
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        HosMiner::fit(
+            ds,
+            HosMinerConfig {
+                k: 3,
+                threshold: ThresholdPolicy::Fixed(6.0),
+                sample_size: 0,
+                ..HosMinerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn spawn_state(batch_max: usize) -> (Arc<SharedState>, Vec<thread::JoinHandle<()>>) {
+        let state = SharedState::new(small_miner(), Duration::from_millis(2), batch_max, 64, 64);
+        let b = {
+            let s = Arc::clone(&state);
+            thread::spawn(move || s.batcher_loop())
+        };
+        let w = {
+            let s = Arc::clone(&state);
+            thread::spawn(move || s.writer_loop())
+        };
+        (state, vec![b, w])
+    }
+
+    fn drain(state: &Arc<SharedState>, handles: Vec<thread::JoinHandle<()>>) {
+        state.start_drain();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_direct_query_each() {
+        let (state, handles) = spawn_state(64);
+        let solo = state.with_read(|m, _| m.query_id(0).unwrap());
+        let (version, results) = state
+            .submit_query(vec![QuerySpec::Member(0), QuerySpec::Member(1)])
+            .unwrap();
+        assert_eq!(version, 0);
+        assert_eq!(results.len(), 2);
+        let got = results[0].as_ref().unwrap();
+        assert_eq!(got.outlying, solo.outlying);
+        assert_eq!(got.minimal, solo.minimal);
+        drain(&state, handles);
+    }
+
+    #[test]
+    fn writes_bump_version_and_queries_observe_it() {
+        let (state, handles) = spawn_state(64);
+        let (v1, res) = state
+            .submit_write(WriteOp::Insert(vec![100.0, 100.0, 100.0]))
+            .unwrap();
+        assert_eq!(v1, 1);
+        let id = match res.unwrap() {
+            WriteOk::Inserted(id) => id,
+            other => panic!("expected insert, got {other:?}"),
+        };
+        let (v2, results) = state.submit_query(vec![QuerySpec::Member(id)]).unwrap();
+        assert_eq!(v2, 1);
+        assert!(results[0].is_ok());
+        let (v3, res) = state.submit_write(WriteOp::Retire(id)).unwrap();
+        assert_eq!(v3, 2);
+        assert!(res.is_ok());
+        // A failed write does not bump the version.
+        let (v4, res) = state.submit_write(WriteOp::Retire(id)).unwrap();
+        assert_eq!(v4, 2);
+        assert!(res.is_err());
+        drain(&state, handles);
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_serves_admitted() {
+        let (state, handles) = spawn_state(64);
+        state.start_drain();
+        assert!(matches!(
+            state.submit_query(vec![QuerySpec::Member(0)]),
+            Err(ServeError::Draining)
+        ));
+        assert!(matches!(
+            state.submit_write(WriteOp::Retire(0)),
+            Err(ServeError::Draining)
+        ));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_query_queue_is_backpressure_not_blocking() {
+        // No batcher thread running: the queue only fills.
+        let state = SharedState::new(small_miner(), Duration::from_millis(1), 8, 2, 2);
+        let (tx, _rx) = mpsc::channel();
+        for _ in 0..2 {
+            state
+                .query_queue
+                .push(
+                    QueryJob {
+                        specs: vec![QuerySpec::Member(0)],
+                        reply: tx.clone(),
+                    },
+                    "query",
+                )
+                .unwrap();
+        }
+        assert!(matches!(
+            state.submit_query(vec![QuerySpec::Member(0)]),
+            Err(ServeError::Backpressure("query"))
+        ));
+        assert_eq!(state.counters.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        let (state, handles) = spawn_state(16);
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let s = Arc::clone(&state);
+            joins.push(thread::spawn(move || {
+                let (_, results) = s.submit_query(vec![QuerySpec::Member(i % 4)]).unwrap();
+                assert_eq!(results.len(), 1);
+                assert!(results[0].is_ok());
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let batches = state.counters.batches.load(Ordering::Relaxed);
+        let specs = state.counters.specs.load(Ordering::Relaxed);
+        assert_eq!(specs, 8);
+        assert!((1..=8).contains(&batches));
+        drain(&state, handles);
+    }
+}

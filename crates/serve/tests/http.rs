@@ -1,0 +1,226 @@
+//! End-to-end endpoint coverage over real sockets: every route, the
+//! error envelope, and graceful drain.
+
+use hos_core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_data::synth::planted::{generate, PlantedSpec};
+use hos_data::Subspace;
+use hos_serve::{Json, ServeConfig, Server};
+use std::time::Duration;
+use tinyhttp::client_request;
+
+fn fitted_miner() -> HosMiner {
+    let spec = PlantedSpec {
+        n_background: 200,
+        d: 4,
+        n_clusters: 2,
+        cluster_sigma: 1.0,
+        extent: 50.0,
+        targets: vec![Subspace::from_dims(&[0, 1])],
+        shift_sigmas: 12.0,
+        seed: 42,
+    };
+    let w = generate(&spec).unwrap();
+    HosMiner::fit(
+        w.dataset,
+        HosMinerConfig {
+            k: 4,
+            threshold: ThresholdPolicy::FullSpaceQuantile {
+                q: 0.95,
+                sample: 100,
+            },
+            sample_size: 10,
+            ..HosMinerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn start() -> Server {
+    Server::start(
+        fitted_miner(),
+        &ServeConfig {
+            workers: 2,
+            batch_window: Duration::from_millis(1),
+            batch_max: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn json(body: &[u8]) -> Json {
+    Json::parse(std::str::from_utf8(body).unwrap()).unwrap()
+}
+
+#[test]
+fn every_endpoint_round_trips() {
+    let server = start();
+    let addr = server.addr();
+
+    // healthz
+    let (status, body) = client_request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json(&body).get("ok").unwrap().as_bool(), Some(true));
+
+    // query by id
+    let (status, body) = client_request(addr, "POST", "/query", br#"{"id":0}"#).unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(0));
+    assert_eq!(v.get("results").unwrap().as_array().unwrap().len(), 1);
+
+    // mixed query: ids + point + a per-item error (dead id) — the
+    // bad item fails alone, its batch-mates answer normally.
+    let (status, body) = client_request(
+        addr,
+        "POST",
+        "/query",
+        br#"{"ids":[1,99999],"point":[0,0,0,0]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let results = json(&body);
+    let results = results.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].get("minimal").is_some());
+    assert_eq!(
+        results[1]
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("query")
+    );
+    assert!(results[2].get("minimal").is_some());
+
+    // scan
+    let (status, body) = client_request(addr, "POST", "/scan", br#"{"top":3}"#).unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert!(v.get("threshold").unwrap().as_f64().is_some());
+    assert!(v.get("hits").unwrap().as_array().unwrap().len() <= 3);
+
+    // insert bumps the version and returns the new id
+    let (status, body) =
+        client_request(addr, "POST", "/insert", br#"{"row":[100,100,100,100]}"#).unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(1));
+    let id = v.get("id").unwrap().as_usize().unwrap();
+
+    // the inserted point is queryable and clearly outlying
+    let req = format!("{{\"id\":{id}}}");
+    let (status, body) = client_request(addr, "POST", "/query", req.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(1));
+    let r = &v.get("results").unwrap().as_array().unwrap()[0];
+    assert!(!r.get("minimal").unwrap().as_array().unwrap().is_empty());
+
+    // explain
+    let req = format!("{{\"id\":{id}}}");
+    let (status, body) = client_request(addr, "POST", "/explain", req.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert_eq!(v.get("deviations").unwrap().as_array().unwrap().len(), 4);
+    assert!(!v.get("subspaces").unwrap().as_array().unwrap().is_empty());
+
+    // retire
+    let req = format!("{{\"id\":{id}}}");
+    let (status, body) = client_request(addr, "POST", "/retire", req.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json(&body).get("version").unwrap().as_usize(), Some(2));
+
+    // retiring again is a typed 422 (dead point)
+    let (status, body) = client_request(addr, "POST", "/retire", req.as_bytes()).unwrap();
+    assert_eq!(status, 422);
+    assert_eq!(
+        json(&body)
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("index")
+    );
+
+    // stats reflects everything
+    let (status, body) = client_request(addr, "GET", "/stats", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = json(&body);
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(2));
+    assert_eq!(v.get("writes").unwrap().as_usize(), Some(2));
+    assert!(v.get("specs").unwrap().as_usize().unwrap() >= 4);
+    assert_eq!(v.get("draining").unwrap().as_bool(), Some(false));
+
+    // error envelope: bad json, bad request, unknown route, bad method
+    let (status, body) = client_request(addr, "POST", "/query", b"{not json").unwrap();
+    assert_eq!(status, 400);
+    assert_eq!(
+        json(&body)
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("bad_json")
+    );
+    let (status, body) = client_request(addr, "POST", "/query", b"{}").unwrap();
+    assert_eq!(status, 400);
+    assert_eq!(
+        json(&body)
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("bad_request")
+    );
+    let (status, _) = client_request(addr, "POST", "/nope", b"{}").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client_request(addr, "DELETE", "/query", b"").unwrap();
+    assert_eq!(status, 405);
+
+    // graceful drain: /shutdown acknowledges, then the server joins
+    // with a faithful report.
+    let (status, body) = client_request(addr, "POST", "/shutdown", b"").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json(&body).get("draining").unwrap().as_bool(), Some(true));
+    let report = server.wait();
+    assert_eq!(report.writes, 2);
+    assert!(report.specs >= 4);
+    assert!(report.batches >= 1);
+    assert!(report.http_requests >= 14);
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn unbatched_mode_still_answers() {
+    // batch_max == 1 degenerates to unbatched execution; answers are
+    // identical (the oracle test pins bit-identity, this pins
+    // liveness of the degenerate path).
+    let server = Server::start(
+        fitted_miner(),
+        &ServeConfig {
+            workers: 1,
+            batch_window: Duration::from_millis(0),
+            batch_max: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let (status, body) =
+        client_request(server.addr(), "POST", "/query", br#"{"ids":[0,1,2]}"#).unwrap();
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("results").unwrap().as_array().unwrap().len(), 3);
+    let report = server.join();
+    assert_eq!(report.specs, 3);
+    server_report_sane(&report);
+}
+
+fn server_report_sane(report: &hos_serve::ServeReport) {
+    assert_eq!(report.rejected, 0);
+    assert!(report.batches >= 1);
+}

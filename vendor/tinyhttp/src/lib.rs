@@ -1,0 +1,701 @@
+//! Offline vendored HTTP/1.1 server stub for `hos-serve`.
+//!
+//! The build environment has no registry access, so instead of hyper/
+//! axum/tiny_http this crate provides the smallest HTTP/1.1 surface a
+//! thread-per-core query server needs, over `std::net` only:
+//!
+//! * [`HttpServer`] — a bound listener with a cooperative shutdown
+//!   flag; any number of worker threads call [`HttpServer::accept`]
+//!   concurrently (the kernel load-balances `accept(2)` across them,
+//!   the poor man's SO_REUSEPORT).
+//! * [`Conn`] — one client connection with HTTP/1.1 keep-alive:
+//!   [`Conn::next_request`] parses the next request off the wire with
+//!   hard header/body byte limits, [`Conn::respond`] writes a
+//!   [`Response`] with `Content-Length` framing.
+//! * [`HttpError`] — every way a request can be malformed, as a typed
+//!   error the caller can map to a status code. Parsing never panics:
+//!   the protocol property tests in `hos-serve` drive
+//!   [`read_request`] with arbitrary byte soup.
+//!
+//! Divergences from a real server library: blocking I/O with a poll
+//! loop on accept (no epoll registration — `accept` sleeps 1 ms
+//! between polls, which bounds shutdown latency, not request
+//! latency), no TLS, no chunked transfer encoding (typed error), no
+//! trailers, `Expect: 100-continue` answered inline.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Hard limits applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (CRLFCRLF included).
+    pub max_head: usize,
+    /// Maximum bytes of request body (`Content-Length` checked before
+    /// any body byte is read).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 16 * 1024,
+            max_body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can be wrong with bytes arriving on the socket.
+/// `kind` is a stable machine-readable tag the server maps into its
+/// JSON error envelope.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (includes read timeouts on stalled clients).
+    Io(io::Error),
+    /// The peer closed the connection mid-request.
+    Truncated(&'static str),
+    /// The request line is not `METHOD SP PATH SP HTTP/x.y`.
+    BadRequestLine(String),
+    /// A header line has no `:` separator or non-ASCII name bytes.
+    BadHeader(String),
+    /// Not HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion(String),
+    /// A protocol feature this stub deliberately lacks (chunked
+    /// transfer encoding).
+    Unsupported(&'static str),
+    /// `Content-Length` present but not a decimal number.
+    BadContentLength(String),
+    /// Request line + headers exceed [`Limits::max_head`].
+    HeadTooLarge(usize),
+    /// Declared `Content-Length` exceeds [`Limits::max_body`].
+    BodyTooLarge { declared: usize, limit: usize },
+}
+
+impl HttpError {
+    /// Stable machine-readable tag for error envelopes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HttpError::Io(_) => "io",
+            HttpError::Truncated(_) => "truncated",
+            HttpError::BadRequestLine(_) => "bad_request_line",
+            HttpError::BadHeader(_) => "bad_header",
+            HttpError::UnsupportedVersion(_) => "unsupported_version",
+            HttpError::Unsupported(_) => "unsupported",
+            HttpError::BadContentLength(_) => "bad_content_length",
+            HttpError::HeadTooLarge(_) => "head_too_large",
+            HttpError::BodyTooLarge { .. } => "body_too_large",
+        }
+    }
+
+    /// The status code a compliant server answers this error with
+    /// (when the connection is still writable).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(_) | HttpError::Truncated(_) => 400,
+            HttpError::BadRequestLine(_) | HttpError::BadHeader(_) => 400,
+            HttpError::BadContentLength(_) => 400,
+            HttpError::UnsupportedVersion(_) => 505,
+            HttpError::Unsupported(_) => 501,
+            HttpError::HeadTooLarge(_) => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Truncated(what) => write!(f, "connection closed mid-{what}"),
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "malformed header {l:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length {v:?}"),
+            HttpError::HeadTooLarge(limit) => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Request target as sent (no percent-decoding).
+    pub path: String,
+    /// Header `(name, value)` pairs in wire order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, `Connection: close` or HTTP/1.0 no).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8, replacing invalid sequences.
+    pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// A response to write back. Framing is always `Content-Length`.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Force `Connection: close` after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// Marks the connection for closing after this response.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+/// Reads one request off `r`, enforcing `limits`. `Ok(None)` is a
+/// clean close (EOF before the first byte of a request). Never
+/// panics, whatever the bytes — the hos-serve protocol property tests
+/// pin that.
+pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    // Head: byte-at-a-time until CRLFCRLF (head sizes are tiny and the
+    // transport below is a kernel-buffered socket; correctness over
+    // cleverness here — readers that need speed buffer underneath).
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated("headers"));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if head.len() > limits.max_head {
+            return Err(HttpError::HeadTooLarge(limits.max_head));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        // Be liberal: bare-LF line endings from hand-rolled clients.
+        if head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head_text = String::from_utf8_lossy(&head);
+    let mut lines = head_text.split(['\n']).map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("").to_string();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => {
+            (m.to_string(), p.to_string(), v.to_string())
+        }
+        _ => return Err(HttpError::BadRequestLine(clip(&request_line))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(clip(&version)));
+    }
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(clip(line)));
+        };
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic()) {
+            return Err(HttpError::BadHeader(clip(line)));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let find = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(n))
+            .map(|(_, v)| v.as_str())
+    };
+    if find("Transfer-Encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::Unsupported("chunked transfer encoding"));
+    }
+    let content_length = match find("Content-Length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength(clip(v)))?,
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: limits.max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Truncated("body")
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+    let keep_alive = match find("Connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+fn clip(s: &str) -> String {
+    const MAX: usize = 120;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// A bound listener plus the cooperative shutdown flag shared by all
+/// worker threads.
+pub struct HttpServer {
+    listener: TcpListener,
+    local: SocketAddr,
+    limits: Limits,
+    shutdown: AtomicBool,
+    read_timeout: Duration,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(HttpServer {
+            listener,
+            local,
+            limits: Limits::default(),
+            shutdown: AtomicBool::new(false),
+            read_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Overrides the per-request limits (builder style).
+    pub fn with_limits(mut self, limits: Limits) -> HttpServer {
+        self.limits = limits;
+        self
+    }
+
+    /// Overrides the socket read timeout (stalled-client eviction).
+    pub fn with_read_timeout(mut self, t: Duration) -> HttpServer {
+        self.read_timeout = t;
+        self
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Raises the shutdown flag: every [`HttpServer::accept`] loop
+    /// returns `None` within one poll interval. In-flight connections
+    /// are not interrupted — callers drain them.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Accepts the next connection, returning `None` once shutdown is
+    /// requested. Safe to call from many worker threads at once; the
+    /// 1 ms poll interval bounds shutdown latency only (an idle accept
+    /// loop costs ~1k wakeups/s, invisible next to query work).
+    pub fn accept(&self) -> io::Result<Option<Conn>> {
+        loop {
+            if self.is_shutdown() {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    stream.set_nodelay(true).ok();
+                    return Ok(Some(Conn {
+                        stream,
+                        peer,
+                        limits: self.limits,
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// One accepted client connection.
+pub struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    limits: Limits,
+}
+
+impl Conn {
+    /// The peer address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Reads the next request (keep-alive loop). `Ok(None)` = peer
+    /// closed cleanly between requests.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        read_request(&mut self.stream, &self.limits)
+    }
+
+    /// Writes a response with `Content-Length` framing.
+    pub fn respond(&mut self, resp: &Response) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            resp.status,
+            reason(resp.status),
+            resp.content_type,
+            resp.body.len()
+        );
+        if resp.close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(&resp.body)?;
+        self.stream.flush()
+    }
+}
+
+/// Minimal blocking HTTP/1.1 client request (one-shot, `Connection:
+/// close`): sends `method path` with `body` to `addr`, returns
+/// `(status, body)`. Shared by the hos-serve tests, the concurrency
+/// oracle and `bench serve` — not a general client.
+pub fn client_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: hos\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Splits a raw HTTP response into `(status, body)`.
+pub fn parse_client_response(raw: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    Some((status, raw[head_end..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive_default() {
+        let req = parse(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn get_without_body_and_connection_close() {
+        let req = parse(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive);
+        // HTTP/1.0 defaults to close.
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncated_is_typed() {
+        assert!(parse(b"").unwrap().is_none());
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHos"),
+            Err(HttpError::Truncated("headers"))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Truncated("body"))
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_never_panics() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/9.9\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Unsupported(_))
+        ));
+        // Extra token on the request line.
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = Limits {
+            max_head: 64,
+            max_body: 8,
+        };
+        let mut big_head = b"GET /".to_vec();
+        big_head.extend(std::iter::repeat_n(b'a', 100));
+        assert!(matches!(
+            read_request(&mut Cursor::new(&big_head), &limits),
+            Err(HttpError::HeadTooLarge(64))
+        ));
+        let r = read_request(
+            &mut Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789"),
+            &limits,
+        );
+        assert!(matches!(
+            r,
+            Err(HttpError::BodyTooLarge {
+                declared: 9,
+                limit: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn error_kinds_and_statuses_are_stable() {
+        let cases: Vec<(HttpError, &str, u16)> = vec![
+            (HttpError::Truncated("body"), "truncated", 400),
+            (
+                HttpError::BadRequestLine("x".into()),
+                "bad_request_line",
+                400,
+            ),
+            (HttpError::HeadTooLarge(1), "head_too_large", 431),
+            (
+                HttpError::BodyTooLarge {
+                    declared: 2,
+                    limit: 1,
+                },
+                "body_too_large",
+                413,
+            ),
+            (HttpError::Unsupported("x"), "unsupported", 501),
+            (
+                HttpError::UnsupportedVersion("x".into()),
+                "unsupported_version",
+                505,
+            ),
+        ];
+        for (e, kind, status) in cases {
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.status(), status);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn server_roundtrip_and_shutdown() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let server = std::sync::Arc::new(server);
+        let s2 = std::sync::Arc::clone(&server);
+        let worker = std::thread::spawn(move || {
+            let mut served = 0usize;
+            while let Some(mut conn) = s2.accept().unwrap() {
+                while let Ok(Some(req)) = conn.next_request() {
+                    let keep = req.keep_alive;
+                    let body = format!("echo:{}:{}", req.path, req.body_utf8());
+                    conn.respond(&Response::text(200, body)).unwrap();
+                    served += 1;
+                    if !keep {
+                        break;
+                    }
+                }
+            }
+            served
+        });
+        let (status, body) = client_request(addr, "POST", "/x", b"hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"echo:/x:hello");
+        server.shutdown();
+        let served = worker.join().unwrap();
+        assert_eq!(served, 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = std::sync::Arc::new(HttpServer::bind("127.0.0.1:0").unwrap());
+        let addr = server.local_addr();
+        let s2 = std::sync::Arc::clone(&server);
+        let worker = std::thread::spawn(move || {
+            let mut served = 0usize;
+            while let Some(mut conn) = s2.accept().unwrap() {
+                while let Ok(Some(req)) = conn.next_request() {
+                    let keep = req.keep_alive;
+                    conn.respond(&Response::text(200, req.body.clone())).unwrap();
+                    served += 1;
+                    if !keep {
+                        break;
+                    }
+                }
+            }
+            served
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for i in 0..3 {
+            let body = format!("req{i}");
+            let last = i == 2;
+            let head = format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n{}\r\n",
+                body.len(),
+                if last { "Connection: close\r\n" } else { "" }
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body.as_bytes()).unwrap();
+        }
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert_eq!(text.matches("200 OK").count(), 3);
+        assert!(text.ends_with("req2"));
+        server.shutdown();
+        assert_eq!(worker.join().unwrap(), 3);
+    }
+}
