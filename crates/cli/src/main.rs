@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod stream;
 
 use std::process::ExitCode;
 

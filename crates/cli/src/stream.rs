@@ -1,0 +1,380 @@
+//! The streaming state machine shared by the live path and recovery.
+//!
+//! `stream` used to interleave its window logic with I/O inside one
+//! loop; durability needs the state transitions separated out, because
+//! crash recovery replays the *same* transitions from the WAL. The
+//! contract is log-then-apply: the driver appends an [`Op`] to the WAL
+//! (when one is configured) and then feeds it to
+//! [`StreamState::apply`]; recovery feeds the recorded ops to the same
+//! `apply`. One code path for both directions is what makes the
+//! recovered process bit-identical to an uninterrupted twin — there is
+//! no second implementation to drift.
+
+use hos_core::{HosMiner, HosMinerConfig, ThresholdPolicy};
+use hos_data::Dataset;
+use hos_storage::store::SnapshotState;
+use hos_storage::{miner_from_snapshot, snapshot_search_width, Op, Recovery, Store};
+
+/// A state transition worth reporting to the console.
+#[derive(Debug, PartialEq)]
+pub enum StreamEvent {
+    /// The bootstrap window filled and the initial fit ran.
+    Bootstrapped { threshold: f64 },
+    /// The tombstone valve fired: ids renumbered, window refitted.
+    Compacted { tombstones: u64 },
+}
+
+/// The full mutable state of a `stream` run. All transitions go
+/// through [`StreamState::apply`].
+pub struct StreamState {
+    pub config: HosMinerConfig,
+    pub window: usize,
+    pub reestimate: bool,
+    pub miner: Option<HosMiner>,
+    /// Rows buffered before the first fit.
+    bootstrap: Vec<Vec<f64>>,
+    /// Stream row number of engine id 0 (compaction shifts it).
+    pub base: u64,
+    /// Next engine id FIFO retirement will evict.
+    pub oldest: u64,
+    /// Input rows consumed (= `Insert` ops applied) since stream
+    /// start. A restart skips this many input rows.
+    pub rows_consumed: u64,
+    pub inserts: u64,
+    pub retires: u64,
+    pub compactions: u64,
+}
+
+impl StreamState {
+    pub fn new(config: HosMinerConfig, window: usize, reestimate: bool) -> Self {
+        StreamState {
+            config,
+            window,
+            reestimate,
+            miner: None,
+            bootstrap: Vec::new(),
+            base: 0,
+            oldest: 0,
+            rows_consumed: 0,
+            inserts: 0,
+            retires: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Reconstructs the state a crashed (or cleanly stopped) run had:
+    /// snapshot → miner, then WAL tail → `apply`, op by op.
+    pub fn from_recovery(
+        config: HosMinerConfig,
+        window: usize,
+        reestimate: bool,
+        recovery: &Recovery,
+    ) -> Result<Self, String> {
+        let mut state = StreamState::new(config, window, reestimate);
+        if let Some(snap) = &recovery.snapshot {
+            let m = snap.meta();
+            state.miner = Some(
+                miner_from_snapshot(snap, &config).map_err(|e| format!("recovering miner: {e}"))?,
+            );
+            state.base = m.base;
+            state.oldest = m.oldest;
+            state.rows_consumed = m.rows_consumed;
+        }
+        for (_, op) in &recovery.ops {
+            state.apply(op)?;
+        }
+        Ok(state)
+    }
+
+    /// Applies one logged transition. Used identically by the live
+    /// path (after logging) and by recovery replay.
+    pub fn apply(&mut self, op: &Op) -> Result<Option<StreamEvent>, String> {
+        match op {
+            Op::Insert(row) => {
+                self.rows_consumed += 1;
+                match &mut self.miner {
+                    None => self.bootstrap.push(row.clone()),
+                    Some(m) => {
+                        m.insert_point(row).map_err(|e| e.to_string())?;
+                        self.inserts += 1;
+                    }
+                }
+                Ok(None)
+            }
+            Op::Bootstrap => {
+                if self.miner.is_some() {
+                    return Err("bootstrap op after the miner was already fitted".into());
+                }
+                let ds = Dataset::from_rows(&self.bootstrap).map_err(|e| e.to_string())?;
+                self.bootstrap.clear();
+                let m = HosMiner::fit(ds, self.config).map_err(|e| e.to_string())?;
+                let threshold = m.threshold();
+                self.miner = Some(m);
+                Ok(Some(StreamEvent::Bootstrapped { threshold }))
+            }
+            Op::Retire(id) => {
+                let m = self.miner.as_mut().ok_or("retire op before bootstrap")?;
+                m.retire_point(*id as usize).map_err(|e| e.to_string())?;
+                self.oldest = id + 1;
+                self.retires += 1;
+                Ok(None)
+            }
+            Op::Compact => {
+                // Move the dataset out of the retiring miner and
+                // compact it in place: `Dataset::compact` is a pure
+                // order-preserving renumbering (copy_within +
+                // truncate), so peak memory stays at ONE copy of the
+                // window — the old clone-then-compact doubled it at
+                // exactly the moment the valve fired.
+                let m = self.miner.take().ok_or("compact op before bootstrap")?;
+                let threshold = m.threshold();
+                let mut ds = m.into_dataset();
+                ds.compact();
+                let tombstones = self.oldest;
+                self.base += self.oldest;
+                // Keep the current threshold unless --reestimate
+                // re-derives it at each report anyway.
+                let refit_config = if self.reestimate {
+                    self.config
+                } else {
+                    HosMinerConfig {
+                        threshold: ThresholdPolicy::Fixed(threshold),
+                        ..self.config
+                    }
+                };
+                self.miner = Some(HosMiner::fit(ds, refit_config).map_err(|e| e.to_string())?);
+                self.oldest = 0;
+                self.compactions += 1;
+                Ok(Some(StreamEvent::Compacted { tombstones }))
+            }
+            Op::Reestimate => {
+                let m = self
+                    .miner
+                    .as_mut()
+                    .ok_or("reestimate op before bootstrap")?;
+                m.reestimate_threshold().map_err(|e| e.to_string())?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drives one input row through the decision logic, logging every
+    /// resulting op through `log` *before* applying it. Returns the
+    /// events worth printing.
+    pub fn consume_row(
+        &mut self,
+        row: Vec<f64>,
+        log: &mut dyn FnMut(&Op) -> Result<(), String>,
+    ) -> Result<Vec<StreamEvent>, String> {
+        let mut events = Vec::new();
+        let mut step = |state: &mut Self, op: Op| -> Result<Option<StreamEvent>, String> {
+            log(&op)?;
+            state.apply(&op)
+        };
+        events.extend(step(self, Op::Insert(row))?);
+        if self.miner.is_none() && self.bootstrap.len() == self.window {
+            events.extend(step(self, Op::Bootstrap)?);
+        }
+        if self.miner.is_some() {
+            while self.live_len() > self.window {
+                events.extend(step(self, Op::Retire(self.oldest))?);
+            }
+            // Bounded memory: compact once tombstones outnumber the
+            // live window 3:1. Retirement is strictly FIFO, so the
+            // tombstones are exactly the id prefix [0, oldest).
+            let ds = self.miner.as_ref().expect("fitted").engine().dataset();
+            if ds.dead_count() > 3 * ds.live_len() {
+                events.extend(step(self, Op::Compact)?);
+            }
+        }
+        Ok(events)
+    }
+
+    pub fn live_len(&self) -> usize {
+        self.miner.as_ref().map_or(0, |m| m.live_len())
+    }
+
+    /// Rows buffered while waiting for the window to fill.
+    pub fn bootstrap_len(&self) -> usize {
+        self.bootstrap.len()
+    }
+
+    /// Writes a snapshot of the current state into `store` and rotates
+    /// the WAL. Only meaningful post-fit (the pre-fit state is fully
+    /// reconstructible from the WAL alone).
+    pub fn snapshot_into(&self, store: &mut Store) -> Result<(), String> {
+        let Some(m) = &self.miner else {
+            return Ok(());
+        };
+        let model_text = hos_core::ModelFile::from_miner(m).to_text();
+        store
+            .snapshot(&SnapshotState {
+                dataset: m.engine().dataset(),
+                model: Some(&model_text),
+                base: self.base,
+                oldest: self.oldest,
+                rows_consumed: self.rows_consumed,
+                search_width: snapshot_search_width(m),
+            })
+            .map_err(|e| format!("writing snapshot: {e}"))?;
+        Ok(())
+    }
+
+    /// A deterministic digest of the replay-relevant state: threshold
+    /// bits, live rows (bit-exact, in id order), id counters. Two
+    /// processes holding the same logical state print the same digest
+    /// — the grep-pinnable comparator the kill-and-recover CI job
+    /// diffs against an uninterrupted twin.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        feed(self.base);
+        feed(self.oldest);
+        feed(self.rows_consumed);
+        feed(self.window as u64);
+        for row in &self.bootstrap {
+            for v in row {
+                feed(v.to_bits());
+            }
+        }
+        if let Some(m) = &self.miner {
+            feed(m.threshold().to_bits());
+            let ds = m.engine().dataset();
+            let flat = ds.as_flat();
+            let d = ds.dim();
+            feed(ds.live_len() as u64);
+            for i in 0..ds.len() {
+                if ds.is_live(i) {
+                    feed(i as u64);
+                    for v in &flat[i * d..(i + 1) * d] {
+                        feed(v.to_bits());
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hos_core::ThresholdPolicy;
+
+    fn config() -> HosMinerConfig {
+        HosMinerConfig {
+            k: 3,
+            threshold: ThresholdPolicy::Fixed(5.0),
+            sample_size: 0,
+            ..HosMinerConfig::default()
+        }
+    }
+
+    fn row(i: usize) -> Vec<f64> {
+        vec![(i % 7) as f64, (i % 5) as f64 * 0.5, (i % 11) as f64 * 0.25]
+    }
+
+    /// Regression for the stream compaction bug: the valve used to
+    /// `clone()` the whole dataset before compacting, doubling peak
+    /// memory at exactly the moment memory pressure fired it. In-place
+    /// compaction keeps the SAME heap allocation: `Dataset::compact`
+    /// is copy_within + truncate, and `into_dataset` moves (never
+    /// copies) the buffer through the engine teardown and refit.
+    #[test]
+    fn compaction_reuses_the_window_allocation() {
+        let mut state = StreamState::new(config(), 20, false);
+        let mut sink = |_: &Op| Ok(());
+        // Fill the window and retire enough rows to arm the 3:1 valve.
+        let mut i = 0;
+        while state.miner.as_ref().is_none_or(|m| {
+            let ds = m.engine().dataset();
+            ds.dead_count() < 3 * ds.live_len()
+        }) {
+            state.consume_row(row(i), &mut sink).unwrap();
+            i += 1;
+            assert!(i < 10_000, "valve never armed");
+        }
+        let before = state
+            .miner
+            .as_ref()
+            .unwrap()
+            .engine()
+            .dataset()
+            .as_flat()
+            .as_ptr();
+        let event = state.apply(&Op::Compact).unwrap();
+        assert!(matches!(event, Some(StreamEvent::Compacted { .. })));
+        let after = state
+            .miner
+            .as_ref()
+            .unwrap()
+            .engine()
+            .dataset()
+            .as_flat()
+            .as_ptr();
+        assert_eq!(
+            before, after,
+            "compaction allocated a second copy of the window"
+        );
+        assert_eq!(state.oldest, 0);
+        assert!(
+            state
+                .miner
+                .as_ref()
+                .unwrap()
+                .engine()
+                .dataset()
+                .dead_count()
+                == 0
+        );
+    }
+
+    /// Log-then-apply completeness: replaying exactly the ops the live
+    /// path logged must land in a bit-identical state (the WAL replay
+    /// contract, minus the files).
+    #[test]
+    fn replaying_logged_ops_reproduces_the_state() {
+        let mut live = StreamState::new(config(), 20, false);
+        let mut logged: Vec<Op> = Vec::new();
+        for i in 0..500 {
+            live.consume_row(row(i), &mut |op| {
+                logged.push(op.clone());
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert!(live.compactions > 0, "workload must exercise compaction");
+        let mut replayed = StreamState::new(config(), 20, false);
+        for op in &logged {
+            replayed.apply(op).unwrap();
+        }
+        assert_eq!(live.digest(), replayed.digest());
+        assert_eq!(live.base, replayed.base);
+        assert_eq!(live.rows_consumed, replayed.rows_consumed);
+        let (a, b) = (live.miner.unwrap(), replayed.miner.unwrap());
+        assert_eq!(a.threshold().to_bits(), b.threshold().to_bits());
+        assert_eq!(a.live_len(), b.live_len());
+    }
+
+    /// Ops out of order are typed errors, not panics — a corrupt or
+    /// hand-edited WAL cannot crash recovery.
+    #[test]
+    fn out_of_order_ops_are_errors() {
+        let mut state = StreamState::new(config(), 20, false);
+        assert!(state.apply(&Op::Retire(0)).is_err());
+        assert!(state.apply(&Op::Compact).is_err());
+        assert!(state.apply(&Op::Reestimate).is_err());
+        let mut fitted = StreamState::new(config(), 5, false);
+        for i in 0..6 {
+            fitted.consume_row(row(i), &mut |_| Ok(())).unwrap();
+        }
+        assert!(fitted.miner.is_some());
+        assert!(fitted.apply(&Op::Bootstrap).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Real-process kill-and-recover oracle for `stream --wal`: SIGKILL
+//! the binary mid-stream, restart it on the same WAL directory, and
+//! demand the recovered run end in EXACTLY the state an uninterrupted
+//! twin reaches — pinned by the `state digest:` line (an FNV-1a fold
+//! over counters, threshold bits, and every live row's f64 bits).
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hos-miner")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hos_cli_crash_{}_{name}", std::process::id()))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = tmp(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stream_args<'a>(csv: &'a str, wal: &'a str) -> Vec<&'a str> {
+    vec![
+        "stream",
+        "--data",
+        csv,
+        "--wal",
+        wal,
+        "--window",
+        "100",
+        "--every",
+        "150",
+        "--k",
+        "4",
+        "--threshold",
+        "4.0",
+        "--samples",
+        "10",
+        "--sync-every",
+        "1",
+        "--seed",
+        "3",
+    ]
+}
+
+fn digest_of(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("state digest: "))
+        .unwrap_or_else(|| panic!("no digest line in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn sigkill_mid_stream_then_restart_matches_uninterrupted_twin() {
+    // One dataset, streamed three ways.
+    let csv = tmp("rows.csv");
+    let csv_s = csv.to_str().unwrap().to_string();
+    let gen = Command::new(bin())
+        .args([
+            "generate",
+            "--out",
+            &csv_s,
+            "--n",
+            "1400",
+            "--d",
+            "5",
+            "--targets",
+            "[1,2]",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("spawn generate");
+    assert!(gen.status.success(), "generate failed");
+
+    // Uninterrupted twin.
+    let twin_wal = fresh_dir("twin-wal");
+    let twin = Command::new(bin())
+        .args(stream_args(&csv_s, twin_wal.to_str().unwrap()))
+        .output()
+        .expect("spawn twin stream");
+    assert!(
+        twin.status.success(),
+        "twin stream failed: {}",
+        String::from_utf8_lossy(&twin.stderr)
+    );
+    let twin_out = String::from_utf8_lossy(&twin.stdout).to_string();
+    let twin_digest = digest_of(&twin_out);
+
+    // Victim: same stream, SIGKILLed right after its first mid-stream
+    // snapshot (written at the first compaction) — so recovery has
+    // both a snapshot and a WAL tail to work with.
+    let crash_wal = fresh_dir("crash-wal");
+    let crash_wal_s = crash_wal.to_str().unwrap().to_string();
+    let mut child = Command::new(bin())
+        .args(stream_args(&csv_s, &crash_wal_s))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim stream");
+    let stdout = child.stdout.take().unwrap();
+    let mut saw_snapshot = false;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.unwrap_or_default();
+        if line.contains("(snapshot written at seq") {
+            saw_snapshot = true;
+            break;
+        }
+    }
+    assert!(saw_snapshot, "victim finished before a snapshot appeared");
+    child.kill().expect("SIGKILL the victim"); // SIGKILL on unix
+    let status = child.wait().expect("reap victim");
+    assert!(!status.success(), "victim was killed, not exited");
+
+    // Restart on the torn directory: it must announce recovery, finish
+    // the stream, and land on the twin's exact digest.
+    let resumed = Command::new(bin())
+        .args(stream_args(&csv_s, &crash_wal_s))
+        .output()
+        .expect("spawn resumed stream");
+    assert!(
+        resumed.status.success(),
+        "resumed stream failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_out = String::from_utf8_lossy(&resumed.stdout).to_string();
+    assert!(
+        resumed_out.contains("recovered: snapshot seq"),
+        "no recovery banner in:\n{resumed_out}"
+    );
+    assert_eq!(
+        digest_of(&resumed_out),
+        twin_digest,
+        "recovered state diverged from the uninterrupted twin\n\
+         --- twin ---\n{twin_out}\n--- resumed ---\n{resumed_out}"
+    );
+
+    // A third run over the finished directory resumes at end-of-input,
+    // replays nothing it shouldn't, and reports the same digest.
+    let idle = Command::new(bin())
+        .args(stream_args(&csv_s, &crash_wal_s))
+        .output()
+        .expect("spawn idle re-run");
+    assert!(idle.status.success());
+    let idle_out = String::from_utf8_lossy(&idle.stdout).to_string();
+    assert_eq!(digest_of(&idle_out), twin_digest, "idle re-run diverged");
+
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_dir_all(&twin_wal);
+    let _ = std::fs::remove_dir_all(&crash_wal);
+}

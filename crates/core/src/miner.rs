@@ -323,6 +323,14 @@ impl HosMiner {
         self.engine.as_ref()
     }
 
+    /// Consumes the miner and returns its dataset without copying —
+    /// the move-out counterpart of [`HosMiner::engine`], used by
+    /// streaming compaction and snapshotting to avoid a second full
+    /// copy of the window at peak-memory moments.
+    pub fn into_dataset(self) -> Dataset {
+        self.engine.into_dataset()
+    }
+
     /// Number of live points currently backing queries (inserted and
     /// not retired).
     pub fn live_len(&self) -> usize {

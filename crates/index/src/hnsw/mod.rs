@@ -345,6 +345,10 @@ impl KnnEngine for HnswEngine {
         &self.dataset
     }
 
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

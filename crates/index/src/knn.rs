@@ -177,6 +177,16 @@ pub trait KnnEngine: Send + Sync {
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalEngine> {
         None
     }
+
+    /// Consumes the engine and returns its dataset **without copying**
+    /// — every engine in this crate owns its `Dataset` outright. This
+    /// is what lets callers compact or snapshot a windowed dataset at
+    /// peak-memory moments (the 3:1 tombstone valve) without first
+    /// cloning the full matrix. The default clones, keeping the trait
+    /// implementable by engines that only borrow their data.
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset().clone()
+    }
 }
 
 /// Incremental mutation: engines that can absorb inserts and removals

@@ -49,6 +49,10 @@ impl KnnEngine for LinearScan {
         &self.dataset
     }
 
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

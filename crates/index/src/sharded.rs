@@ -220,6 +220,10 @@ impl KnnEngine for ShardedEngine {
         &self.dataset
     }
 
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

@@ -158,6 +158,10 @@ impl KnnEngine for VaFile {
         &self.dataset
     }
 
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

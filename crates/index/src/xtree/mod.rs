@@ -514,6 +514,10 @@ impl KnnEngine for XTree {
         &self.dataset
     }
 
+    fn into_dataset(self: Box<Self>) -> Dataset {
+        self.dataset
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

@@ -13,17 +13,33 @@ hos-serve — resident HTTP query server for HOS-Miner
 
 USAGE:
   hos-serve (--data FILE [--header] | --n 2000 --d 6) [--seed 0]
+            [--model FILE] [--data-dir DIR]
             [--k 5] [--threshold T | --quantile 0.95]
             [--engine linear|xtree|vafile|hnsw] [--metric l1|l2|linf]
+            [--ef N] [--recall-target 0.95]
             [--threads 1] [--shards 1] [--samples 20]
             [--addr 127.0.0.1:7878] [--workers 0]
             [--batch-window-ms 2] [--batch-max 64] [--queue-cap 1024]
+            [--sync-every 64] [--snapshot-every 4096]
 
 Fits once at startup, then serves POST /query /scan /insert /retire
 /explain and GET /stats /healthz until POST /shutdown, which drains
 gracefully: admitted work finishes, new work gets 503. --workers 0
 means one HTTP worker per core. --batch-max 1 disables cross-request
-batching (answers are bit-identical either way).";
+batching (answers are bit-identical either way).
+--model FILE loads a model written by `hos-miner fit` instead of
+re-learning (the data flags still supply the rows). --engine hnsw
+serves approximate k-NN with exact distances; --ef fixes its
+candidate-pool width, --recall-target calibrates it.
+--data-dir DIR makes the server durable: on start it recovers the
+newest snapshot plus the WAL tail written there (by a previous serve
+run, `hos-miner stream --wal` or `fit --snapshot`); every applied
+insert/retire is logged to the WAL (fsync batched every --sync-every
+ops) before the client is acknowledged, and a compacted columnar
+snapshot is checkpointed every --snapshot-every writes and at drain.
+A fresh --data-dir is initialised from the data flags. The tuning
+flags must match the ones the store was created with (a mismatch is
+a typed startup error, not silent divergence).";
 
 struct Flags {
     map: Vec<(String, String)>,
@@ -99,8 +115,7 @@ fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
         .map_err(|e| e.to_string())
 }
 
-fn build_miner(flags: &Flags) -> Result<HosMiner, String> {
-    let ds = load_dataset(flags)?;
+fn miner_config(flags: &Flags) -> Result<HosMinerConfig, String> {
     let threshold = match (flags.get("threshold"), flags.get("quantile")) {
         (Some(t), _) => ThresholdPolicy::Fixed(
             t.parse()
@@ -121,7 +136,29 @@ fn build_miner(flags: &Flags) -> Result<HosMiner, String> {
         "linf" => Metric::LInf,
         other => return Err(format!("unknown metric {other:?}")),
     };
-    let config = HosMinerConfig {
+    let ef = match flags.get("ef") {
+        None => None,
+        Some(v) => {
+            let ef: usize = v.parse().map_err(|_| format!("--ef: bad value {v:?}"))?;
+            if ef == 0 {
+                return Err("--ef must be positive".into());
+            }
+            Some(ef)
+        }
+    };
+    let recall_target = match flags.get("recall-target") {
+        None => None,
+        Some(v) => {
+            let t: f64 = v
+                .parse()
+                .map_err(|_| format!("--recall-target: bad value {v:?}"))?;
+            if !(t.is_finite() && t > 0.0 && t <= 1.0) {
+                return Err(format!("--recall-target {t} must be in (0, 1]"));
+            }
+            Some(t)
+        }
+    };
+    Ok(HosMinerConfig {
         k: flags.num("k", 5)?,
         threshold,
         metric,
@@ -130,9 +167,129 @@ fn build_miner(flags: &Flags) -> Result<HosMiner, String> {
         threads: flags.num("threads", 1)?,
         shards: flags.num("shards", 1)?,
         seed: flags.num("seed", 0)?,
+        ef,
+        recall_target,
         ..HosMinerConfig::default()
+    })
+}
+
+fn build_miner(flags: &Flags, config: &HosMinerConfig) -> Result<HosMiner, String> {
+    let ds = load_dataset(flags)?;
+    if let Some(path) = flags.get("model") {
+        let model = hos_core::ModelFile::load(path).map_err(|e| e.to_string())?;
+        let miner = model
+            .into_miner_with(ds, config.shards, config.threads)
+            .map_err(|e| e.to_string())?;
+        // Search width is machine tuning, never part of the model
+        // file: honour the flags at load time, like the CLI does.
+        if let Some(ef) = config.ef {
+            miner.engine().set_search_width(ef);
+        }
+        if let Some(target) = config.recall_target {
+            hos_index::calibrate_search_width(
+                miner.engine(),
+                miner.config().k,
+                target,
+                16,
+                config.seed.wrapping_add(2),
+            );
+        }
+        return Ok(miner);
+    }
+    HosMiner::fit(ds, *config).map_err(|e| e.to_string())
+}
+
+/// With `--data-dir`, recovers the miner from the durable store (or
+/// initialises a fresh store from the data flags); without it, plain
+/// fit/load. Returns the store so the writer thread can keep logging
+/// to it, plus the stream counters to carry into future snapshots.
+#[allow(clippy::type_complexity)]
+fn recover_or_fit(
+    flags: &Flags,
+    config: &HosMinerConfig,
+) -> Result<(HosMiner, Option<(hos_storage::Store, (u64, u64, u64))>), String> {
+    let Some(dir) = flags.get("data-dir") else {
+        return Ok((build_miner(flags, config)?, None));
     };
-    HosMiner::fit(ds, config).map_err(|e| e.to_string())
+    let sync_every: usize = flags.num("sync-every", 64)?;
+    let expected = hos_storage::config_fingerprint(config, None);
+    let open = |meta: String| {
+        hos_storage::Store::open(
+            std::path::Path::new(dir),
+            hos_storage::StoreConfig { sync_every, meta },
+        )
+    };
+    let (mut store, recovery) = match open(expected.clone()) {
+        Ok(pair) => pair,
+        // A store written by `stream --wal` fingerprints the window
+        // too. The window only drives stream-side decisions, which are
+        // already logged as explicit ops — every replay-relevant flag
+        // still matches, so adopt the stored meta.
+        Err(hos_storage::StorageError::MetaMismatch { found, .. })
+            if found.starts_with(&expected) && found[expected.len()..].starts_with(" window=") =>
+        {
+            open(found).map_err(|e| format!("opening data dir {dir}: {e}"))?
+        }
+        Err(e) => return Err(format!("opening data dir {dir}: {e}")),
+    };
+    if let Some(snap) = &recovery.snapshot {
+        let mut miner = hos_storage::miner_from_snapshot(snap, config)
+            .map_err(|e| format!("recovering from {dir}: {e}"))?;
+        for (_, op) in &recovery.ops {
+            match op {
+                hos_storage::Op::Insert(row) => {
+                    miner.insert_point(row).map_err(|e| e.to_string())?;
+                }
+                hos_storage::Op::Retire(id) => {
+                    miner
+                        .retire_point(*id as usize)
+                        .map_err(|e| e.to_string())?;
+                }
+                other => {
+                    return Err(format!(
+                        "data dir {dir} has a streaming `{}` op in its WAL tail; \
+                         recover it with `hos-miner stream --wal {dir}` first",
+                        other.name()
+                    ))
+                }
+            }
+        }
+        let m = snap.meta();
+        println!(
+            "hos-serve recovered: snapshot seq {}, {} wal ops replayed, live={}",
+            m.seq,
+            recovery.ops.len(),
+            miner.live_len()
+        );
+        let carry = (m.base, m.oldest, m.rows_consumed);
+        return Ok((miner, Some((store, carry))));
+    }
+    if !recovery.ops.is_empty() {
+        return Err(format!(
+            "data dir {dir} has WAL ops but no snapshot (a pre-bootstrap stream log); \
+             recover it with `hos-miner stream --wal {dir}`"
+        ));
+    }
+    // Fresh directory: fit from the data flags and checkpoint
+    // immediately so a restart recovers instead of refitting.
+    let miner = build_miner(flags, config)?;
+    let model_text = hos_core::ModelFile::from_miner(&miner).to_text();
+    let n = miner.engine().dataset().len() as u64;
+    store
+        .snapshot(&hos_storage::store::SnapshotState {
+            dataset: miner.engine().dataset(),
+            model: Some(&model_text),
+            base: 0,
+            oldest: 0,
+            rows_consumed: n,
+            search_width: hos_storage::snapshot_search_width(&miner),
+        })
+        .map_err(|e| format!("initialising data dir {dir}: {e}"))?;
+    println!(
+        "hos-serve initialised data dir {dir} at seq {}",
+        store.last_seq()
+    );
+    Ok((miner, Some((store, (0, 0, n)))))
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -141,7 +298,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let miner = build_miner(&flags)?;
+    let miner_config = miner_config(&flags)?;
+    let (miner, store) = recover_or_fit(&flags, &miner_config)?;
     let config = ServeConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: flags.num("workers", 0)?,
@@ -152,7 +310,13 @@ fn run(argv: &[String]) -> Result<(), String> {
     };
     let live = miner.live_len();
     let dim = miner.engine().dataset().dim();
-    let server = Server::start(miner, &config).map_err(|e| e.to_string())?;
+    let snapshot_every: u64 = flags.num("snapshot-every", 4096)?;
+    let server = Server::start_with_store(
+        miner,
+        &config,
+        store.map(|(s, carry)| (s, snapshot_every, carry)),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "hos-serve listening on {} (live={live} dim={dim} workers={} batch_max={} window={}ms)",
         server.addr(),

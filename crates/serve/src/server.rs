@@ -101,6 +101,18 @@ impl Server {
     /// Binds, spawns the worker/batcher/writer threads and returns
     /// immediately. `miner` must already be fitted.
     pub fn start(miner: HosMiner, config: &ServeConfig) -> io::Result<Server> {
+        Server::start_with_store(miner, config, None)
+    }
+
+    /// Like [`Server::start`], but with a durable store attached
+    /// before any request can be admitted, so no applied write ever
+    /// misses the WAL. `store` is `(store, snapshot_every, carry)` as
+    /// for [`SharedState::attach_store`].
+    pub fn start_with_store(
+        miner: HosMiner,
+        config: &ServeConfig,
+        store: Option<(hos_storage::Store, u64, (u64, u64, u64))>,
+    ) -> io::Result<Server> {
         let workers = if config.workers == 0 {
             thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -113,6 +125,9 @@ impl Server {
             config.query_queue_cap,
             config.write_queue_cap,
         );
+        if let Some((s, snapshot_every, carry)) = store {
+            state.attach_store(s, snapshot_every, carry);
+        }
         let http = Arc::new(HttpServer::bind(config.addr.as_str())?);
         let addr = http.local_addr();
         let (done_tx, done_rx) = mpsc::channel::<()>();

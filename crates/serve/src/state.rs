@@ -25,8 +25,10 @@
 //!   threads finish everything already admitted before exiting — no
 //!   admitted request is ever dropped.
 
-use hos_core::{HosError, HosMiner, QueryOutcome, QuerySpec};
+use hos_core::{HosError, HosMiner, ModelFile, QueryOutcome, QuerySpec};
 use hos_data::PointId;
+use hos_storage::store::SnapshotState;
+use hos_storage::{snapshot_search_width, Op, Store};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -159,6 +161,19 @@ pub struct Counters {
     pub http_requests: AtomicU64,
 }
 
+/// The attached durable store plus its checkpoint cadence. Only the
+/// writer thread touches it after attach, but it lives behind a mutex
+/// so `attach_store` can run before the threads exist.
+struct StoreSlot {
+    store: Option<Store>,
+    snapshot_every: u64,
+    writes_since_snapshot: u64,
+    /// Stream counters (`base`, `oldest`, `rows_consumed`) recovered
+    /// with the store, written back verbatim into every snapshot this
+    /// server takes — serve does not advance them.
+    carry: (u64, u64, u64),
+}
+
 /// Everything the HTTP workers, batcher and writer share.
 pub struct SharedState {
     miner: RwLock<HosMiner>,
@@ -170,6 +185,7 @@ pub struct SharedState {
     write_queue: BoundedQueue<WriteJob>,
     batch_window: Duration,
     batch_max: usize,
+    store: Mutex<StoreSlot>,
     /// Counters for `/stats` and the drain summary.
     pub counters: Counters,
 }
@@ -191,8 +207,28 @@ impl SharedState {
             write_queue: BoundedQueue::new(write_queue_cap),
             batch_window,
             batch_max: batch_max.max(1),
+            store: Mutex::new(StoreSlot {
+                store: None,
+                snapshot_every: u64::MAX,
+                writes_since_snapshot: 0,
+                carry: (0, 0, 0),
+            }),
             counters: Counters::default(),
         })
+    }
+
+    /// Attaches a durable store (`--data-dir`): the writer thread logs
+    /// every applied mutation to its WAL and checkpoints a snapshot
+    /// every `snapshot_every` writes and at drain. `carry` preserves
+    /// the stream counters recovered with the store.
+    pub fn attach_store(&self, store: Store, snapshot_every: u64, carry: (u64, u64, u64)) {
+        let mut slot = self.store.lock().expect("store lock poisoned");
+        *slot = StoreSlot {
+            store: Some(store),
+            snapshot_every: snapshot_every.max(1),
+            writes_since_snapshot: 0,
+            carry,
+        };
     }
 
     /// The current dataset version (number of applied writes).
@@ -281,34 +317,24 @@ impl SharedState {
                     q = self.query_queue.ready.wait(q).expect("queue poisoned");
                 }
             }
-            // The window is open: keep admitting until it is full or
-            // `batch_window` elapses. batch_max == 1 (or a zero
-            // window) degenerates to unbatched execution.
+            // The window is open: keep admitting until it is full, the
+            // deadline passes, or the queue runs dry. An empty queue
+            // closes the window immediately — every waiting client is
+            // blocked on a reply, so sleeping out the deadline cannot
+            // attract more work, only add latency (on one core it made
+            // batched throughput *lower* than unbatched). batch_max ==
+            // 1 degenerates to unbatched execution.
             let deadline = Instant::now() + self.batch_window;
             let mut nspecs = window[0].specs.len();
-            while nspecs < self.batch_max {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
+            while nspecs < self.batch_max && Instant::now() < deadline {
                 let mut q = self.query_queue.inner.lock().expect("queue poisoned");
-                if q.is_empty() {
-                    let (guard, timeout) = self
-                        .query_queue
-                        .ready
-                        .wait_timeout(q, deadline - now)
-                        .expect("queue poisoned");
-                    q = guard;
-                    if q.is_empty() {
-                        if timeout.timed_out() || self.is_draining() {
-                            break;
-                        }
-                        continue;
+                match q.pop_front() {
+                    Some(job) => {
+                        nspecs += job.specs.len();
+                        window.push(job);
                     }
+                    None => break,
                 }
-                let job = q.pop_front().expect("non-empty");
-                nspecs += job.specs.len();
-                window.push(job);
             }
             // Execute the whole window as one batch. `version` is read
             // under the read lock, so it names exactly the state these
@@ -333,9 +359,13 @@ impl SharedState {
 
     /// The single writer thread body: applies queued mutations one at
     /// a time under the write lock, bumping the version before the
-    /// lock is released. Exits once draining AND the queue is empty.
+    /// lock is released. With a store attached, every applied mutation
+    /// is appended to the WAL before the client sees the reply
+    /// (apply-then-log; this thread is the only appender, so log order
+    /// equals apply order). Exits once draining AND the queue is
+    /// empty, checkpointing a final snapshot on the way out.
     pub fn writer_loop(self: &Arc<SharedState>) {
-        loop {
+        'serve: loop {
             let job = {
                 let mut q = self.write_queue.inner.lock().expect("queue poisoned");
                 loop {
@@ -343,15 +373,21 @@ impl SharedState {
                         break job;
                     }
                     if self.is_draining() {
-                        return;
+                        break 'serve;
                     }
                     q = self.write_queue.ready.wait(q).expect("queue poisoned");
                 }
             };
             let mut miner = self.miner.write().expect("miner lock poisoned");
-            let res = match job.op {
-                WriteOp::Insert(row) => miner.insert_point(&row).map(WriteOk::Inserted),
-                WriteOp::Retire(id) => miner.retire_point(id).map(|()| WriteOk::Retired),
+            let (res, logged) = match job.op {
+                WriteOp::Insert(row) => {
+                    let res = miner.insert_point(&row).map(WriteOk::Inserted);
+                    (res, Op::Insert(row))
+                }
+                WriteOp::Retire(id) => (
+                    miner.retire_point(id).map(|()| WriteOk::Retired),
+                    Op::Retire(id as u64),
+                ),
             };
             let version = if res.is_ok() {
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
@@ -360,8 +396,70 @@ impl SharedState {
                 self.version()
             };
             drop(miner);
+            if res.is_ok() {
+                self.log_write(&logged);
+            }
             let _ = job.reply.send((version, res));
         }
+        self.checkpoint(true);
+    }
+
+    /// Appends one applied op to the attached WAL (group-committed per
+    /// the store's `sync_every`) and checkpoints when the cadence is
+    /// due. An append failure drains the server: refusing new writes
+    /// beats acknowledging work that was never made durable.
+    fn log_write(self: &Arc<SharedState>, op: &Op) {
+        let due = {
+            let mut slot = self.store.lock().expect("store lock poisoned");
+            let Some(store) = slot.store.as_mut() else {
+                return;
+            };
+            if let Err(e) = store.append(op) {
+                eprintln!("hos-serve: wal append failed, draining: {e}");
+                drop(slot);
+                self.start_drain();
+                return;
+            }
+            slot.writes_since_snapshot += 1;
+            slot.writes_since_snapshot >= slot.snapshot_every
+        };
+        if due {
+            self.checkpoint(false);
+        }
+    }
+
+    /// Writes a snapshot of the current miner into the attached store
+    /// (no-op without one). `final_sync` additionally fsyncs the WAL
+    /// tail even if the snapshot fails — the drain path.
+    pub fn checkpoint(self: &Arc<SharedState>, final_sync: bool) {
+        let mut slot = self.store.lock().expect("store lock poisoned");
+        let (base, oldest, rows_consumed) = slot.carry;
+        let Some(store) = slot.store.as_mut() else {
+            return;
+        };
+        let miner = self.miner.read().expect("miner lock poisoned");
+        let model_text = ModelFile::from_miner(&miner).to_text();
+        let result = store.snapshot(&SnapshotState {
+            dataset: miner.engine().dataset(),
+            model: Some(&model_text),
+            base,
+            oldest,
+            rows_consumed,
+            search_width: snapshot_search_width(&miner),
+        });
+        drop(miner);
+        match result {
+            Ok(_) => {
+                println!("hos-serve snapshot: seq {}", store.last_seq());
+            }
+            Err(e) => eprintln!("hos-serve: snapshot failed: {e}"),
+        }
+        if final_sync {
+            if let Err(e) = store.sync() {
+                eprintln!("hos-serve: wal sync failed: {e}");
+            }
+        }
+        slot.writes_since_snapshot = 0;
     }
 }
 

@@ -224,3 +224,93 @@ fn server_report_sane(report: &hos_serve::ServeReport) {
     assert_eq!(report.rejected, 0);
     assert!(report.batches >= 1);
 }
+
+/// Satellite smoke for the approximate tier: the hos-serve BINARY
+/// with `--engine hnsw --ef N` must reach the HNSW engine (previously
+/// the flags were simply not parsed) and answer every endpoint. The
+/// binary prints its bound address, so an ephemeral port works.
+#[test]
+fn hnsw_flags_reach_the_binary_and_endpoints_answer() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hos-serve"))
+        .args([
+            "--n",
+            "300",
+            "--d",
+            "4",
+            "--k",
+            "4",
+            "--seed",
+            "7",
+            "--engine",
+            "hnsw",
+            "--ef",
+            "48",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hos-serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let listening = loop {
+        match lines.next() {
+            Some(Ok(line)) if line.contains("listening on") => break line,
+            Some(Ok(_)) => continue,
+            other => {
+                let _ = child.kill();
+                panic!("no listening line, got {other:?}");
+            }
+        }
+    };
+    // "hos-serve listening on 127.0.0.1:PORT (..."
+    let addr: std::net::SocketAddr = listening
+        .split_whitespace()
+        .nth(3)
+        .expect("address token")
+        .parse()
+        .expect("parse bound address");
+
+    let walk: &[(&str, &str, &[u8])] = &[
+        ("GET", "/healthz", b""),
+        ("GET", "/stats", b""),
+        ("POST", "/query", br#"{"ids":[0,1,2]}"#),
+        ("POST", "/scan", br#"{"top":2}"#),
+        ("POST", "/insert", br#"{"row":[1.0,2.0,3.0,4.0]}"#),
+        ("POST", "/explain", br#"{"id":0}"#),
+        ("POST", "/retire", br#"{"id":301}"#),
+    ];
+    for (method, path, body) in walk {
+        let (status, resp) = client_request(addr, method, path, body).unwrap();
+        assert_eq!(
+            status,
+            200,
+            "{method} {path}: {}",
+            String::from_utf8_lossy(&resp)
+        );
+    }
+    // The served engine must actually be approximate: queries went
+    // through and the row count reflects the write walk above.
+    let (_, body) = client_request(addr, "GET", "/stats", b"").unwrap();
+    let stats = json(&body);
+    assert_eq!(stats.get("live").unwrap().as_usize(), Some(301));
+    assert_eq!(stats.get("writes").unwrap().as_usize(), Some(2));
+
+    let (status, _) = client_request(addr, "POST", "/shutdown", b"").unwrap();
+    assert_eq!(status, 200);
+    // stdout is already ours through the reader: drain the remaining
+    // lines for the summary, then reap the process.
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    let status = child.wait().expect("binary exits");
+    assert!(status.success(), "serve exited non-zero");
+    assert!(
+        rest.iter().any(|l| l.contains("hos-serve drained:")),
+        "missing drain summary in {rest:?}"
+    );
+}

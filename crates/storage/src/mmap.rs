@@ -1,0 +1,226 @@
+//! Read-only byte sources: mmap on unix, chunked heap read elsewhere.
+//!
+//! The container has no `libc` crate, so the two syscalls are declared
+//! directly — `std` already links the platform libc on unix targets.
+//! The mapping is read-only and private; unmapping happens on drop.
+//! Anything that can fail (empty file, exotic filesystem, non-unix
+//! target) falls back to reading the file into the heap in bounded
+//! chunks, so callers never see a functional difference — only the
+//! memory profile changes.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An owned read-only mapping of a whole file.
+#[cfg(unix)]
+pub struct MmapFile {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime, so shared access
+// from any thread is safe.
+#[cfg(unix)]
+unsafe impl Send for MmapFile {}
+#[cfg(unix)]
+unsafe impl Sync for MmapFile {}
+
+#[cfg(unix)]
+impl MmapFile {
+    /// Maps `file` read-only. Returns `None` (not an error) when the
+    /// file is empty or the kernel refuses — callers fall back to a
+    /// heap read.
+    pub fn map(file: &File) -> Option<MmapFile> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata().ok()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            return None;
+        }
+        let len = len as usize;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return None;
+        }
+        Some(MmapFile {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// File bytes, either mapped or heap-resident.
+pub enum ByteSource {
+    #[cfg(unix)]
+    Mapped(MmapFile),
+    Heap(Vec<u8>),
+}
+
+/// Chunk size for the heap fallback read; bounds transient buffering.
+const READ_CHUNK: usize = 4 << 20;
+
+impl ByteSource {
+    /// Opens `path`, preferring an mmap where available.
+    pub fn open(path: &Path) -> std::io::Result<ByteSource> {
+        let mut file = File::open(path)?;
+        #[cfg(unix)]
+        if let Some(m) = MmapFile::map(&file) {
+            return Ok(ByteSource::Mapped(m));
+        }
+        // Chunked read: one bounded buffer at a time into a
+        // pre-reserved Vec (capacity from metadata, verified by the
+        // actual read).
+        let hint = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+        let mut out = Vec::with_capacity(hint);
+        let mut chunk = vec![0u8; READ_CHUNK.min(hint.max(4096))];
+        loop {
+            let n = file.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        Ok(ByteSource::Heap(out))
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            ByteSource::Mapped(m) => m.bytes(),
+            ByteSource::Heap(v) => v,
+        }
+    }
+
+    /// Whether this source is backed by a memory mapping (i.e. pages
+    /// are faulted in on demand rather than heap-resident).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            ByteSource::Mapped(_) => true,
+            ByteSource::Heap(_) => false,
+        }
+    }
+}
+
+/// Reinterprets `bytes` as `&[f64]` without copying, when the platform
+/// allows it: little-endian layout on disk matches the in-memory
+/// representation, and the slice must be 8-byte aligned (the snapshot
+/// format pads its data section to guarantee this for mapped files;
+/// heap buffers may land anywhere).
+pub fn f64_view(bytes: &[u8]) -> Option<&[f64]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    if !bytes.len().is_multiple_of(8)
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>())
+    {
+        return None;
+    }
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, bytes.len() / 8) })
+}
+
+/// Decodes little-endian `f64`s with a copy — the portable path used
+/// when [`f64_view`] declines.
+pub fn f64_decode(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("hos-mmap-{tag}-{}", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_and_heap_sources_agree() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let p = temp_file("agree", &data);
+        let src = ByteSource::open(&p).unwrap();
+        assert_eq!(src.bytes(), &data[..]);
+        #[cfg(unix)]
+        assert!(src.is_mapped(), "expected mmap on unix");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_heap() {
+        let p = temp_file("empty", b"");
+        let src = ByteSource::open(&p).unwrap();
+        assert!(src.bytes().is_empty());
+        assert!(!src.is_mapped());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn f64_view_matches_decode() {
+        let vals = [1.0f64, -2.5, f64::MIN_POSITIVE, 1e300, 0.0];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // Vec<u8> from this construction is at least 8-aligned often
+        // but not guaranteed; go through an aligned buffer.
+        let mut aligned = vec![0f64; vals.len()];
+        let ab =
+            unsafe { std::slice::from_raw_parts_mut(aligned.as_mut_ptr() as *mut u8, bytes.len()) };
+        ab.copy_from_slice(&bytes);
+        if let Some(view) = f64_view(ab) {
+            let view_bits: Vec<u64> = view.iter().map(|v| v.to_bits()).collect();
+            let dec_bits: Vec<u64> = f64_decode(ab).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(view_bits, dec_bits);
+        }
+        // Misaligned slice must decline the zero-copy view.
+        let mis = &ab[1..]; // off-by-one: wrong length AND alignment
+        assert!(f64_view(mis).is_none());
+    }
+}

@@ -1,0 +1,580 @@
+//! Append-only write-ahead log.
+//!
+//! File layout:
+//!
+//! ```text
+//! header:  "HOSWAL01" | u64 start_seq | u32 meta_len | meta | u32 crc(header)
+//! record:  u32 payload_len | u32 crc(payload) | payload
+//! payload: u64 seq | u8 tag | body
+//! ```
+//!
+//! All integers are little-endian. `start_seq` is the sequence number
+//! of the snapshot this log extends — the first record carries
+//! `start_seq + 1` and sequence numbers increase by exactly one.
+//! WAL files are created as a temp file (header + fsync) and renamed
+//! into place, so a header is never torn; only record tails can be.
+//!
+//! Torn-tail policy (see [`read_wal`]): an append interrupted by a
+//! crash leaves bytes that run off the end of the file, or a final
+//! record whose checksum fails. Both are truncated silently — they are
+//! the expected artifact of a kill. A checksum failure *followed by
+//! further bytes* cannot be a torn append (appends only grow the file)
+//! and is reported as [`StorageError::Corrupt`].
+
+use crate::{crc32, Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"HOSWAL01";
+/// Upper bound on a record payload. An insert of a `MAX_DIM`-wide row
+/// is ~2 KiB; 1 MiB leaves ample slack while letting the reader reject
+/// garbage length prefixes quickly.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+const TAG_INSERT: u8 = 1;
+const TAG_RETIRE: u8 = 2;
+const TAG_COMPACT: u8 = 3;
+const TAG_REESTIMATE: u8 = 4;
+const TAG_BOOTSTRAP: u8 = 5;
+
+/// One logged mutation. The stream/serve writer appends an op *before*
+/// applying it (log-then-apply), so replaying the ops over the last
+/// snapshot reproduces the in-memory state exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A row entered the window.
+    Insert(Vec<f64>),
+    /// Row `id` (current engine numbering) was tombstoned.
+    Retire(u64),
+    /// The 3:1 tombstone valve fired: compact + refit.
+    Compact,
+    /// The threshold was re-resolved over the live window.
+    Reestimate,
+    /// The bootstrap window filled and the initial fit ran.
+    Bootstrap,
+}
+
+impl Op {
+    fn tag(&self) -> u8 {
+        match self {
+            Op::Insert(_) => TAG_INSERT,
+            Op::Retire(_) => TAG_RETIRE,
+            Op::Compact => TAG_COMPACT,
+            Op::Reestimate => TAG_REESTIMATE,
+            Op::Bootstrap => TAG_BOOTSTRAP,
+        }
+    }
+
+    /// Short human name, used in recovery reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Insert(_) => "insert",
+            Op::Retire(_) => "retire",
+            Op::Compact => "compact",
+            Op::Reestimate => "reestimate",
+            Op::Bootstrap => "bootstrap",
+        }
+    }
+}
+
+/// Serialises `seq` + `op` into a record payload (no framing).
+fn encode_payload(seq: u64, op: &Op) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16);
+    p.extend_from_slice(&seq.to_le_bytes());
+    p.push(op.tag());
+    match op {
+        Op::Insert(row) => {
+            p.extend_from_slice(&(row.len() as u32).to_le_bytes());
+            for v in row {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Op::Retire(id) => p.extend_from_slice(&id.to_le_bytes()),
+        Op::Compact | Op::Reestimate | Op::Bootstrap => {}
+    }
+    p
+}
+
+/// Parses a record payload back into `(seq, op)`. The payload already
+/// passed its checksum, so a parse failure here means the writer and
+/// reader disagree — reported as corruption at `offset` (the record's
+/// position in the file), never a panic.
+fn decode_payload(payload: &[u8], offset: u64) -> Result<(u64, Op)> {
+    let corrupt = |what: &'static str| StorageError::Corrupt { what, offset };
+    if payload.len() < 9 {
+        return Err(corrupt("wal record payload (too short)"));
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let tag = payload[8];
+    let body = &payload[9..];
+    let op = match tag {
+        TAG_INSERT => {
+            if body.len() < 4 {
+                return Err(corrupt("wal insert record (missing dim)"));
+            }
+            let dim = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+            let vals = &body[4..];
+            if vals.len() != dim * 8 {
+                return Err(corrupt("wal insert record (dim/body mismatch)"));
+            }
+            let row = vals
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Op::Insert(row)
+        }
+        TAG_RETIRE => {
+            if body.len() != 8 {
+                return Err(corrupt("wal retire record (bad body)"));
+            }
+            Op::Retire(u64::from_le_bytes(body.try_into().unwrap()))
+        }
+        TAG_COMPACT if body.is_empty() => Op::Compact,
+        TAG_REESTIMATE if body.is_empty() => Op::Reestimate,
+        TAG_BOOTSTRAP if body.is_empty() => Op::Bootstrap,
+        _ => return Err(corrupt("wal record tag")),
+    };
+    Ok((seq, op))
+}
+
+fn encode_header(start_seq: u64, meta: &str) -> Vec<u8> {
+    let mut h = Vec::with_capacity(24 + meta.len());
+    h.extend_from_slice(MAGIC);
+    h.extend_from_slice(&start_seq.to_le_bytes());
+    h.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    h.extend_from_slice(meta.as_bytes());
+    let crc = crc32(&h);
+    h.extend_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// The canonical file name for the WAL that extends snapshot `seq`.
+pub fn wal_file_name(start_seq: u64) -> String {
+    format!("wal-{start_seq:016x}.log")
+}
+
+/// Parses a `wal-<seq:016x>.log` file name back to its start sequence.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Everything a successful [`read_wal`] learned about one file.
+pub struct WalContents {
+    /// Snapshot sequence this log extends.
+    pub start_seq: u64,
+    /// Store configuration string recorded at creation.
+    pub meta: String,
+    /// Decoded records, in file order.
+    pub ops: Vec<(u64, Op)>,
+    /// Byte length of the valid prefix. Shorter than the file length
+    /// exactly when a torn tail was dropped.
+    pub valid_len: u64,
+    /// Whether a torn final record was dropped.
+    pub truncated_tail: bool,
+}
+
+/// Reads and validates a WAL file, applying the torn-tail policy.
+pub fn read_wal(path: &Path) -> Result<WalContents> {
+    let bytes = std::fs::read(path)?;
+    let bad = |msg: String| StorageError::BadHeader(format!("{}: {msg}", path.display()));
+    if bytes.len() < 24 || &bytes[..8] != MAGIC {
+        return Err(bad("not a hos-storage wal file".into()));
+    }
+    let start_seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let meta_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let header_len = 20 + meta_len + 4;
+    if meta_len > MAX_PAYLOAD as usize || bytes.len() < header_len {
+        return Err(bad("wal header truncated".into()));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[20 + meta_len..header_len].try_into().unwrap());
+    if crc32(&bytes[..20 + meta_len]) != stored_crc {
+        return Err(bad("wal header checksum mismatch".into()));
+    }
+    let meta = String::from_utf8(bytes[20..20 + meta_len].to_vec())
+        .map_err(|_| bad("wal header meta is not utf-8".into()))?;
+
+    let mut ops = Vec::new();
+    let mut offset = header_len as u64;
+    let eof = bytes.len() as u64;
+    let mut truncated_tail = false;
+    let mut prev_seq = start_seq;
+    while offset < eof {
+        // A record needs at least its 8-byte frame.
+        if offset + 8 > eof {
+            truncated_tail = true;
+            break;
+        }
+        let o = offset as usize;
+        let len = u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let end = offset + 8 + u64::from(len);
+        if len > MAX_PAYLOAD || end > eof {
+            // Appends only grow the file, so a frame that runs past EOF
+            // (including a garbage length prefix from a half-written
+            // frame) is a torn tail. A genuinely corrupt length prefix
+            // mid-file is indistinguishable and also truncates here —
+            // the checksum on every *complete* record bounds the blast
+            // radius to the tail.
+            truncated_tail = true;
+            break;
+        }
+        let stored = u32::from_le_bytes(bytes[o + 4..o + 8].try_into().unwrap());
+        let payload = &bytes[o + 8..end as usize];
+        if crc32(payload) != stored {
+            if end == eof {
+                // Final record, checksum fails: a partially flushed
+                // append. Normal crash artifact — drop it.
+                truncated_tail = true;
+                break;
+            }
+            return Err(StorageError::Corrupt {
+                what: "wal record checksum",
+                offset,
+            });
+        }
+        let (seq, op) = decode_payload(payload, offset)?;
+        if seq != prev_seq + 1 {
+            return Err(StorageError::Corrupt {
+                what: "wal record sequence",
+                offset,
+            });
+        }
+        prev_seq = seq;
+        ops.push((seq, op));
+        offset = end;
+    }
+    Ok(WalContents {
+        start_seq,
+        meta,
+        ops,
+        valid_len: offset,
+        truncated_tail,
+    })
+}
+
+/// Appends records to one WAL file with batched fsync (group commit).
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    start_seq: u64,
+    next_seq: u64,
+    /// `fsync` after this many appends; 0 = only on explicit [`sync`].
+    sync_every: usize,
+    pending: usize,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL extending snapshot `start_seq`. The header
+    /// is written to a temp file, fsynced, then renamed into place so a
+    /// crash never leaves a half-written header under the real name.
+    pub fn create(dir: &Path, start_seq: u64, meta: &str, sync_every: usize) -> Result<WalWriter> {
+        let path = dir.join(wal_file_name(start_seq));
+        let tmp = dir.join(format!("{}.tmp", wal_file_name(start_seq)));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&encode_header(start_seq, meta))?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(dir)?;
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(WalWriter {
+            file,
+            path,
+            start_seq,
+            next_seq: start_seq + 1,
+            sync_every,
+            pending: 0,
+        })
+    }
+
+    /// Creates a WAL at an explicit path (no rename dance) — used by
+    /// rotation completion, which publishes the file itself.
+    pub fn create_at(
+        path: &Path,
+        start_seq: u64,
+        meta: &str,
+        sync_every: usize,
+    ) -> Result<WalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(&encode_header(start_seq, meta))?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            start_seq,
+            next_seq: start_seq + 1,
+            sync_every,
+            pending: 0,
+        })
+    }
+
+    /// Reopens an existing WAL for appending, first truncating any
+    /// torn tail so new records start on a valid boundary. Returns the
+    /// writer plus everything read from the valid prefix.
+    pub fn reopen(path: &Path, sync_every: usize) -> Result<(WalWriter, WalContents)> {
+        let contents = read_wal(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let actual = file.metadata()?.len();
+        if actual > contents.valid_len {
+            file.set_len(contents.valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        let next_seq = contents.ops.last().map_or(contents.start_seq, |(s, _)| *s) + 1;
+        Ok((
+            WalWriter {
+                file,
+                path: path.to_path_buf(),
+                start_seq: contents.start_seq,
+                next_seq,
+                sync_every,
+                pending: 0,
+            },
+            contents,
+        ))
+    }
+
+    /// Appends one op, assigning and returning its sequence number.
+    /// Durability is governed by `sync_every` / [`WalWriter::sync`].
+    pub fn append(&mut self, op: &Op) -> Result<u64> {
+        let seq = self.next_seq;
+        let payload = encode_payload(seq, op);
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        self.next_seq += 1;
+        self.pending += 1;
+        if self.sync_every > 0 && self.pending >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces all appended records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.pending > 0 {
+            self.file.sync_data()?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the last appended record, or the snapshot
+    /// seq this log extends if nothing has been appended yet.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Snapshot sequence this log extends.
+    pub fn start_seq(&self) -> u64 {
+        self.start_seq
+    }
+
+    /// Path of the file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Fsyncs a directory so a rename/created file inside it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    // Directory fsync is a unix-ism; on other platforms opening a
+    // directory as a file fails, and there is no equivalent — skip.
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hos-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Insert(vec![1.0, -2.5, 3.25]),
+            Op::Bootstrap,
+            Op::Insert(vec![0.0, 0.5, f64::MAX]),
+            Op::Retire(7),
+            Op::Compact,
+            Op::Reestimate,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let dir = temp_dir("roundtrip");
+        let mut w = WalWriter::create(&dir, 10, "cfg", 1).unwrap();
+        let ops = sample_ops();
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(w.append(op).unwrap(), 11 + i as u64);
+        }
+        let c = read_wal(w.path()).unwrap();
+        assert_eq!(c.start_seq, 10);
+        assert_eq!(c.meta, "cfg");
+        assert!(!c.truncated_tail);
+        let got: Vec<&Op> = c.ops.iter().map(|(_, op)| op).collect();
+        let want: Vec<&Op> = ops.iter().collect();
+        assert_eq!(got, want);
+        let seqs: Vec<u64> = c.ops.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (11..=16).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_at_every_offset_truncates_never_errors() {
+        let dir = temp_dir("torn");
+        let mut w = WalWriter::create(&dir, 0, "m", 1).unwrap();
+        for op in sample_ops() {
+            w.append(&op).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        let full = std::fs::read(&path).unwrap();
+        // Record-region start: magic(8)+seq(8)+len(4)+meta(1)+crc(4).
+        let rec_start = 8 + 8 + 4 + 1 + 4;
+        for cut in rec_start..full.len() {
+            let p = dir.join("cut.log");
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let c = read_wal(&p).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            // Valid prefix must be a prefix of the ops actually written,
+            // and anything dropped is flagged as a torn tail.
+            assert!(c.valid_len <= cut as u64);
+            if (cut as u64) > c.valid_len {
+                assert!(c.truncated_tail, "cut at {cut} dropped bytes silently");
+            }
+            for (i, (seq, _)) in c.ops.iter().enumerate() {
+                assert_eq!(*seq, 1 + i as u64);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn midfile_corruption_is_typed_error() {
+        let dir = temp_dir("corrupt");
+        let mut w = WalWriter::create(&dir, 0, "m", 1).unwrap();
+        for op in sample_ops() {
+            w.append(&op).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the FIRST record's payload (not the
+        // last), so valid records follow the damage.
+        let rec_start = 8 + 8 + 4 + 1 + 4;
+        bytes[rec_start + 8 + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_wal(&path) {
+            Err(StorageError::Corrupt { what, offset }) => {
+                assert!(what.contains("checksum"), "got {what}");
+                assert_eq!(offset, rec_start as u64);
+            }
+            other => panic!(
+                "expected Corrupt, got {other:?}",
+                other = other.map(|c| c.ops.len())
+            ),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_is_typed_error() {
+        let dir = temp_dir("gap");
+        let mut w = WalWriter::create(&dir, 5, "m", 1).unwrap();
+        w.append(&Op::Compact).unwrap();
+        // Hand-craft a record with seq 99 (should be 7).
+        let payload = super::encode_payload(99, &Op::Compact);
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        let path = w.path().to_path_buf();
+        use std::io::Write as _;
+        OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&rec)
+            .unwrap();
+        match read_wal(&path) {
+            Err(StorageError::Corrupt { what, .. }) => assert!(what.contains("sequence")),
+            other => panic!("expected sequence error, got ok={:?}", other.is_ok()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_appends_cleanly() {
+        let dir = temp_dir("reopen");
+        let mut w = WalWriter::create(&dir, 0, "m", 1).unwrap();
+        w.append(&Op::Insert(vec![1.0, 2.0])).unwrap();
+        w.append(&Op::Retire(0)).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Tear the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut w2, c) = WalWriter::reopen(&path, 1).unwrap();
+        assert!(c.truncated_tail);
+        assert_eq!(c.ops.len(), 1);
+        assert_eq!(w2.next_seq(), 2);
+        // The file was physically truncated; appending resumes at seq 2.
+        w2.append(&Op::Compact).unwrap();
+        drop(w2);
+        let c2 = read_wal(&path).unwrap();
+        assert!(!c2.truncated_tail);
+        assert_eq!(
+            c2.ops,
+            vec![(1, Op::Insert(vec![1.0, 2.0])), (2, Op::Compact)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_names_roundtrip() {
+        assert_eq!(parse_wal_name(&wal_file_name(0)), Some(0));
+        assert_eq!(
+            parse_wal_name(&wal_file_name(0xdead_beef)),
+            Some(0xdead_beef)
+        );
+        assert_eq!(parse_wal_name("wal-xyz.log"), None);
+        assert_eq!(parse_wal_name("snap-0000000000000000.col"), None);
+    }
+
+    #[test]
+    fn bad_headers_are_typed_errors() {
+        let dir = temp_dir("hdr");
+        let p = dir.join("wal-0000000000000000.log");
+        std::fs::write(&p, b"garbage").unwrap();
+        assert!(matches!(read_wal(&p), Err(StorageError::BadHeader(_))));
+        // Right magic, corrupted header crc.
+        let mut h = super::encode_header(0, "m");
+        let n = h.len();
+        h[n - 1] ^= 0xFF;
+        std::fs::write(&p, &h).unwrap();
+        assert!(matches!(read_wal(&p), Err(StorageError::BadHeader(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -669,7 +669,8 @@ mod tests {
             while let Some(mut conn) = s2.accept().unwrap() {
                 while let Ok(Some(req)) = conn.next_request() {
                     let keep = req.keep_alive;
-                    conn.respond(&Response::text(200, req.body.clone())).unwrap();
+                    conn.respond(&Response::text(200, req.body.clone()))
+                        .unwrap();
                     served += 1;
                     if !keep {
                         break;
