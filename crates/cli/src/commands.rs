@@ -39,8 +39,10 @@ USAGE:
                      [--kernel] [... tuning flags]
   hos-miner bench serve (--data FILE | --n 20000 --d 8)
                      [--clients 8] [--requests 25] [--threads CORES]
-                     [--min-speedup 1.5] [--summary FILE]
+                     [--min-speedup 1.5] [--min-bin-speedup 1.3]
+                     [--pipeline 4] [--summary FILE]
                      [... tuning flags]
+  hos-miner probe    [--addr 127.0.0.1:7878]
   hos-miner bench compare [--baseline BENCH_BASELINE.json]
                      [--summary BENCH_SUMMARY.json]
                      [--tolerance 0.5] [--strict] [--keys a,b,...]
@@ -70,11 +72,18 @@ blocked all-points scan, the full-lattice prefix walker, the hnsw
 query batch, and the storage tier's snapshot write + WAL replay) and
 adds their millisecond keys to the summary. `bench serve` drives an
 in-process hos-serve instance with concurrent clients under a 90/10
-read/write mix, batched (cross-request windows) vs unbatched, and
-merges serve_qps / serve_p99_ms into the summary; --min-speedup gates
-the batched/unbatched ratio, enforced only on multi-core machines
-(batching fans a window out across cores — on one core there is
-nothing to win). `bench compare` diffs a summary
+read/write mix across four arms — unbatched, batched with a fixed
+window, batched with the adaptive window, and the hosbin binary
+protocol with a pipelined client (--pipeline frames in flight) — and
+merges serve_qps / serve_adaptive_qps / serve_bin_qps (plus their
+p99_ms keys) into the summary; --min-speedup gates the
+batched/unbatched ratio and --min-bin-speedup the hosbin/batched-JSON
+ratio, both enforced only on multi-core machines (one core has
+nothing to fan out across; hosbin still must not regress there).
+`probe` opens a hosbin connection to a running hos-serve, walks
+healthz / stats / a member query over framed binary and prints
+`hosbin probe: ok` — a deploy smoke check for the binary protocol.
+`bench compare` diffs a summary
 against a committed baseline snapshot within --tolerance: a
 non-blocking report unless --strict; --keys restricts the comparison
 to a comma-separated key list (each then required in both files).
@@ -103,6 +112,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("scan") => cmd_scan(&args),
         Some("stream") => cmd_stream(&args),
         Some("bench") => cmd_bench(&args),
+        Some("probe") => cmd_probe(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -1023,18 +1033,24 @@ fn kernel_benchmarks() -> Vec<(&'static str, f64)> {
 }
 
 /// `bench serve`: sustained-load benchmark of the resident query
-/// server under a 90/10 read/write mix, batched (cross-request
-/// windows through the `batch_search` fan-out) versus unbatched
-/// (`batch_max 1`), reporting throughput and tail latency. The two
-/// modes answer bit-identically (pinned by the serve concurrency
-/// oracle); only the schedule differs, so the comparison isolates
-/// what dynamic batching buys.
+/// server under a 90/10 read/write mix, across four arms that all
+/// answer bit-identically (pinned by the serve concurrency and
+/// protocol oracles) so each comparison isolates one mechanism:
 ///
-/// The speedup gate (`--min-speedup`) is enforced only when the
-/// machine has more than one core: batching converts concurrent
-/// requests into one parallel fan-out, so on a single core the
-/// batched schedule has nothing to win and the gate is reported, not
-/// enforced.
+/// * unbatched (`batch_max 1`) vs **fixed-window batched** — what
+///   cross-request batching buys (`serve_qps`, meaning unchanged
+///   from earlier baselines);
+/// * fixed vs **adaptive window** — what the arrival/cost model buys
+///   in tail latency (`serve_adaptive_*`);
+/// * batched JSON vs **hosbin** with a pipelined binary client —
+///   what the length-prefixed protocol and `--pipeline` in-flight
+///   frames buy (`serve_bin_*`).
+///
+/// The speedup gates (`--min-speedup`, `--min-bin-speedup`) are
+/// enforced only when the machine has more than one core: batching
+/// converts concurrent requests into one parallel fan-out, and
+/// pipelining needs idle workers to overlap with, so on a single
+/// core both gates relax to a no-regression floor.
 fn cmd_bench_serve(args: &Args) -> CmdResult {
     let ds = if args.get("data").is_some() {
         load(args)?
@@ -1085,6 +1101,7 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
     fn drive(
         miner: hos_core::HosMiner,
         batch_max: usize,
+        adaptive: bool,
         clients: usize,
         per_client: usize,
         n: usize,
@@ -1094,6 +1111,7 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
             workers: clients.min(16),
             batch_window: std::time::Duration::from_millis(2),
             batch_max,
+            adaptive_window: adaptive,
             ..hos_serve::ServeConfig::default()
         };
         let server = hos_serve::Server::start(miner, &config).map_err(|e| e.to_string())?;
@@ -1159,19 +1177,142 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
         Ok((total as f64 / elapsed.max(1e-12), p99))
     }
 
-    // The server consumes its miner; fit an identical twin for the
-    // second mode (fitting is deterministic, so the workloads match).
-    let twin = {
+    /// One sustained hosbin run: same workload mix, but framed binary
+    /// over one persistent connection per client with up to `pipeline`
+    /// requests in flight (replies come back in order, so latency is
+    /// measured send-to-matching-reply).
+    fn drive_bin(
+        miner: hos_core::HosMiner,
+        clients: usize,
+        per_client: usize,
+        n: usize,
+        dim: usize,
+        pipeline: usize,
+    ) -> Result<(f64, f64), String> {
+        use hos_serve::codec;
+        use std::collections::VecDeque;
+        type InFlight = VecDeque<(bool, std::time::Instant)>;
+
+        fn recv_one(
+            cli: &mut tinyhttp::bin::BinClient,
+            inflight: &mut InFlight,
+            lat: &mut Vec<f64>,
+            inserted: &mut Vec<usize>,
+        ) {
+            let (was_insert, sent) = inflight.pop_front().expect("reply for a sent frame");
+            let (op, resp) = cli.recv().expect("server reachable");
+            lat.push(sent.elapsed().as_secs_f64() * 1000.0);
+            let (status, json) = codec::bin_reply_to_json(op, resp).expect("decodable reply");
+            assert!(status == 200, "unexpected status {status}: {json:?}");
+            if was_insert {
+                if let Some(id) = json.get("id").and_then(hos_serve::Json::as_usize) {
+                    inserted.push(id);
+                }
+            }
+        }
+
+        let config = hos_serve::ServeConfig {
+            workers: clients.min(16),
+            batch_window: std::time::Duration::from_millis(2),
+            batch_max: 64,
+            ..hos_serve::ServeConfig::default()
+        };
+        let server = hos_serve::Server::start(miner, &config).map_err(|e| e.to_string())?;
+        let addr = server.addr();
+        let start = std::time::Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut cli =
+                            tinyhttp::bin::BinClient::connect(addr).expect("server reachable");
+                        let mut lat = Vec::with_capacity(per_client);
+                        let mut inserted: Vec<usize> = Vec::new();
+                        let mut body = Vec::new();
+                        let mut inflight: InFlight = VecDeque::with_capacity(pipeline);
+                        for i in 0..per_client {
+                            // Same 90/10 read/write mix as the HTTP arms.
+                            let (req, is_insert) = if i % 10 == 9 {
+                                match inserted.pop() {
+                                    Some(id) => (hos_serve::ApiRequest::Retire(id), false),
+                                    None => {
+                                        let v = ((c * 131 + i * 17) % 100) as f64;
+                                        let row: Vec<f64> =
+                                            (0..dim).map(|j| v + j as f64).collect();
+                                        (hos_serve::ApiRequest::Insert(row), true)
+                                    }
+                                }
+                            } else {
+                                let id = (c * 97 + i * 13) % n;
+                                (
+                                    hos_serve::ApiRequest::Query(vec![
+                                        hos_core::QuerySpec::Member(id),
+                                    ]),
+                                    false,
+                                )
+                            };
+                            let op = codec::encode_bin_request(&req, &mut body);
+                            inflight.push_back((is_insert, std::time::Instant::now()));
+                            cli.send(op, &body).expect("server reachable");
+                            while inflight.len() >= pipeline {
+                                recv_one(&mut cli, &mut inflight, &mut lat, &mut inserted);
+                            }
+                        }
+                        while !inflight.is_empty() {
+                            recv_one(&mut cli, &mut inflight, &mut lat, &mut inserted);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        server.initiate_shutdown();
+        let report = server.join();
+        let total = latencies.len();
+        assert_eq!(report.bin_requests as usize, total);
+        let mut sorted = latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let p99 = sorted[((total as f64 * 0.99).ceil() as usize).clamp(1, total) - 1];
+        Ok((total as f64 / elapsed.max(1e-12), p99))
+    }
+
+    // The server consumes its miner; fit identical twins for the
+    // other arms (fitting is deterministic, so the workloads match).
+    let fit_twin = || -> Result<hos_core::HosMiner, String> {
         let mut m = build_miner(args, miner.engine().dataset().clone())?;
         m.set_threads(threads);
-        m
+        Ok(m)
     };
-    let (unbatched_qps, unbatched_p99) = drive(twin, 1, clients, per_client, n, dim)?;
-    let (serve_qps, serve_p99) = drive(miner, 64, clients, per_client, n, dim)?;
+    let twin_unbatched = fit_twin()?;
+    let twin_fixed = fit_twin()?;
+    let twin_bin = fit_twin()?;
+    let pipeline = args.get_or("pipeline", 4usize)?.max(1);
+    let (unbatched_qps, unbatched_p99) =
+        drive(twin_unbatched, 1, false, clients, per_client, n, dim)?;
+    let (serve_qps, serve_p99) = drive(twin_fixed, 64, false, clients, per_client, n, dim)?;
+    let (adaptive_qps, adaptive_p99) = drive(miner, 64, true, clients, per_client, n, dim)?;
+    let (bin_qps, bin_p99) = drive_bin(twin_bin, clients, per_client, n, dim, pipeline)?;
     let speedup = serve_qps / unbatched_qps.max(1e-12);
+    let bin_speedup = bin_qps / serve_qps.max(1e-12);
     println!("serve unbatched: {unbatched_qps:.1} req/s, p99 {unbatched_p99:.2} ms  (batch_max 1)");
-    println!("serve batched:   {serve_qps:.1} req/s, p99 {serve_p99:.2} ms  (batch_max 64)");
+    println!(
+        "serve batched:   {serve_qps:.1} req/s, p99 {serve_p99:.2} ms  (batch_max 64, fixed window)"
+    );
+    println!(
+        "serve adaptive:  {adaptive_qps:.1} req/s, p99 {adaptive_p99:.2} ms  \
+         (batch_max 64, adaptive window)"
+    );
+    println!(
+        "serve hosbin:    {bin_qps:.1} req/s, p99 {bin_p99:.2} ms  \
+         (binary protocol, pipeline {pipeline})"
+    );
     println!("serve speedup:   {speedup:.2}x batched over unbatched");
+    println!("serve bin speedup: {bin_speedup:.2}x hosbin over batched JSON");
     if let Some(min) = args.get_opt::<f64>("min-speedup")? {
         if cores > 1 && speedup < min {
             return Err(format!(
@@ -1196,6 +1337,29 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
             );
         }
     }
+    if let Some(min) = args.get_opt::<f64>("min-bin-speedup")? {
+        if cores > 1 && bin_speedup < min {
+            return Err(format!(
+                "hosbin throughput only {bin_speedup:.2}x batched JSON (gate: {min}x)"
+            ));
+        }
+        if cores <= 1 {
+            // Pipelining needs idle workers to overlap with, so the
+            // multiplier gate relaxes — but hosbin strictly removes
+            // per-request work (no JSON parse/format, no HTTP heads),
+            // so it must never be slower than the JSON path.
+            if bin_speedup < 0.95 {
+                return Err(format!(
+                    "hosbin throughput {bin_speedup:.2}x batched JSON on one core \
+                     (floor: 0.95x — the binary path must not cost throughput)"
+                ));
+            }
+            println!(
+                "note: single core — the {min}x hosbin gate becomes a 0.95x \
+                 no-regression floor (pipelining needs idle workers to overlap)"
+            );
+        }
+    }
 
     // Merge the serve keys into the bench summary so `bench compare`
     // sees one file; standalone summaries (no prior `bench` run) still
@@ -1204,7 +1368,11 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
     if summary_path != "-" {
         let serve_fields = format!(
             "\"serve_qps\": {serve_qps:.3},\n    \"serve_p99_ms\": {serve_p99:.3},\n    \
-             \"serve_unbatched_qps\": {unbatched_qps:.3},\n    \"serve_speedup\": {speedup:.3}"
+             \"serve_unbatched_qps\": {unbatched_qps:.3},\n    \"serve_speedup\": {speedup:.3},\n    \
+             \"serve_adaptive_qps\": {adaptive_qps:.3},\n    \
+             \"serve_adaptive_p99_ms\": {adaptive_p99:.3},\n    \
+             \"serve_bin_qps\": {bin_qps:.3},\n    \"serve_bin_p99_ms\": {bin_p99:.3},\n    \
+             \"serve_bin_speedup\": {bin_speedup:.3}"
         );
         let merged = match std::fs::read_to_string(summary_path) {
             Ok(text) if text.contains("\n  }\n}") && !text.contains("\"serve_qps\"") => {
@@ -1219,6 +1387,54 @@ fn cmd_bench_serve(args: &Args) -> CmdResult {
         std::fs::write(summary_path, merged).map_err(|e| format!("writing {summary_path}: {e}"))?;
         println!("wrote {summary_path}");
     }
+    Ok(())
+}
+
+/// `probe`: open a hosbin connection to a running `hos-serve` and
+/// walk the read-only endpoints over framed binary — healthz, stats,
+/// and (when the store is non-empty) one member query. Every reply
+/// must decode; any error frame or framing fault is a hard failure.
+/// Prints `hosbin probe: ok` on success, the deploy smoke contract.
+fn cmd_probe(args: &Args) -> CmdResult {
+    use hos_serve::codec;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("--addr: bad address {addr:?}"))?;
+    let mut cli =
+        tinyhttp::bin::BinClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut body = Vec::new();
+    let mut walk = |req: &hos_serve::ApiRequest| -> Result<hos_serve::Json, String> {
+        let op = codec::encode_bin_request(req, &mut body);
+        let (rop, resp) = cli.call(op, &body).map_err(|e| format!("{addr}: {e}"))?;
+        let (status, json) =
+            codec::bin_reply_to_json(rop, &resp).map_err(|e| format!("{addr}: bad reply: {e}"))?;
+        if status != 200 {
+            return Err(format!("{addr}: status {status}: {json:?}"));
+        }
+        Ok(json)
+    };
+    walk(&hos_serve::ApiRequest::Healthz)?;
+    let stats = walk(&hos_serve::ApiRequest::Stats)?;
+    let live = stats
+        .get("live")
+        .and_then(hos_serve::Json::as_usize)
+        .ok_or_else(|| format!("{addr}: stats reply lacks live"))?;
+    let version = stats
+        .get("version")
+        .and_then(hos_serve::Json::as_usize)
+        .ok_or_else(|| format!("{addr}: stats reply lacks version"))?;
+    let mut queried = 0usize;
+    if live > 0 {
+        let reply = walk(&hos_serve::ApiRequest::Query(vec![
+            hos_core::QuerySpec::Member(0),
+        ]))?;
+        queried = reply
+            .get("results")
+            .and_then(|r| r.as_array().map(<[hos_serve::Json]>::len))
+            .ok_or_else(|| format!("{addr}: query reply lacks results"))?;
+    }
+    println!("hosbin probe: ok (live={live} version={version} queried={queried})");
     Ok(())
 }
 
@@ -1286,7 +1502,7 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
     // lacking one is a note, not an error. Naming a key in --keys
     // makes it required — a strict CI compare must never silently
     // compare nothing.
-    let registry: [(&str, bool, bool); 11] = [
+    let registry: [(&str, bool, bool); 15] = [
         ("queries_per_s", true, true),
         ("fit_seconds", false, true),
         ("blocked_scan_ms", false, false),
@@ -1302,6 +1518,12 @@ fn cmd_bench_compare(args: &Args) -> CmdResult {
         // serve`; older baselines skip-with-note.
         ("serve_qps", true, false),
         ("serve_p99_ms", false, false),
+        // adaptive-window and hosbin arms (bench serve since the
+        // binary protocol); older baselines skip-with-note.
+        ("serve_adaptive_qps", true, false),
+        ("serve_adaptive_p99_ms", false, false),
+        ("serve_bin_qps", true, false),
+        ("serve_bin_p99_ms", false, false),
         // storage kernels (bench --kernel since the durable tier):
         // wall-clock including fsync, so optional and non-gating.
         ("snapshot_ms", false, false),

@@ -22,15 +22,26 @@
 //!   formatting, which is what makes bit-identity provable over the
 //!   wire.
 //!
+//! * [`codec`] — the protocol-neutral request/reply model shared by
+//!   both wire formats: one `execute` path per endpoint, with JSON
+//!   and `hosbin` (length-prefixed binary, DESIGN.md §13) encoders
+//!   over the same replies. Cross-protocol bit-identity is pinned by
+//!   the differential oracle test.
+//!
 //! Endpoints: `POST /query` (id/ids/point/points), `POST /scan`,
 //! `POST /insert`, `POST /retire`, `POST /explain`, `GET /stats`,
 //! `GET /healthz`, `POST /shutdown` (graceful drain). Every error is
-//! a typed JSON envelope; backpressure is a 429, drain a 503.
+//! a typed JSON envelope; backpressure is a 429, drain a 503. The
+//! same listener also speaks `hosbin`: a connection that opens with
+//! the `\0HSB` preamble switches to framed binary with the same
+//! endpoint set and error taxonomy.
 
+pub mod codec;
 pub mod json;
 pub mod server;
 pub mod state;
 
+pub use codec::{ApiError, ApiReply, ApiRequest};
 pub use json::Json;
 pub use server::{ServeConfig, ServeReport, Server};
 pub use state::{ServeError, SharedState, WriteOk, WriteOp};

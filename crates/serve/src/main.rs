@@ -20,13 +20,23 @@ USAGE:
             [--threads 1] [--shards 1] [--samples 20]
             [--addr 127.0.0.1:7878] [--workers 0]
             [--batch-window-ms 2] [--batch-max 64] [--queue-cap 1024]
+            [--fixed-window] [--query-weight 3] [--scan-weight 1]
             [--sync-every 64] [--snapshot-every 4096]
 
 Fits once at startup, then serves POST /query /scan /insert /retire
 /explain and GET /stats /healthz until POST /shutdown, which drains
 gracefully: admitted work finishes, new work gets 503. --workers 0
 means one HTTP worker per core. --batch-max 1 disables cross-request
-batching (answers are bit-identical either way).
+batching (answers are bit-identical either way). Batch windows are
+adaptive by default: the batcher holds a dry window open only while
+its arrival/cost model says waiting beats executing now (capped by
+--batch-window-ms); --fixed-window restores close-when-dry windows.
+--query-weight/--scan-weight split worker capacity between endpoints:
+at most workers*scan/(query+scan) scans run at once, so scan bursts
+cannot starve point queries (excess scans get 429 after a short wait).
+The same listener also speaks hosbin, the length-prefixed binary
+protocol (DESIGN.md §13): a connection opening with the `\\0HSB`
+preamble switches to framed binary with identical semantics.
 --model FILE loads a model written by `hos-miner fit` instead of
 re-learning (the data flags still supply the rows). --engine hnsw
 serves approximate k-NN with exact distances; --ef fixes its
@@ -56,7 +66,7 @@ impl Flags {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument {arg:?}"));
             };
-            if name == "header" || name == "help" {
+            if name == "header" || name == "help" || name == "fixed-window" {
                 switches.push(name.to_string());
                 i += 1;
             } else {
@@ -307,7 +317,13 @@ fn run(argv: &[String]) -> Result<(), String> {
         batch_max: flags.num("batch-max", 64)?,
         query_queue_cap: flags.num("queue-cap", 1024)?,
         write_queue_cap: flags.num("queue-cap", 1024)?,
+        adaptive_window: !flags.switch("fixed-window"),
+        query_weight: flags.num("query-weight", 3)?,
+        scan_weight: flags.num("scan-weight", 1)?,
     };
+    if config.query_weight == 0 || config.scan_weight == 0 {
+        return Err("--query-weight and --scan-weight must be positive".into());
+    }
     let live = miner.live_len();
     let dim = miner.engine().dataset().dim();
     let snapshot_every: u64 = flags.num("snapshot-every", 4096)?;
@@ -330,8 +346,10 @@ fn run(argv: &[String]) -> Result<(), String> {
     );
     let report = server.wait();
     println!(
-        "hos-serve drained: requests={} specs={} batches={} max_batch={} writes={} rejected={}",
+        "hos-serve drained: requests={} bin_requests={} specs={} batches={} max_batch={} \
+         writes={} rejected={}",
         report.http_requests,
+        report.bin_requests,
         report.specs,
         report.batches,
         report.max_batch,

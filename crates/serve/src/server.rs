@@ -1,40 +1,46 @@
-//! The HTTP server: thread-per-core accept workers, route dispatch
-//! and response serialization.
+//! The serving front end: thread-per-core accept workers, protocol
+//! negotiation, route dispatch.
 //!
-//! Each worker thread owns the connection it accepted end to end
-//! (keep-alive loop included) plus a reusable response buffer — no
-//! per-request allocation of the body `String`. Query routes go
-//! through the admission batcher in [`crate::state`]; scan/explain
-//! run on the worker under the read lock; insert/retire go through
-//! the single-writer queue.
+//! Each worker thread owns the connection it accepted end to end.
+//! The first byte of a connection selects the protocol
+//! ([`tinyhttp::Conn::sniff`]): HTTP/1.1 keep-alive, or `hosbin`
+//! length-prefixed binary frames — one listener, two wire formats.
+//! Both loops decode into [`crate::codec::ApiRequest`], run
+//! [`crate::codec::execute`] (the single shared endpoint path) and
+//! encode with their protocol's writer into reusable per-worker
+//! scratch buffers; responses go out through the connection's
+//! reusable write buffer ([`tinyhttp::Conn::reply`] /
+//! [`tinyhttp::Conn::write_frame`]) — the steady-state request loop
+//! allocates no response `String`.
 //!
-//! Error mapping, uniform across routes (`{"error":{"kind":K,
-//! "message":M}}` envelope):
+//! Error mapping, uniform across routes and protocols (JSON:
+//! `{"error":{"kind":K,"message":M}}`; hosbin: an `0xFF` frame with
+//! `u16 status` + kind + message):
 //!
 //! | source                      | status | kind                  |
 //! |-----------------------------|--------|-----------------------|
 //! | malformed HTTP              | per [`HttpError::status`] | per [`HttpError::kind`] |
+//! | malformed hosbin frame      | per `BinError::status`    | per `BinError::kind`    |
 //! | malformed JSON body         | 400    | `bad_json`            |
 //! | missing/invalid fields      | 400    | `bad_request`         |
 //! | `HosError::Query`/`Config`  | 400    | `query` / `config`    |
 //! | `HosError::Index`/`Data`    | 422    | `index` / `data`      |
-//! | queue full                  | 429    | `backpressure`        |
+//! | queue full / scan gate      | 429    | `backpressure`        |
 //! | draining                    | 503    | `draining`            |
-//! | unknown path                | 404    | `not_found`           |
+//! | unknown path / opcode       | 404    | `not_found` / `unknown_opcode` |
 //! | wrong method                | 405    | `method_not_allowed`  |
 
-use crate::json::{error_body, fmt_f64_roundtrip, push_json_string, Json};
-use crate::state::{ServeError, SharedState, WriteOk, WriteOp};
-use hos_core::{explain, HosError, HosMiner, QueryOutcome, QuerySpec};
-use hos_data::Subspace;
-use std::fmt::Write as _;
+use crate::codec::{self, ApiError, ApiRequest};
+use crate::json::Json;
+use crate::state::SharedState;
+use hos_core::{HosMiner, QuerySpec};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
-use tinyhttp::{Conn, HttpServer, Request, Response};
+use tinyhttp::{Conn, HttpServer, Protocol, Request};
 
 /// Tuning knobs of one server instance.
 #[derive(Clone, Debug)]
@@ -43,8 +49,8 @@ pub struct ServeConfig {
     pub addr: String,
     /// HTTP worker threads; `0` = one per available core.
     pub workers: usize,
-    /// How long the batcher holds a window open after the first
-    /// request arrives.
+    /// Longest the batcher holds a window open after the first
+    /// request arrives (hard cap in adaptive mode too).
     pub batch_window: Duration,
     /// Maximum specs per batch; `1` disables cross-request batching.
     pub batch_max: usize,
@@ -52,6 +58,18 @@ pub struct ServeConfig {
     pub query_queue_cap: usize,
     /// Write queue capacity.
     pub write_queue_cap: usize,
+    /// Adaptive batch windows: hold a dry window open only while the
+    /// arrival/cost model says the wait beats executing now. `false`
+    /// restores the fixed close-when-dry window.
+    pub adaptive_window: bool,
+    /// Relative weight of point queries when splitting worker
+    /// capacity between endpoints (see `scan_weight`).
+    pub query_weight: usize,
+    /// Relative weight of scans: at most
+    /// `max(1, workers * scan_weight / (query_weight + scan_weight))`
+    /// scans run concurrently, so a scan burst cannot occupy every
+    /// worker and starve point queries.
+    pub scan_weight: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +81,9 @@ impl Default for ServeConfig {
             batch_max: 64,
             query_queue_cap: 1024,
             write_queue_cap: 1024,
+            adaptive_window: true,
+            query_weight: 3,
+            scan_weight: 1,
         }
     }
 }
@@ -72,6 +93,8 @@ impl Default for ServeConfig {
 pub struct ServeReport {
     /// HTTP requests served (any status).
     pub http_requests: u64,
+    /// hosbin frames served (any outcome).
+    pub bin_requests: u64,
     /// Query specs executed.
     pub specs: u64,
     /// Batches executed.
@@ -118,12 +141,18 @@ impl Server {
         } else {
             config.workers
         };
+        let scan_permits = (workers * config.scan_weight)
+            .checked_div(config.query_weight + config.scan_weight)
+            .unwrap_or(workers)
+            .max(1);
         let state = SharedState::new(
             miner,
             config.batch_window,
             config.batch_max,
             config.query_queue_cap,
             config.write_queue_cap,
+            config.adaptive_window,
+            scan_permits,
         );
         if let Some((s, snapshot_every, carry)) = store {
             state.attach_store(s, snapshot_every, carry);
@@ -208,6 +237,7 @@ impl Server {
         let c = &self.state.counters;
         ServeReport {
             http_requests: c.http_requests.load(Ordering::Relaxed),
+            bin_requests: c.bin_requests.load(Ordering::Relaxed),
             specs: c.specs.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             max_batch: c.max_batch.load(Ordering::Relaxed),
@@ -217,21 +247,33 @@ impl Server {
     }
 }
 
-/// One worker: accept → keep-alive request loop → dispatch. The
-/// response body buffer is the worker's reusable scratch.
+/// One worker: accept → sniff → per-protocol keep-alive loop. The
+/// response body buffers are the worker's reusable scratch; the
+/// connection's own write buffer stages heads/frames — the
+/// steady-state loop allocates nothing per response.
 fn worker_loop(http: &HttpServer, state: &Arc<SharedState>, done: &mpsc::Sender<()>) {
-    let mut scratch = String::with_capacity(4 * 1024);
+    let mut json_scratch = String::with_capacity(4 * 1024);
+    let mut frame_body = Vec::with_capacity(4 * 1024);
+    let mut frame_out = Vec::with_capacity(4 * 1024);
     loop {
-        let conn = match http.accept() {
+        let mut conn = match http.accept() {
             Ok(Some(conn)) => conn,
             Ok(None) => return, // shutdown
             Err(_) => continue,
         };
-        serve_conn(conn, state, &mut scratch, http, done);
+        match conn.sniff() {
+            Ok(Protocol::Http) => serve_conn_http(conn, state, &mut json_scratch, http, done),
+            Ok(Protocol::Hosbin) => {
+                serve_conn_bin(conn, state, &mut frame_body, &mut frame_out, http, done)
+            }
+            // Bad preamble or dead socket: close silently (nothing
+            // useful is writable before a protocol is agreed).
+            Err(_) => {}
+        }
     }
 }
 
-fn serve_conn(
+fn serve_conn_http(
     mut conn: Conn,
     state: &Arc<SharedState>,
     scratch: &mut String,
@@ -243,10 +285,10 @@ fn serve_conn(
             Ok(Some(req)) => {
                 state.counters.http_requests.fetch_add(1, Ordering::Relaxed);
                 let keep = req.keep_alive;
-                let shutdown = req.method == "POST" && req.path == "/shutdown";
-                let resp = dispatch(&req, state, scratch);
-                let _ = conn.respond(&resp);
-                if shutdown && resp.status == 200 {
+                let (status, shutdown) = dispatch_http(&req, state, scratch);
+                let close = !keep || shutdown;
+                let _ = conn.reply(status, "application/json", scratch.as_bytes(), close);
+                if shutdown {
                     // Drain: stop accepting (this worker and all
                     // others), wake the main thread, finish this
                     // connection.
@@ -254,7 +296,7 @@ fn serve_conn(
                     let _ = done.send(());
                     return;
                 }
-                if !keep || resp.close {
+                if close {
                     return;
                 }
             }
@@ -263,60 +305,109 @@ fn serve_conn(
                 // Malformed bytes: answer with the typed error when
                 // the socket is still writable, then close. Never
                 // panics — the protocol property tests pin this.
-                let body = error_body(e.kind(), &e.to_string());
-                let _ = conn.respond(&Response::json(e.status(), body).closing());
+                let err = ApiError {
+                    status: e.status(),
+                    kind: e.kind(),
+                    message: e.to_string(),
+                };
+                codec::encode_json_error(&err, scratch);
+                let _ = conn.reply(err.status, "application/json", scratch.as_bytes(), true);
                 return;
             }
         }
     }
 }
 
-fn dispatch(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\"ok\":true}"),
-        ("GET", "/stats") => handle_stats(state, scratch),
-        ("POST", "/query") => handle_query(req, state, scratch),
-        ("POST", "/scan") => handle_scan(req, state, scratch),
-        ("POST", "/insert") => handle_insert(req, state),
-        ("POST", "/retire") => handle_retire(req, state),
-        ("POST", "/explain") => handle_explain(req, state, scratch),
-        ("POST", "/shutdown") => {
-            state.start_drain();
-            Response::json(200, "{\"draining\":true}").closing()
+/// Routes one HTTP request through the shared codec path, leaving
+/// the response body in `scratch`. Returns `(status, shutdown_ack)`.
+fn dispatch_http(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> (u16, bool) {
+    match parse_http_request(req) {
+        Ok(api) => {
+            let shutdown = matches!(api, ApiRequest::Shutdown);
+            match codec::execute(state, api) {
+                Ok(reply) => {
+                    codec::encode_json_reply(&reply, scratch);
+                    (200, shutdown)
+                }
+                Err(e) => {
+                    codec::encode_json_error(&e, scratch);
+                    (e.status, false)
+                }
+            }
         }
-        ("GET" | "POST", _) => Response::json(
-            404,
-            error_body("not_found", &format!("no route {}", req.path)),
-        ),
-        (m, _) => Response::json(
-            405,
-            error_body("method_not_allowed", &format!("method {m} not supported")),
-        ),
+        Err(e) => {
+            codec::encode_json_error(&e, scratch);
+            (e.status, false)
+        }
     }
 }
 
-fn bad_request(msg: &str) -> Response {
-    Response::json(400, error_body("bad_request", msg))
+/// The hosbin connection loop: read frame → decode → execute (same
+/// [`codec::execute`] as HTTP) → encode reply into the reusable
+/// frame buffer. Recoverable decode errors (unknown opcode, bad
+/// body) answer a typed `0xFF` frame and keep the connection; framing
+/// and transport errors answer (best effort) and close.
+fn serve_conn_bin(
+    mut conn: Conn,
+    state: &Arc<SharedState>,
+    body: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+    http: &HttpServer,
+    done: &mpsc::Sender<()>,
+) {
+    loop {
+        match conn.next_frame(body) {
+            Ok(None) => return, // clean close at a frame boundary
+            Ok(Some(opcode)) => {
+                state.counters.bin_requests.fetch_add(1, Ordering::Relaxed);
+                match codec::decode_bin_request(opcode, body) {
+                    Ok(api) => {
+                        let shutdown = matches!(api, ApiRequest::Shutdown);
+                        let reply_op = match codec::execute(state, api) {
+                            Ok(reply) => codec::encode_bin_reply(&reply, out),
+                            Err(e) => {
+                                codec::encode_bin_error(e.status, e.kind, &e.message, out);
+                                codec::op::ERROR
+                            }
+                        };
+                        if conn.write_frame(reply_op, out).is_err() {
+                            return;
+                        }
+                        if shutdown && reply_op != codec::op::ERROR {
+                            http.shutdown();
+                            let _ = done.send(());
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        codec::encode_bin_error(e.status(), e.kind(), &e.to_string(), out);
+                        if conn.write_frame(codec::op::ERROR, out).is_err() || !e.recoverable() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // Framing/transport error: best-effort typed error
+                // frame, then close (the stream position is lost).
+                codec::encode_bin_error(e.status(), e.kind(), &e.to_string(), out);
+                let _ = conn.write_frame(codec::op::ERROR, out);
+                return;
+            }
+        }
+    }
 }
 
-fn hos_error_response(e: &HosError) -> Response {
-    let status = match e {
-        HosError::Query(_) | HosError::Config(_) => 400,
-        HosError::Index(_) | HosError::Data(_) => 422,
-    };
-    Response::json(status, error_body(e.kind(), &e.to_string()))
+fn bad_request(msg: &str) -> ApiError {
+    ApiError::bad_request(msg)
 }
 
-fn serve_error_response(e: &ServeError) -> Response {
-    Response::json(e.status(), error_body(e.kind(), &e.to_string()))
-}
-
-fn parse_body(req: &Request) -> Result<Json, Response> {
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
     let text = req.body_utf8();
-    Json::parse(&text).map_err(|e| Response::json(400, error_body("bad_json", &e.to_string())))
+    Json::parse(&text).map_err(|e| ApiError::bad_json(e.to_string()))
 }
 
-fn parse_point(v: &Json) -> Result<Vec<f64>, Response> {
+fn parse_point(v: &Json) -> Result<Vec<f64>, ApiError> {
     let arr = v
         .as_array()
         .ok_or_else(|| bad_request("point must be an array of numbers"))?;
@@ -330,7 +421,7 @@ fn parse_point(v: &Json) -> Result<Vec<f64>, Response> {
 
 /// `{"id":N}` | `{"ids":[..]}` | `{"point":[..]}` | `{"points":[[..]]}`,
 /// mixable in one request; specs run in field order.
-fn parse_specs(body: &Json) -> Result<Vec<QuerySpec>, Response> {
+fn parse_specs(body: &Json) -> Result<Vec<QuerySpec>, ApiError> {
     let mut specs = Vec::new();
     if let Some(v) = body.get("id") {
         specs
@@ -365,273 +456,63 @@ fn parse_specs(body: &Json) -> Result<Vec<QuerySpec>, Response> {
     Ok(specs)
 }
 
-fn push_subspace(out: &mut String, s: Subspace) {
-    out.push('[');
-    for (i, d) in s.dims().enumerate() {
-        if i > 0 {
-            out.push(',');
+/// Parses one HTTP request (route + JSON body) into the shared
+/// [`ApiRequest`] model.
+fn parse_http_request(req: &Request) -> Result<ApiRequest, ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(ApiRequest::Healthz),
+        ("GET", "/stats") => Ok(ApiRequest::Stats),
+        ("POST", "/query") => {
+            let body = parse_body(req)?;
+            Ok(ApiRequest::Query(parse_specs(&body)?))
         }
-        let _ = write!(out, "{d}");
-    }
-    out.push(']');
-}
-
-/// Serializes one outcome. Dimensions are 0-based (machine API; the
-/// CLI's 1-based convention is presentation only). ODs use the
-/// round-trip `f64` format, so parsing the JSON back recovers the
-/// exact bits — the basis of the serve bit-identity oracle.
-fn push_outcome(out: &mut String, o: &QueryOutcome) {
-    out.push_str("{\"outlying\":[");
-    for (i, s) in o.outlying.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("{\"subspace\":");
-        push_subspace(out, s.subspace);
-        out.push_str(",\"od\":");
-        match s.od {
-            Some(od) => {
-                let _ = write!(out, "{}", fmt_f64_roundtrip(od));
-            }
-            None => out.push_str("null"),
-        }
-        out.push('}');
-    }
-    out.push_str("],\"minimal\":[");
-    for (i, s) in o.minimal.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        push_subspace(out, *s);
-    }
-    let _ = write!(
-        out,
-        "],\"stats\":{{\"od_evals\":{},\"pruned_outlier\":{},\"pruned_non_outlier\":{}}}}}",
-        o.stats.od_evals, o.stats.pruned_outlier, o.stats.pruned_non_outlier
-    );
-}
-
-fn push_item_error(out: &mut String, e: &HosError) {
-    out.push_str("{\"error\":{\"kind\":");
-    push_json_string(out, e.kind());
-    out.push_str(",\"message\":");
-    push_json_string(out, &e.to_string());
-    out.push_str("}}");
-}
-
-fn handle_query(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    let specs = match parse_specs(&body) {
-        Ok(s) => s,
-        Err(resp) => return resp,
-    };
-    let (version, results) = match state.submit_query(specs) {
-        Ok(r) => r,
-        Err(e) => return serve_error_response(&e),
-    };
-    scratch.clear();
-    let _ = write!(scratch, "{{\"version\":{version},\"results\":[");
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            scratch.push(',');
-        }
-        match r {
-            Ok(outcome) => push_outcome(scratch, outcome),
-            Err(e) => push_item_error(scratch, e),
-        }
-    }
-    scratch.push_str("]}");
-    Response::json(200, scratch.as_str())
-}
-
-fn handle_scan(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    let top = match body.get("top") {
-        None => 5,
-        Some(v) => match v.as_usize() {
-            Some(n) => n,
-            None => return bad_request("top must be a non-negative integer"),
-        },
-    };
-    if state.is_draining() {
-        return serve_error_response(&ServeError::Draining);
-    }
-    let (version, report) =
-        state.with_read(|miner, version| (version, hos_core::scan_outliers(miner, top)));
-    let report = match report {
-        Ok(r) => r,
-        Err(e) => return hos_error_response(&e),
-    };
-    scratch.clear();
-    let _ = write!(
-        scratch,
-        "{{\"version\":{version},\"threshold\":{},\"truncated\":{},\"skipped\":{},\"hits\":[",
-        fmt_f64_roundtrip(report.threshold),
-        report.truncated,
-        report.skipped
-    );
-    for (i, hit) in report.hits.iter().enumerate() {
-        if i > 0 {
-            scratch.push(',');
-        }
-        let _ = write!(
-            scratch,
-            "{{\"id\":{},\"full_od\":{},\"minimal\":[",
-            hit.id,
-            fmt_f64_roundtrip(hit.full_od)
-        );
-        for (j, s) in hit.outcome.minimal.iter().enumerate() {
-            if j > 0 {
-                scratch.push(',');
-            }
-            push_subspace(scratch, *s);
-        }
-        scratch.push_str("]}");
-    }
-    scratch.push_str("]}");
-    Response::json(200, scratch.as_str())
-}
-
-fn handle_insert(req: &Request, state: &Arc<SharedState>) -> Response {
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    let row = match body.get("row") {
-        Some(v) => match parse_point(v) {
-            Ok(row) => row,
-            Err(resp) => return resp,
-        },
-        None => return bad_request("insert needs a row array"),
-    };
-    match state.submit_write(WriteOp::Insert(row)) {
-        Ok((version, Ok(WriteOk::Inserted(id)))) => {
-            Response::json(200, format!("{{\"version\":{version},\"id\":{id}}}"))
-        }
-        Ok((_, Ok(WriteOk::Retired))) => unreachable!("insert cannot retire"),
-        Ok((_, Err(e))) => hos_error_response(&e),
-        Err(e) => serve_error_response(&e),
-    }
-}
-
-fn handle_retire(req: &Request, state: &Arc<SharedState>) -> Response {
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    let id = match body.get("id").and_then(Json::as_usize) {
-        Some(id) => id,
-        None => return bad_request("retire needs an integer id"),
-    };
-    match state.submit_write(WriteOp::Retire(id)) {
-        Ok((version, Ok(_))) => Response::json(200, format!("{{\"version\":{version}}}")),
-        Ok((_, Err(e))) => hos_error_response(&e),
-        Err(e) => serve_error_response(&e),
-    }
-}
-
-fn handle_explain(req: &Request, state: &Arc<SharedState>, scratch: &mut String) -> Response {
-    let body = match parse_body(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    if state.is_draining() {
-        return serve_error_response(&ServeError::Draining);
-    }
-    let result = state.with_read(|miner, version| {
-        let (query, exclude, outcome) = if let Some(v) = body.get("id") {
-            let Some(id) = v.as_usize() else {
-                return Err(bad_request("id must be a non-negative integer"));
+        ("POST", "/scan") => {
+            let body = parse_body(req)?;
+            let top = match body.get("top") {
+                None => 5,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| bad_request("top must be a non-negative integer"))?,
             };
-            let outcome = miner.query_id(id).map_err(|e| hos_error_response(&e))?;
-            let row = miner.engine().dataset().row(id).to_vec();
-            (row, Some(id), outcome)
-        } else if let Some(v) = body.get("point") {
-            let point = parse_point(v)?;
-            let outcome = miner
-                .query_point(&point)
-                .map_err(|e| hos_error_response(&e))?;
-            (point, None, outcome)
-        } else {
-            return Err(bad_request("explain needs id or point"));
-        };
-        let ex = explain(miner, &query, exclude, &outcome).map_err(|e| hos_error_response(&e))?;
-        Ok((version, ex))
-    });
-    let (version, ex) = match result {
-        Ok(pair) => pair,
-        Err(resp) => return resp,
-    };
-    scratch.clear();
-    let _ = write!(
-        scratch,
-        "{{\"version\":{version},\"threshold\":{},\"deviations\":[",
-        fmt_f64_roundtrip(ex.threshold)
-    );
-    for (i, d) in ex.deviations.iter().enumerate() {
-        if i > 0 {
-            scratch.push(',');
+            Ok(ApiRequest::Scan { top })
         }
-        let _ = write!(
-            scratch,
-            "{{\"dim\":{},\"value\":{},\"median\":{},\"robust_z\":{}}}",
-            d.dim,
-            fmt_f64_roundtrip(d.value),
-            fmt_f64_roundtrip(d.median),
-            fmt_f64_roundtrip(d.robust_z)
-        );
-    }
-    scratch.push_str("],\"subspaces\":[");
-    for (i, s) in ex.subspaces.iter().enumerate() {
-        if i > 0 {
-            scratch.push(',');
+        ("POST", "/insert") => {
+            let body = parse_body(req)?;
+            match body.get("row") {
+                Some(v) => Ok(ApiRequest::Insert(parse_point(v)?)),
+                None => Err(bad_request("insert needs a row array")),
+            }
         }
-        scratch.push_str("{\"subspace\":");
-        push_subspace(scratch, s.subspace);
-        let _ = write!(
-            scratch,
-            ",\"od\":{},\"margin\":{}}}",
-            fmt_f64_roundtrip(s.od),
-            fmt_f64_roundtrip(s.margin)
-        );
+        ("POST", "/retire") => {
+            let body = parse_body(req)?;
+            match body.get("id").and_then(Json::as_usize) {
+                Some(id) => Ok(ApiRequest::Retire(id)),
+                None => Err(bad_request("retire needs an integer id")),
+            }
+        }
+        ("POST", "/explain") => {
+            let body = parse_body(req)?;
+            if let Some(v) = body.get("id") {
+                let id = v
+                    .as_usize()
+                    .ok_or_else(|| bad_request("id must be a non-negative integer"))?;
+                Ok(ApiRequest::ExplainId(id))
+            } else if let Some(v) = body.get("point") {
+                Ok(ApiRequest::ExplainPoint(parse_point(v)?))
+            } else {
+                Err(bad_request("explain needs id or point"))
+            }
+        }
+        ("POST", "/shutdown") => Ok(ApiRequest::Shutdown),
+        ("GET" | "POST", _) => Err(ApiError {
+            status: 404,
+            kind: "not_found",
+            message: format!("no route {}", req.path),
+        }),
+        (m, _) => Err(ApiError {
+            status: 405,
+            kind: "method_not_allowed",
+            message: format!("method {m} not supported"),
+        }),
     }
-    scratch.push_str("]}");
-    Response::json(200, scratch.as_str())
-}
-
-fn handle_stats(state: &Arc<SharedState>, scratch: &mut String) -> Response {
-    let (version, live, dim, threshold, threads) = state.with_read(|miner, version| {
-        (
-            version,
-            miner.live_len(),
-            miner.engine().dataset().dim(),
-            miner.threshold(),
-            miner.config().threads,
-        )
-    });
-    let c = &state.counters;
-    scratch.clear();
-    let _ = write!(
-        scratch,
-        "{{\"version\":{version},\"live\":{live},\"dim\":{dim},\"threshold\":{},\
-         \"threads\":{threads},\"draining\":{},\
-         \"queries\":{},\"specs\":{},\"batches\":{},\"max_batch\":{},\
-         \"writes\":{},\"rejected\":{},\"http_requests\":{}}}",
-        fmt_f64_roundtrip(threshold),
-        state.is_draining(),
-        c.queries.load(Ordering::Relaxed),
-        c.specs.load(Ordering::Relaxed),
-        c.batches.load(Ordering::Relaxed),
-        c.max_batch.load(Ordering::Relaxed),
-        c.writes.load(Ordering::Relaxed),
-        c.rejected.load(Ordering::Relaxed),
-        c.http_requests.load(Ordering::Relaxed)
-    );
-    Response::json(200, scratch.as_str())
 }

@@ -21,6 +21,11 @@
 //! This pins at once: batching does not change answers, concurrent
 //! readers/writers serialize cleanly, per-item errors are stable, and
 //! insert id assignment is the serial one.
+//!
+//! The second oracle in this file is **cross-protocol**: the same
+//! sequential op list driven over HTTP/JSON and over hosbin (framed
+//! binary) against identically-fitted twin servers must produce
+//! field-for-field identical replies, `f64`s compared on bits.
 
 use hos_core::{HosError, HosMiner, HosMinerConfig, QueryOutcome, QuerySpec, ThresholdPolicy};
 use hos_data::synth::planted::{generate, PlantedSpec};
@@ -287,4 +292,161 @@ fn concurrent_mixed_traffic_equals_serial_replay() {
     // The workload genuinely exercised batching, not just serial luck.
     assert!(report.batches >= 1);
     assert_eq!(report.specs, 24 * 3);
+}
+
+/// Structural bit-equality of two JSON trees. Objects must agree on
+/// key order too (both protocols promise a fixed field order), except
+/// that per-protocol request counters are each server's own tally and
+/// are skipped by value (their keys must still be present).
+fn assert_bits_equal(a: &Json, b: &Json, path: &str) {
+    const PROTOCOL_LOCAL: [&str; 2] = ["http_requests", "bin_requests"];
+    match (a, b) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(x), Json::Bool(y)) => assert_eq!(x, y, "{path}"),
+        (Json::Num(x), Json::Num(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{path}: {x} vs {y}");
+        }
+        (Json::Str(x), Json::Str(y)) => assert_eq!(x, y, "{path}"),
+        (Json::Arr(x), Json::Arr(y)) => {
+            assert_eq!(x.len(), y.len(), "{path}: array length");
+            for (i, (xa, ya)) in x.iter().zip(y).enumerate() {
+                assert_bits_equal(xa, ya, &format!("{path}[{i}]"));
+            }
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            assert_eq!(
+                x.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+                y.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+                "{path}: object keys"
+            );
+            for ((k, xa), (_, ya)) in x.iter().zip(y) {
+                if PROTOCOL_LOCAL.contains(&k.as_str()) {
+                    continue;
+                }
+                assert_bits_equal(xa, ya, &format!("{path}.{k}"));
+            }
+        }
+        _ => panic!("{path}: shape differs ({a:?} vs {b:?})"),
+    }
+}
+
+#[test]
+fn every_endpoint_is_bit_identical_across_protocols() {
+    use hos_serve::{codec, ApiRequest};
+    use tinyhttp::bin::BinClient;
+
+    let config = ServeConfig {
+        workers: 2,
+        batch_window: Duration::from_millis(2),
+        batch_max: 16,
+        ..ServeConfig::default()
+    };
+    let http_server = Server::start(fitted_miner(), &config).unwrap();
+    let bin_server = Server::start(fitted_miner(), &config).unwrap();
+    let haddr = http_server.addr();
+    let mut bcli = BinClient::connect(bin_server.addr()).unwrap();
+    let mut frame = Vec::new();
+    let mut ops = 0u64;
+
+    // One op over both wires; replies must agree on status and bits.
+    let mut step = |method: &str, path: &str, json_body: &str, req: &ApiRequest| -> Json {
+        let (hstatus, raw) = client_request(haddr, method, path, json_body.as_bytes()).unwrap();
+        let hjson = Json::parse(std::str::from_utf8(&raw).unwrap()).unwrap();
+        let op = codec::encode_bin_request(req, &mut frame);
+        let (rop, resp) = bcli.call(op, &frame).unwrap();
+        let (bstatus, bjson) = codec::bin_reply_to_json(rop, &resp).unwrap();
+        assert_eq!(hstatus, bstatus, "{path}: status");
+        assert_bits_equal(&hjson, &bjson, path);
+        ops += 1;
+        hjson
+    };
+
+    step("GET", "/healthz", "", &ApiRequest::Healthz);
+    step("GET", "/stats", "", &ApiRequest::Stats);
+    let near = row_for(9, 3);
+    let near_s = near
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    step(
+        "POST",
+        "/query",
+        &format!("{{\"ids\":[3,9],\"point\":[{near_s}]}}"),
+        &ApiRequest::Query(vec![
+            QuerySpec::Member(3),
+            QuerySpec::Member(9),
+            QuerySpec::Point(near.clone()),
+        ]),
+    );
+    step("POST", "/scan", "{\"top\":3}", &ApiRequest::Scan { top: 3 });
+    // The JSON default for a bodyless scan must equal an explicit
+    // top=5 over the binary wire.
+    step("POST", "/scan", "{}", &ApiRequest::Scan { top: 5 });
+    let row = row_for(4, 2);
+    let row_s = row
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let inserted = step(
+        "POST",
+        "/insert",
+        &format!("{{\"row\":[{row_s}]}}"),
+        &ApiRequest::Insert(row.clone()),
+    );
+    let id = inserted.get("id").unwrap().as_usize().unwrap();
+    step(
+        "POST",
+        "/query",
+        &format!("{{\"id\":{id}}}"),
+        &ApiRequest::Query(vec![QuerySpec::Member(id)]),
+    );
+    step(
+        "POST",
+        "/explain",
+        &format!("{{\"id\":{id}}}"),
+        &ApiRequest::ExplainId(id),
+    );
+    step(
+        "POST",
+        "/explain",
+        &format!("{{\"point\":[{near_s}]}}"),
+        &ApiRequest::ExplainPoint(near.clone()),
+    );
+    step(
+        "POST",
+        "/retire",
+        &format!("{{\"id\":{id}}}"),
+        &ApiRequest::Retire(id),
+    );
+    // Typed errors must cross protocols identically too: retiring
+    // twice is a 422 data error; querying the retired member is a
+    // per-item error inside a 200 batch.
+    step(
+        "POST",
+        "/retire",
+        &format!("{{\"id\":{id}}}"),
+        &ApiRequest::Retire(id),
+    );
+    step(
+        "POST",
+        "/query",
+        &format!("{{\"ids\":[{id},3]}}"),
+        &ApiRequest::Query(vec![QuerySpec::Member(id), QuerySpec::Member(3)]),
+    );
+    step("GET", "/stats", "", &ApiRequest::Stats);
+    step("POST", "/shutdown", "{}", &ApiRequest::Shutdown);
+
+    let total = ops;
+    let hreport = http_server.join();
+    let breport = bin_server.join();
+    assert_eq!(hreport.http_requests, total);
+    assert_eq!(hreport.bin_requests, 0);
+    assert_eq!(breport.bin_requests, total);
+    assert_eq!(breport.http_requests, 0);
+    // Identical workloads → identical execution tallies.
+    assert_eq!(hreport.specs, breport.specs);
+    assert_eq!(hreport.writes, breport.writes);
+    assert_eq!(hreport.rejected, breport.rejected);
 }

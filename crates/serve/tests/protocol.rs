@@ -108,8 +108,11 @@ proptest! {
     fn byte_soup_does_not_wedge_the_server(bytes in prop::collection::vec(0u8..=255, 0..200)) {
         let addr = server_addr();
         let raw = send_raw(addr, &bytes);
-        if !raw.is_empty() {
-            // Whatever came back is a well-formed HTTP response.
+        if !raw.is_empty() && !bytes.starts_with(&tinyhttp::bin::MAGIC) {
+            // Whatever came back is a well-formed HTTP response. (Soup
+            // opening with the exact hosbin preamble negotiates the
+            // binary protocol instead and gets framed errors — that
+            // path has its own property suite in bin_protocol.rs.)
             prop_assert!(raw.starts_with(b"HTTP/1.1 "), "{:?}", &raw[..raw.len().min(20)]);
         }
         prop_assert!(healthz_ok(addr), "server wedged after {} bytes", bytes.len());

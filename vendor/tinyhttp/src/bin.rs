@@ -1,0 +1,396 @@
+//! `hosbin` — a length-prefixed binary framing layer beside HTTP.
+//!
+//! Wire format, little-endian throughout:
+//!
+//! ```text
+//! connection preamble:  0x00 'H' 'S' 'B'          (once, client → server)
+//! frame:                u32 len | u8 opcode | body  (len counts opcode+body, so len >= 1)
+//! ```
+//!
+//! The preamble's first byte is `0x00`, which can never start a valid
+//! HTTP request line (method tokens are ASCII graphic), so a server
+//! can sniff one byte off an accepted socket and route the connection
+//! to either protocol — one listener, two wire formats. All `f64`s
+//! travel as raw IEEE-754 bits ([`f64::to_bits`]), which makes binary
+//! replies bit-exact by construction — no shortest-round-trip Display
+//! involved.
+//!
+//! The module deliberately knows nothing about hos-serve's opcodes:
+//! it moves opaque `(opcode, body)` frames. [`WireReader`] and the
+//! `put_*` helpers are the zero-allocation primitive layer both sides
+//! encode with; [`BinClient`] is a blocking client that supports
+//! pipelining (send many frames, then read the in-order replies).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connection preamble announcing the binary protocol. Starts with a
+/// byte no HTTP method can start with.
+pub const MAGIC: [u8; 4] = [0x00, b'H', b'S', b'B'];
+
+/// Everything that can be wrong with bytes arriving on a hosbin
+/// connection. `kind` is a stable machine-readable tag mirroring
+/// [`crate::HttpError::kind`].
+#[derive(Debug)]
+pub enum BinError {
+    /// Transport failure (includes read timeouts on stalled clients).
+    Io(io::Error),
+    /// The peer closed the connection mid-frame.
+    Truncated(&'static str),
+    /// The connection preamble was not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// A frame declared `len == 0` (every frame carries an opcode).
+    EmptyFrame,
+    /// A frame declared more bytes than the configured limit.
+    FrameTooLarge { declared: usize, limit: usize },
+    /// An opcode the server does not implement.
+    UnknownOpcode(u8),
+    /// The frame body does not decode as the opcode's payload.
+    BadBody(String),
+}
+
+impl BinError {
+    /// Stable machine-readable tag for error envelopes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BinError::Io(_) => "io",
+            BinError::Truncated(_) => "truncated",
+            BinError::BadMagic(_) => "bad_magic",
+            BinError::EmptyFrame => "empty_frame",
+            BinError::FrameTooLarge { .. } => "frame_too_large",
+            BinError::UnknownOpcode(_) => "unknown_opcode",
+            BinError::BadBody(_) => "bad_body",
+        }
+    }
+
+    /// The status a server maps this error to (mirrors the HTTP
+    /// envelope so the differential oracle can compare both paths).
+    pub fn status(&self) -> u16 {
+        match self {
+            BinError::Io(_) | BinError::Truncated(_) => 400,
+            BinError::BadMagic(_) | BinError::EmptyFrame => 400,
+            BinError::FrameTooLarge { .. } => 413,
+            BinError::UnknownOpcode(_) => 404,
+            BinError::BadBody(_) => 400,
+        }
+    }
+
+    /// Whether the frame boundary is still intact after this error —
+    /// the frame was fully consumed and the connection can keep
+    /// serving (unknown opcode, undecodable body). Transport and
+    /// framing errors are fatal for the connection.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, BinError::UnknownOpcode(_) | BinError::BadBody(_))
+    }
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "i/o: {e}"),
+            BinError::Truncated(what) => write!(f, "connection closed mid-{what}"),
+            BinError::BadMagic(m) => write!(f, "bad connection preamble {m:02x?}"),
+            BinError::EmptyFrame => write!(f, "zero-length frame"),
+            BinError::FrameTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared frame of {declared} bytes exceeds limit {limit}"
+                )
+            }
+            BinError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            BinError::BadBody(msg) => write!(f, "bad frame body: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<io::Error> for BinError {
+    fn from(e: io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+/// Reads one frame into `body` (capacity reused across calls).
+/// Returns the opcode, or `Ok(None)` on clean EOF at a frame
+/// boundary. Never panics, whatever the bytes — the hos-serve binary
+/// protocol property tests pin that.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    body: &mut Vec<u8>,
+    max_frame: usize,
+) -> Result<Option<u8>, BinError> {
+    let mut len4 = [0u8; 4];
+    // First byte distinguishes clean close from truncation.
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len4[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(BinError::Truncated("length prefix"));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(BinError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len == 0 {
+        return Err(BinError::EmptyFrame);
+    }
+    if len > max_frame {
+        return Err(BinError::FrameTooLarge {
+            declared: len,
+            limit: max_frame,
+        });
+    }
+    let mut op = [0u8; 1];
+    read_full(r, &mut op, "opcode")?;
+    body.clear();
+    body.resize(len - 1, 0);
+    read_full(r, body, "body")?;
+    Ok(Some(op[0]))
+}
+
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<(), BinError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            BinError::Truncated(what)
+        } else {
+            BinError::Io(e)
+        }
+    })
+}
+
+/// Writes one frame. `scratch` is a reusable staging buffer so the
+/// length prefix, opcode and body go out in a single `write_all` with
+/// no allocation on the hot path.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    scratch: &mut Vec<u8>,
+    opcode: u8,
+    body: &[u8],
+) -> io::Result<()> {
+    scratch.clear();
+    let len = (body.len() as u64 + 1).min(u32::MAX as u64) as u32;
+    scratch.extend_from_slice(&len.to_le_bytes());
+    scratch.push(opcode);
+    scratch.extend_from_slice(body);
+    w.write_all(scratch)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------- wire
+
+/// Cursor over a frame body; every accessor is bounds-checked and
+/// returns a typed error instead of panicking.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::BadBody(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, BinError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u16(&mut self, what: &str) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// An `f64` as raw IEEE-754 bits — decode is bit-exact.
+    pub fn f64(&mut self, what: &str) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<&'a str, BinError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| BinError::BadBody(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Asserts the body is fully consumed (trailing garbage is a
+    /// decode error, not silently ignored).
+    pub fn done(&self) -> Result<(), BinError> {
+        if self.remaining() != 0 {
+            return Err(BinError::BadBody(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encode helpers: append primitives to a reusable scratch buffer.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// -------------------------------------------------------------- client
+
+/// Blocking hosbin client over one persistent connection. Replies
+/// come back in request order (the server processes a connection's
+/// frames sequentially), so pipelining is just "send k frames, then
+/// read k replies" — [`BinClient::send`] and [`BinClient::recv`] are
+/// the two halves, [`BinClient::call`] the one-shot composition.
+pub struct BinClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wscratch: Vec<u8>,
+    max_frame: usize,
+}
+
+impl BinClient {
+    /// Connects and writes the protocol preamble.
+    pub fn connect(addr: SocketAddr) -> io::Result<BinClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.write_all(&MAGIC)?;
+        Ok(BinClient {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            wscratch: Vec::with_capacity(4096),
+            max_frame: 64 * 1024 * 1024,
+        })
+    }
+
+    /// Sends one frame without waiting for the reply (pipelining).
+    pub fn send(&mut self, opcode: u8, body: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, &mut self.wscratch, opcode, body)
+    }
+
+    /// Reads the next reply frame; borrows the internal reusable
+    /// buffer. EOF mid-stream is a typed error (the server never
+    /// half-answers a frame).
+    pub fn recv(&mut self) -> Result<(u8, &[u8]), BinError> {
+        match read_frame(&mut self.stream, &mut self.rbuf, self.max_frame)? {
+            Some(op) => Ok((op, &self.rbuf)),
+            None => Err(BinError::Truncated("reply stream")),
+        }
+    }
+
+    /// One request, one reply (body copied out).
+    pub fn call(&mut self, opcode: u8, body: &[u8]) -> Result<(u8, Vec<u8>), BinError> {
+        self.send(opcode, body)?;
+        let (op, b) = self.recv()?;
+        Ok((op, b.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip_reuses_buffers() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut wire, &mut scratch, 0x42, b"hello").unwrap();
+        write_frame(&mut wire, &mut scratch, 0x07, b"").unwrap();
+        let mut c = Cursor::new(&wire[..]);
+        let mut body = Vec::new();
+        assert_eq!(read_frame(&mut c, &mut body, 1024).unwrap(), Some(0x42));
+        assert_eq!(body, b"hello");
+        let cap_ptr = body.as_ptr();
+        assert_eq!(read_frame(&mut c, &mut body, 1024).unwrap(), Some(0x07));
+        assert!(body.is_empty());
+        // The body buffer was reused, not reallocated.
+        assert_eq!(body.as_ptr(), cap_ptr);
+        assert_eq!(read_frame(&mut c, &mut body, 1024).unwrap(), None);
+    }
+
+    #[test]
+    fn framing_errors_are_typed() {
+        let mut body = Vec::new();
+        // Zero-length frame.
+        let e = read_frame(&mut Cursor::new(&[0, 0, 0, 0][..]), &mut body, 10).unwrap_err();
+        assert!(matches!(e, BinError::EmptyFrame));
+        assert_eq!(e.kind(), "empty_frame");
+        // Oversized declaration, checked before any body byte is read.
+        let e = read_frame(&mut Cursor::new(&[255, 255, 255, 255][..]), &mut body, 10).unwrap_err();
+        assert!(matches!(e, BinError::FrameTooLarge { .. }));
+        assert_eq!(e.status(), 413);
+        // Truncated length prefix and truncated body.
+        let e = read_frame(&mut Cursor::new(&[5, 0][..]), &mut body, 10).unwrap_err();
+        assert!(matches!(e, BinError::Truncated("length prefix")));
+        let e = read_frame(&mut Cursor::new(&[5, 0, 0, 0, 9, 1][..]), &mut body, 10).unwrap_err();
+        assert!(matches!(e, BinError::Truncated("body")));
+        assert!(!e.recoverable());
+        assert!(BinError::UnknownOpcode(9).recoverable());
+    }
+
+    #[test]
+    fn wire_reader_is_bounds_checked() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 513);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX);
+        put_f64(&mut out, -0.0);
+        put_str(&mut out, "héllo");
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 513);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str("f").unwrap(), "héllo");
+        r.done().unwrap();
+        assert!(r.u8("past end").is_err());
+        // Trailing garbage is a typed error.
+        let mut r = WireReader::new(&[1, 2]);
+        r.u8("x").unwrap();
+        assert!(matches!(r.done(), Err(BinError::BadBody(_))));
+    }
+}

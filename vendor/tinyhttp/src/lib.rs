@@ -22,6 +22,12 @@
 //! between polls, which bounds shutdown latency, not request
 //! latency), no TLS, no chunked transfer encoding (typed error), no
 //! trailers, `Expect: 100-continue` answered inline.
+//!
+//! The [`bin`] module adds the `hosbin` length-prefixed binary
+//! framing layer; [`Conn::sniff`] routes each accepted connection to
+//! one protocol or the other off its first byte.
+
+pub mod bin;
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -412,6 +418,8 @@ impl HttpServer {
                         stream,
                         peer,
                         limits: self.limits,
+                        pushback: None,
+                        write_buf: Vec::with_capacity(256),
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -424,11 +432,47 @@ impl HttpServer {
     }
 }
 
+/// Which wire protocol a sniffed connection speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Plain HTTP/1.1 — serve with [`Conn::next_request`]/[`Conn::reply`].
+    Http,
+    /// `hosbin` binary frames — serve with [`Conn::next_frame`]/[`Conn::write_frame`].
+    Hosbin,
+}
+
 /// One accepted client connection.
 pub struct Conn {
     stream: TcpStream,
     peer: SocketAddr,
     limits: Limits,
+    /// A byte consumed by [`Conn::sniff`] that belongs to the first
+    /// HTTP request; replayed ahead of the stream.
+    pushback: Option<u8>,
+    /// Reusable response staging buffer: heads (HTTP) or whole frames
+    /// (hosbin) are built here, so keep-alive connections allocate
+    /// once, not per response.
+    write_buf: Vec<u8>,
+}
+
+/// Replays one pushed-back byte ahead of the underlying stream.
+struct PushbackReader<'a> {
+    first: &'a mut Option<u8>,
+    inner: &'a mut TcpStream,
+}
+
+impl Read for PushbackReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(b) = self.first.take() {
+            if buf.is_empty() {
+                *self.first = Some(b);
+                return Ok(0);
+            }
+            buf[0] = b;
+            return Ok(1);
+        }
+        self.inner.read(buf)
+    }
 }
 
 impl Conn {
@@ -437,28 +481,101 @@ impl Conn {
         self.peer
     }
 
+    /// Protocol negotiation: reads one byte off the socket. `0x00`
+    /// can never start an HTTP request line, so it announces the
+    /// hosbin preamble (the remaining three magic bytes are then
+    /// required); anything else is pushed back for the HTTP parser.
+    /// EOF before the first byte is reported as `Http` — the
+    /// keep-alive loop then sees a clean close.
+    pub fn sniff(&mut self) -> Result<Protocol, bin::BinError> {
+        let mut b = [0u8; 1];
+        loop {
+            match self.stream.read(&mut b) {
+                Ok(0) => return Ok(Protocol::Http),
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(bin::BinError::Io(e)),
+            }
+        }
+        if b[0] != bin::MAGIC[0] {
+            self.pushback = Some(b[0]);
+            return Ok(Protocol::Http);
+        }
+        let mut rest = [0u8; 3];
+        self.stream.read_exact(&mut rest).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                bin::BinError::Truncated("preamble")
+            } else {
+                bin::BinError::Io(e)
+            }
+        })?;
+        if rest != [bin::MAGIC[1], bin::MAGIC[2], bin::MAGIC[3]] {
+            return Err(bin::BinError::BadMagic([b[0], rest[0], rest[1], rest[2]]));
+        }
+        Ok(Protocol::Hosbin)
+    }
+
     /// Reads the next request (keep-alive loop). `Ok(None)` = peer
     /// closed cleanly between requests.
     pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
-        read_request(&mut self.stream, &self.limits)
+        let mut r = PushbackReader {
+            first: &mut self.pushback,
+            inner: &mut self.stream,
+        };
+        read_request(&mut r, &self.limits)
     }
 
-    /// Writes a response with `Content-Length` framing.
-    pub fn respond(&mut self, resp: &Response) -> io::Result<()> {
-        let mut head = format!(
+    /// Reads the next hosbin frame into `body` (capacity reused
+    /// across calls). `Ok(None)` = clean close at a frame boundary.
+    /// Frames are capped at [`Limits::max_body`].
+    pub fn next_frame(&mut self, body: &mut Vec<u8>) -> Result<Option<u8>, bin::BinError> {
+        bin::read_frame(&mut self.stream, body, self.limits.max_body)
+    }
+
+    /// Writes one hosbin frame, staged through the connection's
+    /// reusable write buffer (no per-response allocation).
+    pub fn write_frame(&mut self, opcode: u8, body: &[u8]) -> io::Result<()> {
+        bin::write_frame(&mut self.stream, &mut self.write_buf, opcode, body)
+    }
+
+    /// Writes an HTTP response with `Content-Length` framing. The
+    /// head is built in the connection's reusable write buffer — the
+    /// steady-state keep-alive loop allocates nothing here.
+    pub fn reply(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        close: bool,
+    ) -> io::Result<()> {
+        self.write_buf.clear();
+        write!(
+            self.write_buf,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-            resp.status,
-            reason(resp.status),
-            resp.content_type,
-            resp.body.len()
-        );
-        if resp.close {
-            head.push_str("Connection: close\r\n");
+            status,
+            reason(status),
+            content_type,
+            body.len()
+        )?;
+        if close {
+            self.write_buf.extend_from_slice(b"Connection: close\r\n");
         }
-        head.push_str("\r\n");
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(&resp.body)?;
+        self.write_buf.extend_from_slice(b"\r\n");
+        self.stream.write_all(&self.write_buf)?;
+        self.stream.write_all(body)?;
         self.stream.flush()
+    }
+
+    /// Writes a [`Response`] (thin wrapper over [`Conn::reply`]).
+    pub fn respond(&mut self, resp: &Response) -> io::Result<()> {
+        self.reply(resp.status, resp.content_type, &resp.body, resp.close)
+    }
+
+    /// Test hook: identity of the reusable write buffer, to pin the
+    /// no-allocation-per-response property.
+    #[doc(hidden)]
+    pub fn write_buf_fingerprint(&self) -> (usize, usize) {
+        (self.write_buf.as_ptr() as usize, self.write_buf.capacity())
     }
 }
 
@@ -698,5 +815,122 @@ mod tests {
         assert!(text.ends_with("req2"));
         server.shutdown();
         assert_eq!(worker.join().unwrap(), 3);
+    }
+
+    /// Satellite pin: a keep-alive connection must not allocate per
+    /// response. After the first reply warms the buffer, its pointer
+    /// and capacity stay put across subsequent replies.
+    #[test]
+    fn keep_alive_reuses_the_write_buffer() {
+        let server = std::sync::Arc::new(HttpServer::bind("127.0.0.1:0").unwrap());
+        let addr = server.local_addr();
+        let s2 = std::sync::Arc::clone(&server);
+        let worker = std::thread::spawn(move || {
+            let mut conn = s2.accept().unwrap().unwrap();
+            let mut fingerprints = Vec::new();
+            while let Ok(Some(req)) = conn.next_request() {
+                let keep = req.keep_alive;
+                conn.reply(200, "text/plain; charset=utf-8", &req.body, !keep)
+                    .unwrap();
+                fingerprints.push(conn.write_buf_fingerprint());
+                if !keep {
+                    break;
+                }
+            }
+            fingerprints
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for i in 0..4 {
+            let body = format!("r{i}");
+            let last = i == 3;
+            let head = format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n{}\r\n",
+                body.len(),
+                if last { "Connection: close\r\n" } else { "" }
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body.as_bytes()).unwrap();
+        }
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        server.shutdown();
+        let fingerprints = worker.join().unwrap();
+        assert_eq!(fingerprints.len(), 4);
+        // Identical (ptr, capacity) after warm-up: zero per-response
+        // allocations on the reply path.
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "write buffer reallocated: {fingerprints:?}"
+        );
+    }
+
+    /// Protocol negotiation: the same listener serves HTTP and hosbin
+    /// by sniffing the first byte, and the sniffed byte is replayed
+    /// to the HTTP parser losslessly.
+    #[test]
+    fn sniff_routes_http_and_hosbin_on_one_listener() {
+        let server = std::sync::Arc::new(HttpServer::bind("127.0.0.1:0").unwrap());
+        let addr = server.local_addr();
+        let s2 = std::sync::Arc::clone(&server);
+        let worker = std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            let mut body = Vec::new();
+            while let Some(mut conn) = s2.accept().unwrap() {
+                match conn.sniff() {
+                    Ok(Protocol::Http) => {
+                        while let Ok(Some(req)) = conn.next_request() {
+                            let keep = req.keep_alive;
+                            conn.respond(&Response::text(200, req.path.clone().into_bytes()))
+                                .unwrap();
+                            outcomes.push(format!("http:{}", req.path));
+                            if !keep {
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Protocol::Hosbin) => {
+                        while let Ok(Some(op)) = conn.next_frame(&mut body) {
+                            conn.write_frame(op | 0x80, &body).unwrap();
+                            outcomes.push(format!("bin:0x{op:02x}"));
+                        }
+                    }
+                    Err(e) => outcomes.push(format!("err:{}", e.kind())),
+                }
+            }
+            outcomes
+        });
+
+        // HTTP client — first byte 'G' must be replayed to the parser.
+        let (status, resp) = client_request(addr, "GET", "/hello", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(resp, b"/hello");
+
+        // hosbin client — echo server answers op | 0x80.
+        let mut cli = bin::BinClient::connect(addr).unwrap();
+        let (op, body) = cli.call(0x07, b"ping").unwrap();
+        assert_eq!(op, 0x87);
+        assert_eq!(body, b"ping");
+        drop(cli);
+
+        // Bad magic is a typed error at the sniff layer. The blocking
+        // read_to_end only returns once the server closes the socket,
+        // which happens after the outcome is recorded — no race.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&[0x00, b'X', b'Y', b'Z']).unwrap();
+        let mut sink = Vec::new();
+        let _ = raw.read_to_end(&mut sink);
+        drop(raw);
+
+        server.shutdown();
+        let outcomes = worker.join().unwrap();
+        assert!(
+            outcomes.contains(&"http:/hello".to_string()),
+            "{outcomes:?}"
+        );
+        assert!(outcomes.contains(&"bin:0x07".to_string()), "{outcomes:?}");
+        assert!(
+            outcomes.contains(&"err:bad_magic".to_string()),
+            "{outcomes:?}"
+        );
     }
 }
